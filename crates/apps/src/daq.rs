@@ -1,0 +1,293 @@
+//! The online trigger chain — the paper's outlook application.
+//!
+//! §3.1 motivates “acceleration of computing intensive pattern
+//! recognition tasks” *and* “subsystems for high-speed and high-frequency
+//! I/O in HEP”, with the TRT algorithm running “with a repetition rate of
+//! up to 100 kHz”; §4 announces “an implementation of a HEP trigger
+//! application run in a real experiment (FOPI at GSI, Darmstadt, Germany)
+//! within this year”. This module assembles that chain from the existing
+//! models and answers the operational question: **what event rate can one
+//! ACB sustain, and where do events start to drop?**
+//!
+//! Chain: detector events arrive on the AIB's S-Link channels → two-stage
+//! channel buffering (32k + 1M words) → private backplane → ACB, which
+//! histogramms each event in `passes × (hits + 2)` cycles at 40 MHz. The
+//! simulation is event-driven over virtual time using
+//! [`atlantis_simcore::EventQueue`].
+
+use crate::trt::AcbTrtConfig;
+use atlantis_simcore::{Bandwidth, EventQueue, Frequency, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Configuration of the online chain.
+#[derive(Debug, Clone)]
+pub struct TriggerChainConfig {
+    /// Mean event size in 32-bit words (region-of-interest hit lists are
+    /// far smaller than full-detector images).
+    pub event_words: u32,
+    /// AIB channels carrying the detector stream.
+    pub channels: usize,
+    /// Per-channel buffer capacity in words (two-stage AIB buffering).
+    pub buffer_words: u64,
+    /// Backplane bandwidth available to the chain.
+    pub backplane: Bandwidth,
+    /// The TRT configuration the ACB runs (pass count ⇒ cycles/event).
+    pub trt: AcbTrtConfig,
+    /// Fixed per-event control overhead on the ACB (event framing,
+    /// result push-out).
+    pub overhead: SimDuration,
+}
+
+impl TriggerChainConfig {
+    /// The level-2 trigger operating point: 240-pattern bank (the paper's
+    /// low end, single pass at full module width), ≈256-hit
+    /// region-of-interest events, four S-Link channels.
+    pub fn level2_trigger() -> Self {
+        TriggerChainConfig {
+            event_words: 256,
+            channels: 4,
+            buffer_words: (32 * 1024) + (1024 * 1024),
+            backplane: Bandwidth::of_bus(Frequency::from_mhz(66), 128),
+            trt: AcbTrtConfig {
+                n_patterns: 240,
+                modules: 4,
+                ..AcbTrtConfig::paper_measured()
+            },
+            overhead: SimDuration::from_micros(2),
+        }
+    }
+
+    /// Service time of one event on the ACB: backplane transfer plus
+    /// histogramming plus control overhead (transfer and compute are
+    /// serialised on the test system, as §3.4 observes for I/O).
+    pub fn service_time(&self) -> SimDuration {
+        let transfer = self.backplane.transfer_time(self.event_words as u64 * 4);
+        let cycles = self.trt.event_cycles(self.event_words as u64);
+        let compute = self.trt.clock.cycles(cycles);
+        transfer + compute + self.overhead
+    }
+
+    /// The rate at which the ACB alone saturates.
+    pub fn theoretical_max_rate(&self) -> f64 {
+        self.service_time().rate_hz()
+    }
+}
+
+/// Outcome of a chain simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct DaqStats {
+    /// Events offered by the detector.
+    pub offered: u64,
+    /// Events fully processed.
+    pub processed: u64,
+    /// Events dropped at full channel buffers.
+    pub dropped: u64,
+    /// Largest per-channel buffer occupancy seen (words).
+    pub max_buffer_words: u64,
+    /// Fraction of the run the ACB spent busy.
+    pub busy_fraction: f64,
+    /// Achieved processing rate (Hz).
+    pub processed_rate_hz: f64,
+}
+
+impl DaqStats {
+    /// Fraction of offered events dropped.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.offered as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrival,
+    AcbDone,
+}
+
+/// Simulate the chain at a fixed input `rate_hz` for `duration`.
+pub fn simulate(config: &TriggerChainConfig, rate_hz: f64, duration: SimDuration) -> DaqStats {
+    assert!(rate_hz > 0.0);
+    let interval = SimDuration::from_secs_f64(1.0 / rate_hz);
+    let service = config.service_time();
+    let event_words = config.event_words as u64;
+
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    queue.schedule_at(SimTime::ZERO + interval, Ev::Arrival);
+
+    // Per-channel occupancy in words; events round-robin over channels.
+    let mut occupancy = vec![0u64; config.channels];
+    let mut pending: VecDeque<usize> = VecDeque::new(); // channel of each queued event
+    let mut next_channel = 0usize;
+    let mut acb_busy = false;
+    let mut busy_time = SimDuration::ZERO;
+
+    let mut offered = 0u64;
+    let mut processed = 0u64;
+    let mut dropped = 0u64;
+    let mut max_occ = 0u64;
+    let end = SimTime::ZERO + duration;
+
+    while let Some(&at) = queue.peek_time().as_ref() {
+        if at > end {
+            break;
+        }
+        let (now, ev) = queue.pop().unwrap();
+        match ev {
+            Ev::Arrival => {
+                offered += 1;
+                let ch = next_channel;
+                next_channel = (next_channel + 1) % config.channels;
+                if occupancy[ch] + event_words <= config.buffer_words {
+                    occupancy[ch] += event_words;
+                    max_occ = max_occ.max(occupancy[ch]);
+                    pending.push_back(ch);
+                    if !acb_busy {
+                        acb_busy = true;
+                        queue.schedule_at(now + service, Ev::AcbDone);
+                    }
+                } else {
+                    dropped += 1;
+                }
+                queue.schedule_at(now + interval, Ev::Arrival);
+            }
+            Ev::AcbDone => {
+                let ch = pending.pop_front().expect("a busy ACB has an event");
+                occupancy[ch] -= event_words;
+                processed += 1;
+                busy_time += service;
+                if pending.is_empty() {
+                    acb_busy = false;
+                } else {
+                    queue.schedule_at(now + service, Ev::AcbDone);
+                }
+            }
+        }
+    }
+
+    DaqStats {
+        offered,
+        processed,
+        dropped,
+        max_buffer_words: max_occ,
+        busy_fraction: (busy_time.as_secs_f64() / duration.as_secs_f64()).min(1.0),
+        processed_rate_hz: processed as f64 / duration.as_secs_f64(),
+    }
+}
+
+/// The highest loss-free input rate, found by bisection over `duration`
+/// windows (resolution 1 kHz).
+pub fn max_lossless_rate(config: &TriggerChainConfig, duration: SimDuration) -> f64 {
+    let mut lo = 1_000.0;
+    let mut hi = 1_000_000.0;
+    while hi - lo > 1_000.0 {
+        let mid = (lo + hi) / 2.0;
+        let stats = simulate(config, mid, duration);
+        if stats.dropped == 0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> TriggerChainConfig {
+        TriggerChainConfig::level2_trigger()
+    }
+
+    #[test]
+    fn service_time_is_microseconds_scale() {
+        let c = config();
+        let t = c.service_time();
+        // 256-word transfer ≈ 1 µs, 258 cycles ≈ 6.5 µs, +2 µs overhead.
+        assert!(
+            (8.0..=12.0).contains(&t.as_micros_f64()),
+            "service time {t} should be ~10 µs"
+        );
+        assert!(c.theoretical_max_rate() > 80_000.0);
+    }
+
+    #[test]
+    fn low_rate_runs_lossless_and_mostly_idle() {
+        let stats = simulate(&config(), 10_000.0, SimDuration::from_millis(100));
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(
+            stats.processed + 1,
+            stats.offered,
+            "only the in-flight event remains"
+        );
+        assert!(stats.busy_fraction < 0.2, "{}", stats.busy_fraction);
+    }
+
+    #[test]
+    fn overload_drops_events_but_keeps_processing_at_capacity() {
+        let c = config();
+        let over = c.theoretical_max_rate() * 3.0;
+        let stats = simulate(&c, over, SimDuration::from_millis(400));
+        assert!(stats.dropped > 0, "3× overload must drop");
+        let capacity = c.theoretical_max_rate();
+        let achieved = stats.processed_rate_hz;
+        assert!(
+            (achieved - capacity).abs() / capacity < 0.05,
+            "the ACB still runs at capacity: {achieved:.0} vs {capacity:.0}"
+        );
+        assert!(stats.busy_fraction > 0.98);
+    }
+
+    #[test]
+    fn buffers_absorb_transients_before_dropping() {
+        let c = config();
+        // 10% over capacity for a short burst: buffers absorb it.
+        let stats = simulate(
+            &c,
+            c.theoretical_max_rate() * 1.1,
+            SimDuration::from_millis(20),
+        );
+        assert_eq!(
+            stats.dropped, 0,
+            "20 ms at 1.1× fits easily in 1M-word buffers"
+        );
+        assert!(stats.max_buffer_words > 0);
+    }
+
+    #[test]
+    fn sustainable_rate_reaches_the_papers_100khz_class() {
+        let c = config();
+        // The window must exceed the buffer drain time (the 1M-word
+        // stage-2 buffers hold ~40 ms of backlog at this event size), or
+        // "lossless" includes transient over-capacity bursts.
+        let max = max_lossless_rate(&c, SimDuration::from_secs(1));
+        assert!(
+            max >= 90_000.0,
+            "§3.1's 100 kHz repetition-rate class: sustained {max:.0} Hz"
+        );
+        // Four 1M-word buffers still absorb ≈16% over capacity for a full
+        // second, so the lossless knee sits slightly above steady state.
+        assert!(max <= c.theoretical_max_rate() * 1.20, "{max:.0}");
+    }
+
+    #[test]
+    fn more_passes_reduce_the_sustainable_rate() {
+        let fast = config();
+        let mut slow = config();
+        slow.trt.n_patterns = 2400; // 2 passes at 704-bit width
+        let d = SimDuration::from_millis(50);
+        let r_fast = max_lossless_rate(&fast, d);
+        let r_slow = max_lossless_rate(&slow, d);
+        assert!(r_slow < r_fast, "{r_slow} < {r_fast}");
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let stats = simulate(&config(), 50_000.0, SimDuration::from_millis(50));
+        assert!(stats.processed + stats.dropped <= stats.offered);
+        assert!(stats.loss_fraction() >= 0.0 && stats.loss_fraction() <= 1.0);
+    }
+}

@@ -1,0 +1,380 @@
+//! Grayscale images and the CPU filter library.
+//!
+//! Every filter is written the way a late-90s C++ vision library would
+//! write it (explicit loops, integer arithmetic) and reports an abstract
+//! operation count that the [`atlantis_board::HostCpu`] model
+//! converts to time — giving the workstation baseline for the FPGA
+//! speed-up comparison.
+
+use atlantis_board::HostCpu;
+use atlantis_simcore::rng::WorkloadRng;
+use atlantis_simcore::SimDuration;
+
+/// An 8-bit grayscale image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image2d {
+    width: u32,
+    height: u32,
+    pixels: Vec<u8>,
+}
+
+/// A 3×3 integer convolution kernel with a right-shift normaliser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Kernel3 {
+    /// Coefficients, row-major.
+    pub k: [i16; 9],
+    /// Result is shifted right by this amount (power-of-two divide).
+    pub shift: u8,
+}
+
+impl Kernel3 {
+    /// 3×3 box blur (sum/8 ≈ mean with power-of-two normaliser).
+    pub fn box_blur() -> Self {
+        Kernel3 {
+            k: [1, 1, 1, 1, 0, 1, 1, 1, 1],
+            shift: 3,
+        }
+    }
+
+    /// Laplacian edge detector.
+    pub fn laplacian() -> Self {
+        Kernel3 {
+            k: [0, -1, 0, -1, 4, -1, 0, -1, 0],
+            shift: 0,
+        }
+    }
+
+    /// Horizontal Sobel.
+    pub fn sobel_x() -> Self {
+        Kernel3 {
+            k: [-1, 0, 1, -2, 0, 2, -1, 0, 1],
+            shift: 0,
+        }
+    }
+
+    /// Vertical Sobel.
+    pub fn sobel_y() -> Self {
+        Kernel3 {
+            k: [-1, -2, -1, 0, 0, 0, 1, 2, 1],
+            shift: 0,
+        }
+    }
+
+    /// Sharpen.
+    pub fn sharpen() -> Self {
+        Kernel3 {
+            k: [0, -1, 0, -1, 8, -1, 0, -1, 0],
+            shift: 2,
+        }
+    }
+}
+
+/// Result of a CPU filter run.
+#[derive(Debug, Clone)]
+pub struct CpuFilterRun {
+    /// The filtered image.
+    pub output: Image2d,
+    /// Abstract operations executed.
+    pub ops: u64,
+    /// Time on the given CPU.
+    pub time: SimDuration,
+}
+
+impl Image2d {
+    /// A black image.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width >= 3 && height >= 3, "filters need at least 3×3");
+        Image2d {
+            width,
+            height,
+            pixels: vec![0; (width * height) as usize],
+        }
+    }
+
+    /// A deterministic synthetic test scene: gradient background, bright
+    /// rectangles and dark circles (industrial-inspection-like contrast
+    /// edges), plus speckle noise.
+    pub fn synthetic(width: u32, height: u32, rng: &mut WorkloadRng) -> Self {
+        let mut img = Image2d::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let mut v = (x * 96 / width + y * 64 / height) as i32;
+                // Bright part.
+                if (width / 4..width / 2).contains(&x) && (height / 4..height / 2).contains(&y) {
+                    v += 120;
+                }
+                // Dark hole.
+                let dx = x as i32 - (3 * width / 4) as i32;
+                let dy = y as i32 - (height / 2) as i32;
+                if dx * dx + dy * dy < (width as i32 / 8).pow(2) {
+                    v -= 80;
+                }
+                if rng.chance(0.02) {
+                    v += rng.range_inclusive(0, 100) as i32 - 50;
+                }
+                img.set(x, y, v.clamp(0, 255) as u8);
+            }
+        }
+        img
+    }
+
+    /// Image width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Pixel count.
+    pub fn len(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// True for a zero-pixel image (cannot occur — kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.pixels.is_empty()
+    }
+
+    /// Read a pixel; outside coordinates clamp to the border (the usual
+    /// hardware line-buffer behaviour).
+    pub fn get_clamped(&self, x: i32, y: i32) -> u8 {
+        let xc = x.clamp(0, self.width as i32 - 1) as u32;
+        let yc = y.clamp(0, self.height as i32 - 1) as u32;
+        self.pixels[(yc * self.width + xc) as usize]
+    }
+
+    /// Read a pixel (in range).
+    pub fn get(&self, x: u32, y: u32) -> u8 {
+        self.pixels[(y * self.width + x) as usize]
+    }
+
+    /// Write a pixel.
+    pub fn set(&mut self, x: u32, y: u32, v: u8) {
+        self.pixels[(y * self.width + x) as usize] = v;
+    }
+
+    /// Raw pixels (row-major).
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// 3×3 convolution with saturation to 0..=255.
+    /// Ops: 9 MACs + clamp + store ≈ 21 per pixel.
+    pub fn convolve3(&self, kernel: &Kernel3, cpu: &mut HostCpu) -> CpuFilterRun {
+        let mut out = Image2d::new(self.width, self.height);
+        for y in 0..self.height as i32 {
+            for x in 0..self.width as i32 {
+                let mut acc = 0i32;
+                for ky in -1..=1 {
+                    for kx in -1..=1 {
+                        let c = kernel.k[((ky + 1) * 3 + (kx + 1)) as usize] as i32;
+                        acc += c * self.get_clamped(x + kx, y + ky) as i32;
+                    }
+                }
+                let v = (acc >> kernel.shift).clamp(0, 255) as u8;
+                out.set(x as u32, y as u32, v);
+            }
+        }
+        let ops = self.len() as u64 * 21;
+        let time = cpu.integer_work(ops);
+        CpuFilterRun {
+            output: out,
+            ops,
+            time,
+        }
+    }
+
+    /// Sobel gradient magnitude (|gx| + |gy|, saturated).
+    /// Ops: two 3×3 MACs + abs/add/clamp ≈ 40 per pixel.
+    pub fn sobel(&self, cpu: &mut HostCpu) -> CpuFilterRun {
+        let kx = Kernel3::sobel_x();
+        let ky = Kernel3::sobel_y();
+        let mut out = Image2d::new(self.width, self.height);
+        for y in 0..self.height as i32 {
+            for x in 0..self.width as i32 {
+                let mut gx = 0i32;
+                let mut gy = 0i32;
+                for dy in -1..=1 {
+                    for dx in -1..=1 {
+                        let p = self.get_clamped(x + dx, y + dy) as i32;
+                        gx += kx.k[((dy + 1) * 3 + (dx + 1)) as usize] as i32 * p;
+                        gy += ky.k[((dy + 1) * 3 + (dx + 1)) as usize] as i32 * p;
+                    }
+                }
+                out.set(x as u32, y as u32, (gx.abs() + gy.abs()).min(255) as u8);
+            }
+        }
+        let ops = self.len() as u64 * 40;
+        let time = cpu.integer_work(ops);
+        CpuFilterRun {
+            output: out,
+            ops,
+            time,
+        }
+    }
+
+    /// 3×3 median filter (sorting network on 9 values).
+    /// Ops: ~30 compare-swaps ≈ 60 per pixel.
+    pub fn median3(&self, cpu: &mut HostCpu) -> CpuFilterRun {
+        let mut out = Image2d::new(self.width, self.height);
+        for y in 0..self.height as i32 {
+            for x in 0..self.width as i32 {
+                let mut v = [0u8; 9];
+                let mut i = 0;
+                for dy in -1..=1 {
+                    for dx in -1..=1 {
+                        v[i] = self.get_clamped(x + dx, y + dy);
+                        i += 1;
+                    }
+                }
+                v.sort_unstable();
+                out.set(x as u32, y as u32, v[4]);
+            }
+        }
+        let ops = self.len() as u64 * 60;
+        let time = cpu.integer_work(ops);
+        CpuFilterRun {
+            output: out,
+            ops,
+            time,
+        }
+    }
+
+    /// Binary erosion of `threshold`-ed pixels with a 3×3 structuring
+    /// element. Ops ≈ 20 per pixel.
+    pub fn erode(&self, threshold: u8, cpu: &mut HostCpu) -> CpuFilterRun {
+        self.morph(threshold, true, cpu)
+    }
+
+    /// Binary dilation. Ops ≈ 20 per pixel.
+    pub fn dilate(&self, threshold: u8, cpu: &mut HostCpu) -> CpuFilterRun {
+        self.morph(threshold, false, cpu)
+    }
+
+    fn morph(&self, threshold: u8, erode: bool, cpu: &mut HostCpu) -> CpuFilterRun {
+        let mut out = Image2d::new(self.width, self.height);
+        for y in 0..self.height as i32 {
+            for x in 0..self.width as i32 {
+                let mut all = true;
+                let mut any = false;
+                for dy in -1..=1 {
+                    for dx in -1..=1 {
+                        let on = self.get_clamped(x + dx, y + dy) >= threshold;
+                        all &= on;
+                        any |= on;
+                    }
+                }
+                let on = if erode { all } else { any };
+                out.set(x as u32, y as u32, if on { 255 } else { 0 });
+            }
+        }
+        let ops = self.len() as u64 * 20;
+        let time = cpu.integer_work(ops);
+        CpuFilterRun {
+            output: out,
+            ops,
+            time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlantis_board::CpuClass;
+
+    fn cpu() -> HostCpu {
+        HostCpu::new(CpuClass::PentiumII300)
+    }
+
+    fn test_image() -> Image2d {
+        Image2d::synthetic(64, 48, &mut WorkloadRng::seed_from_u64(8))
+    }
+
+    #[test]
+    fn box_blur_smooths_noise() {
+        let img = test_image();
+        let run = img.convolve3(&Kernel3::box_blur(), &mut cpu());
+        // Variance of the Laplacian is a cheap roughness proxy.
+        let rough = |im: &Image2d| {
+            let mut c = cpu();
+            let lap = im.convolve3(&Kernel3::laplacian(), &mut c).output;
+            lap.pixels().iter().map(|&p| p as u64).sum::<u64>()
+        };
+        assert!(rough(&run.output) < rough(&img), "blur reduces edge energy");
+    }
+
+    #[test]
+    fn laplacian_of_flat_image_is_zero() {
+        let mut img = Image2d::new(8, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                img.set(x, y, 100);
+            }
+        }
+        let run = img.convolve3(&Kernel3::laplacian(), &mut cpu());
+        assert!(run.output.pixels().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn sobel_finds_the_rectangle_edges() {
+        let img = test_image();
+        let run = img.sobel(&mut cpu());
+        // The bright rectangle's left edge at x = width/4.
+        let edge = run.output.get(16, 18);
+        let flat = run.output.get(2, 40);
+        assert!(edge > 100, "edge response {edge}");
+        assert!(flat < 60, "flat response {flat}");
+    }
+
+    #[test]
+    fn median_removes_salt_noise() {
+        let mut img = Image2d::new(16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                img.set(x, y, 50);
+            }
+        }
+        img.set(8, 8, 255); // a single speck
+        let run = img.median3(&mut cpu());
+        assert_eq!(run.output.get(8, 8), 50, "speck removed");
+    }
+
+    #[test]
+    fn erode_then_dilate_removes_specks_keeps_blocks() {
+        let mut img = Image2d::new(24, 24);
+        img.set(3, 3, 255); // speck
+        for y in 10..20 {
+            for x in 10..20 {
+                img.set(x, y, 255); // block
+            }
+        }
+        let mut c = cpu();
+        let eroded = img.erode(128, &mut c).output;
+        let opened = eroded.dilate(128, &mut c).output;
+        assert_eq!(opened.get(3, 3), 0, "speck gone");
+        assert_eq!(opened.get(15, 15), 255, "block interior survives");
+    }
+
+    #[test]
+    fn border_clamping() {
+        let mut img = Image2d::new(4, 4);
+        img.set(0, 0, 77);
+        assert_eq!(img.get_clamped(-5, -5), 77);
+        assert_eq!(img.get_clamped(0, -1), 77);
+    }
+
+    #[test]
+    fn ops_and_time_accumulate() {
+        let img = test_image();
+        let mut c = cpu();
+        let r1 = img.convolve3(&Kernel3::box_blur(), &mut c);
+        let r2 = img.median3(&mut c);
+        assert_eq!(r1.ops, 64 * 48 * 21);
+        assert_eq!(r2.ops, 64 * 48 * 60);
+        assert_eq!(c.busy_time(), r1.time + r2.time);
+    }
+}

@@ -1,0 +1,18 @@
+//! 2-D industrial image processing (paper §3: “2-dimensional industrial
+//! image processing” with the generic 2 × 512k × 72-bit SSRAM module).
+//!
+//! “Almost all image processing applications involve tasks where image
+//! elements (pixels or voxels) have to be processed with local filters”
+//! (§3.2). This module provides:
+//!
+//! * [`Image2d`] and a library of local filters as the CPU reference
+//!   (with operation counting against the host-CPU model),
+//! * [`fpga`] — a streaming CHDL convolution engine with on-chip line
+//!   buffers, verified bit-exact against the CPU reference and timed at
+//!   one pixel per cycle.
+
+pub mod filters;
+pub mod fpga;
+
+pub use filters::{CpuFilterRun, Image2d, Kernel3};
+pub use fpga::{ConvolutionEngine, MedianEngine, SobelEngine};

@@ -1,0 +1,29 @@
+//! # `atlantis-apps` — the ATLANTIS application suite
+//!
+//! The paper's §3 presents four application domains for the hybrid
+//! CPU/FPGA machine; every one is reproduced here with both the FPGA-side
+//! implementation (CHDL designs and/or cycle-level pipeline models) and
+//! the CPU baseline it was measured against:
+//!
+//! * [`trt`] — the HEP transition-radiation-tracker trigger (§3.1):
+//!   LUT-driven pattern-bank histogramming over 80 000-straw detector
+//!   images, the paper's flagship measurement (19.2 ms on one ACB vs
+//!   35 ms on a Pentium-II/300, extrapolating to 2.7 ms ⇒ 13×).
+//! * [`volume`] — algorithmically optimized real-time volume rendering
+//!   (§3.2): ray casting with empty-space skipping and early ray
+//!   termination, made pipeline-friendly by multi-threading rays; plus
+//!   the VolumePro brute-force comparison baseline.
+//! * [`image2d`] — 2-D industrial image processing (§3): local filters
+//!   as streaming CHDL designs with line buffers, against CPU loops.
+//! * [`nbody`] — the astronomy N-body sub-task (§3.3): a fixed-point
+//!   pairwise-force pipeline in the GRAPE tradition, against a
+//!   double-precision CPU direct sum.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daq;
+pub mod image2d;
+pub mod nbody;
+pub mod trt;
+pub mod volume;

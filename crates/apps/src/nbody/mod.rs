@@ -1,0 +1,21 @@
+//! N-body force computation for astronomy (paper §3.3).
+//!
+//! “Usually N-Body calculations need a computing performance in at least
+//! Tera-FLOP range and are accelerated with the help of ASIC based
+//! coprocessors (GRAPE-4). Nonetheless we have recently investigated the
+//! performance of a certain sub-task of the N-Body algorithm on the
+//! Enable++ system. The results indicate that FPGAs can indeed provide a
+//! significant performance increase even in this area.”
+//!
+//! The *sub-task* is the pairwise force evaluation — exactly what GRAPE
+//! hard-wired. [`sim`] provides the double-precision CPU reference
+//! (direct summation over a Plummer sphere, the collisional-dynamics
+//! setting of the paper's references \[8\]/\[14\]); [`pipeline`] is the
+//! fixed-point CHDL force pipeline with a table-lookup `r⁻³`, verified
+//! against the reference and timed at one pair per cycle.
+
+pub mod pipeline;
+pub mod sim;
+
+pub use pipeline::{FixedPointSpec, ForcePipeline};
+pub use sim::{Body, NBodySystem};

@@ -1,0 +1,409 @@
+//! The fixed-point pairwise-force pipeline, as a CHDL design.
+//!
+//! Floating point on 1990s FPGAs was hopeless (“in 1995 approx. 10 MFLOP
+//! per Xilinx chip were reported”, paper footnote 3), so special-purpose
+//! N-body hardware — GRAPE and the Enable++ study (paper ref \[15\]) — used fixed
+//! point with a table-lookup for the `r⁻³` kernel. This module implements
+//! that datapath:
+//!
+//! 1. inputs: |Δx|, |Δy|, |Δz| as 13-bit magnitudes (signs are re-applied
+//!    by the accumulating side — a free XOR), mass as 10 bits,
+//! 2. `r² = Δx² + Δy² + Δz² + ε²` in 28 bits,
+//! 3. a **logarithmic table lookup**: leading-one detection gives the
+//!    exponent, the next 7 bits the mantissa; a 3 584-word on-chip ROM
+//!    yields `r⁻³` with ≤ 1 % quantization error,
+//! 4. force components `m · |Δ| · r⁻³` as wide integer products.
+//!
+//! [`FixedPointSpec`] is the bit-exact software golden model; the CHDL
+//! design is checked against it word-for-word, and both are checked
+//! against the double-precision reference within tolerance.
+
+use super::sim::{Body, NBodySystem};
+use atlantis_chdl::{Design, Sim};
+use atlantis_simcore::{Frequency, SimDuration};
+
+/// Fractional bits of the position fixed-point format (LSB = 2⁻¹²).
+pub const POS_FRAC: u32 = 12;
+/// Fractional bits of the mass format (LSB = 2⁻¹⁰).
+pub const MASS_FRAC: u32 = 10;
+/// Scale of the `r⁻³` table entries (values are `r⁻³ · 2¹⁶` relative to
+/// real units — see `FixedPointSpec::table_entry`).
+pub const TABLE_SCALE_LOG2: u32 = 52;
+/// Output scale: products are `force · 2³⁸`.
+pub const FORCE_FRAC: u32 = MASS_FRAC + POS_FRAC + 16;
+/// Mantissa bits of the logarithmic index.
+pub const MANT_BITS: u32 = 7;
+/// r² word width.
+pub const R2_BITS: u32 = 28;
+
+/// The bit-exact software specification of the datapath.
+#[derive(Debug, Clone)]
+pub struct FixedPointSpec {
+    /// ε² in r²-units (2⁻²⁴ per LSB).
+    pub eps2_int: u64,
+    table: Vec<u64>,
+}
+
+impl FixedPointSpec {
+    /// Build the spec (and its ROM) for a softening length.
+    pub fn new(softening: f64) -> Self {
+        let eps2_int = ((softening * softening) * (1u64 << (2 * POS_FRAC)) as f64).round() as u64;
+        assert!(
+            eps2_int >= 1 << 14,
+            "softening too small for the table range"
+        );
+        let index_max = (R2_BITS - 1) * (1 << MANT_BITS) + ((1 << MANT_BITS) - 1);
+        let table = (0..=index_max as usize)
+            .map(|i| Self::table_entry(i as u32))
+            .collect();
+        FixedPointSpec { eps2_int, table }
+    }
+
+    /// ROM entry for a logarithmic index: `round(r2c^{-1.5} · 2⁵²)`,
+    /// where `r2c` is the bucket's centre in r²-units.
+    fn table_entry(index: u32) -> u64 {
+        let exp = index >> MANT_BITS;
+        let mant = index & ((1 << MANT_BITS) - 1);
+        if exp < MANT_BITS {
+            return 0; // unreachable: ε² keeps exp ≥ 14
+        }
+        let r2c = ((1 << MANT_BITS) + mant) as f64 + 0.5;
+        let r2c = r2c * f64::from(exp - MANT_BITS).exp2();
+        let v = r2c.powf(-1.5) * (TABLE_SCALE_LOG2 as f64).exp2();
+        (v.round() as u64).min((1 << 30) - 1)
+    }
+
+    /// The ROM contents (30-bit words).
+    pub fn table(&self) -> &[u64] {
+        &self.table
+    }
+
+    /// Quantize a coordinate difference to a 13-bit magnitude.
+    pub fn quantize_delta(d: f64) -> u64 {
+        let q = (d.abs() * (1u64 << POS_FRAC) as f64).round() as u64;
+        q.min((1 << 13) - 1)
+    }
+
+    /// Quantize a mass to 10 bits.
+    pub fn quantize_mass(m: f64) -> u64 {
+        let q = (m * (1u64 << MASS_FRAC) as f64).round() as u64;
+        q.clamp(1, (1 << MASS_FRAC) - 1)
+    }
+
+    /// The logarithmic table index of an r² value.
+    pub fn index_of(r2: u64) -> u32 {
+        let exp = 63 - r2.leading_zeros();
+        let mant = ((r2 >> (exp - MANT_BITS)) & ((1 << MANT_BITS) - 1)) as u32;
+        exp * (1 << MANT_BITS) + mant
+    }
+
+    /// Evaluate one pair exactly as the hardware does. Inputs are the
+    /// quantized magnitudes and mass; outputs are the three unsigned
+    /// force-component products at scale 2³⁸.
+    pub fn evaluate(&self, ax: u64, ay: u64, az: u64, m: u64) -> [u64; 3] {
+        let r2 = ax * ax + ay * ay + az * az + self.eps2_int;
+        let inv_r3 = self.table[Self::index_of(r2) as usize];
+        let f = m * inv_r3;
+        [ax * f, ay * f, az * f]
+    }
+
+    /// Dequantize a force product back to real units.
+    pub fn dequantize_force(p: u64) -> f64 {
+        p as f64 / (FORCE_FRAC as f64).exp2()
+    }
+}
+
+/// Build the CHDL datapath. Ports: `ax`, `ay`, `az` (13), `m` (10) in;
+/// `fx`, `fy`, `fz` (products, registered behind the ROM read) out.
+pub fn build_force_pipeline(d: &mut Design, spec: &FixedPointSpec) {
+    let ax = d.input("ax", 13);
+    let ay = d.input("ay", 13);
+    let az = d.input("az", 13);
+    let m = d.input("m", 10);
+
+    // r² = Σ Δ² + ε² (28 bits).
+    let r2 = d.scoped("r2", |d| {
+        let axw = d.zext(ax, R2_BITS as u8);
+        let ayw = d.zext(ay, R2_BITS as u8);
+        let azw = d.zext(az, R2_BITS as u8);
+        let xx = d.mul(axw, axw);
+        let yy = d.mul(ayw, ayw);
+        let zz = d.mul(azw, azw);
+        let s1 = d.add(xx, yy);
+        let s2 = d.add(s1, zz);
+        let eps = d.lit(spec.eps2_int, R2_BITS as u8);
+        d.add(s2, eps)
+    });
+
+    // Leading-one detector: highest set bit index (5 bits). Ascending mux
+    // chain — later (higher) bits override.
+    let exp = d.scoped("lod", |d| {
+        let mut e = d.lit(0, 5);
+        for i in 0..R2_BITS as u8 {
+            let b = d.bit(r2, i);
+            let val = d.lit(i as u64, 5);
+            e = d.mux(b, val, e);
+        }
+        e
+    });
+
+    // Mantissa: the MANT_BITS bits below the leading one.
+    let mant_shift = d.scoped("mant", |d| {
+        let k = d.lit(MANT_BITS as u64, 5);
+        d.sub(exp, k)
+    });
+    let shifted = d.shr(r2, mant_shift);
+    let mant = d.trunc(shifted, MANT_BITS as u8);
+
+    // index = exp · 2^MANT_BITS + mant = {exp, mant}.
+    let index = d.concat(exp, mant);
+
+    // r⁻³ ROM (synchronous read, one-cycle latency).
+    let rom = d.rom("invr3", 30, spec.table());
+    let inv_r3 = d.read_sync(rom, index);
+
+    // The inputs must travel with the ROM latency.
+    let ax_d = d.reg("ax_d", ax);
+    let ay_d = d.reg("ay_d", ay);
+    let az_d = d.reg("az_d", az);
+    let m_d = d.reg("m_d", m);
+
+    // f = m · r⁻³ (40 bits), components = |Δ| · f (≤ 53 bits).
+    d.push_scope("force");
+    let m_w = d.zext(m_d, 40);
+    let inv_w = d.zext(inv_r3, 40);
+    let f = d.mul(m_w, inv_w);
+    let f56 = d.zext(f, 56);
+    for (name, a) in [("fx", ax_d), ("fy", ay_d), ("fz", az_d)] {
+        let aw = d.zext(a, 56);
+        let p = d.mul(aw, f56);
+        d.expose_output(name, p);
+    }
+    d.pop_scope();
+}
+
+/// A runnable force pipeline.
+#[derive(Debug)]
+pub struct ForcePipeline {
+    spec: FixedPointSpec,
+    sim: Sim,
+    clock: Frequency,
+    design: Design,
+}
+
+impl ForcePipeline {
+    /// Elaborate the pipeline for a softening length.
+    pub fn new(softening: f64) -> Self {
+        let spec = FixedPointSpec::new(softening);
+        let mut d = Design::new("nbody_force");
+        build_force_pipeline(&mut d, &spec);
+        let sim = Sim::new(&d);
+        ForcePipeline {
+            spec,
+            sim,
+            clock: Frequency::from_mhz(40),
+            design: d,
+        }
+    }
+
+    /// The golden-model spec.
+    pub fn spec(&self) -> &FixedPointSpec {
+        &self.spec
+    }
+
+    /// The elaborated design.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Evaluate one pair through the hardware; returns the signed real
+    /// acceleration contribution of `b` on `a`.
+    pub fn pair_accel(&mut self, a: &Body, b: &Body) -> [f64; 3] {
+        let d = [
+            b.pos[0] - a.pos[0],
+            b.pos[1] - a.pos[1],
+            b.pos[2] - a.pos[2],
+        ];
+        let q: Vec<u64> = d
+            .iter()
+            .map(|&x| FixedPointSpec::quantize_delta(x))
+            .collect();
+        self.sim.set("ax", q[0]);
+        self.sim.set("ay", q[1]);
+        self.sim.set("az", q[2]);
+        self.sim.set("m", FixedPointSpec::quantize_mass(b.mass));
+        self.sim.step(); // ROM latency
+        let mut out = [0.0f64; 3];
+        for (k, name) in ["fx", "fy", "fz"].iter().enumerate() {
+            let p = self.sim.get(name);
+            let mag = FixedPointSpec::dequantize_force(p);
+            out[k] = if d[k] < 0.0 { -mag } else { mag };
+        }
+        out
+    }
+
+    /// Full accelerations for a system; returns `(acc, cycles, time)` at
+    /// one pair per cycle.
+    #[allow(clippy::needless_range_loop)]
+    pub fn accelerations(&mut self, sys: &NBodySystem) -> (Vec<[f64; 3]>, u64, SimDuration) {
+        let start = self.sim.cycle();
+        let n = sys.len();
+        let mut acc = vec![[0.0; 3]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let f = self.pair_accel(&sys.bodies[i], &sys.bodies[j]);
+                for k in 0..3 {
+                    acc[i][k] += f[k];
+                }
+            }
+        }
+        let cycles = self.sim.cycle() - start;
+        (acc, cycles, self.clock.cycles(cycles))
+    }
+
+    /// Pairs per second at the design clock (one per cycle).
+    pub fn pairs_per_second(&self) -> f64 {
+        self.clock.as_hz() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nbody::sim::pair_accel;
+    use atlantis_fabric::{fit, Device};
+    use atlantis_simcore::rng::WorkloadRng;
+
+    #[test]
+    fn chdl_matches_the_golden_model_word_for_word() {
+        let mut pipe = ForcePipeline::new(0.05);
+        let spec = pipe.spec().clone();
+        let cases = [
+            (100u64, 200u64, 300u64, 512u64),
+            (1, 1, 1, 1023),
+            (4095, 4095, 4095, 1),
+            (0, 0, 0, 500),
+            (2048, 0, 0, 700),
+        ];
+        for (ax, ay, az, m) in cases {
+            let golden = spec.evaluate(ax, ay, az, m);
+            pipe.sim.set("ax", ax);
+            pipe.sim.set("ay", ay);
+            pipe.sim.set("az", az);
+            pipe.sim.set("m", m);
+            pipe.sim.step();
+            let hw = [pipe.sim.get("fx"), pipe.sim.get("fy"), pipe.sim.get("fz")];
+            assert_eq!(hw, golden, "case ({ax},{ay},{az},{m})");
+        }
+    }
+
+    #[test]
+    fn index_of_covers_the_range() {
+        // ε² keeps r² ≥ ~2¹⁴, so the exponent stays within the ROM.
+        let spec = FixedPointSpec::new(0.05);
+        let r2_min = spec.eps2_int;
+        let r2_max = 3 * 4095u64 * 4095 + spec.eps2_int;
+        for r2 in [r2_min, r2_max, (r2_min + r2_max) / 2] {
+            let idx = FixedPointSpec::index_of(r2) as usize;
+            assert!(idx < spec.table().len(), "index {idx} for r2 {r2}");
+            assert!(spec.table()[idx] > 0);
+        }
+    }
+
+    #[test]
+    fn pair_force_matches_f64_within_tolerance() {
+        let mut pipe = ForcePipeline::new(0.05);
+        let a = Body {
+            pos: [0.1, 0.2, -0.3],
+            vel: [0.0; 3],
+            mass: 0.5,
+        };
+        let b = Body {
+            pos: [-0.4, 0.35, 0.2],
+            vel: [0.0; 3],
+            mass: 0.25,
+        };
+        let hw = pipe.pair_accel(&a, &b);
+        let exact = pair_accel(&a, &b, 0.05 * 0.05);
+        for k in 0..3 {
+            let err = (hw[k] - exact[k]).abs();
+            let tol = 0.03 * exact[k].abs() + 1e-4;
+            assert!(
+                err < tol,
+                "component {k}: hw {} vs exact {}",
+                hw[k],
+                exact[k]
+            );
+        }
+    }
+
+    #[test]
+    fn system_accelerations_close_to_reference() {
+        let mut rng = WorkloadRng::seed_from_u64(77);
+        let sys = NBodySystem::plummer(24, &mut rng);
+        let mut pipe = ForcePipeline::new(sys.softening);
+        let (hw, cycles, _) = pipe.accelerations(&sys);
+        let exact = sys.accelerations();
+        assert_eq!(cycles, sys.pairs(), "one pair per cycle");
+        let mut worst = 0.0f64;
+        for (h, e) in hw.iter().zip(&exact) {
+            let mag = (e[0] * e[0] + e[1] * e[1] + e[2] * e[2]).sqrt().max(1e-3);
+            for k in 0..3 {
+                worst = worst.max((h[k] - e[k]).abs() / mag);
+            }
+        }
+        assert!(worst < 0.05, "worst relative force error {worst:.4}");
+    }
+
+    #[test]
+    fn signs_follow_geometry() {
+        let mut pipe = ForcePipeline::new(0.05);
+        let a = Body {
+            pos: [0.0; 3],
+            vel: [0.0; 3],
+            mass: 1.0,
+        };
+        let b = Body {
+            pos: [0.5, -0.5, 0.0],
+            vel: [0.0; 3],
+            mass: 1.0,
+        };
+        let f = pipe.pair_accel(&a, &b);
+        assert!(f[0] > 0.0, "pulled towards +x");
+        assert!(f[1] < 0.0, "pulled towards −y");
+        assert_eq!(f[2], 0.0);
+    }
+
+    #[test]
+    fn pipeline_fits_the_orca() {
+        let pipe = ForcePipeline::new(0.05);
+        let fitted =
+            fit(pipe.design(), &Device::orca_3t125()).expect("force pipeline fits the ORCA");
+        let rep = fitted.report();
+        assert!(
+            rep.ram_bits <= 165_888,
+            "ROM within PFU RAM: {}",
+            rep.ram_bits
+        );
+        assert!(rep.gate_utilization < 0.8, "{rep:?}");
+    }
+
+    #[test]
+    fn throughput_beats_the_workstation() {
+        use atlantis_board::{CpuClass, HostCpu};
+        let mut rng = WorkloadRng::seed_from_u64(5);
+        let sys = NBodySystem::plummer(16, &mut rng);
+        let mut pipe = ForcePipeline::new(sys.softening);
+        let (_, _, hw_time) = pipe.accelerations(&sys);
+        let mut cpu = HostCpu::new(CpuClass::PentiumII300);
+        let cpu_time = sys.cpu_force_time(&mut cpu);
+        let speedup = cpu_time.as_secs_f64() / hw_time.as_secs_f64();
+        assert!(
+            speedup > 5.0,
+            "the fixed-point pipeline provides the paper's 'significant increase': {speedup:.1}×"
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Double-precision N-body reference: direct summation and a leapfrog
+//! integrator, with FLOP accounting for the workstation baseline.
+
+use atlantis_board::HostCpu;
+use atlantis_simcore::rng::WorkloadRng;
+use atlantis_simcore::SimDuration;
+
+/// FLOPs charged per pairwise interaction (differences, squares, sqrt,
+/// divide, scale-accumulate — the conventional N-body accounting).
+pub const FLOPS_PER_PAIR: u64 = 25;
+
+/// One particle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Body {
+    /// Position.
+    pub pos: [f64; 3],
+    /// Velocity.
+    pub vel: [f64; 3],
+    /// Mass.
+    pub mass: f64,
+}
+
+/// A gravitational system with Plummer softening.
+#[derive(Debug, Clone)]
+pub struct NBodySystem {
+    /// The particles.
+    pub bodies: Vec<Body>,
+    /// Softening length ε.
+    pub softening: f64,
+}
+
+impl NBodySystem {
+    /// A Plummer-like sphere of `n` equal-mass particles in virial-ish
+    /// equilibrium — the standard collisional-dynamics initial condition
+    /// (paper reference \[8\] simulates 10 000 particles past core
+    /// collapse).
+    pub fn plummer(n: usize, rng: &mut WorkloadRng) -> Self {
+        assert!(n >= 2);
+        let mass = 1.0 / n as f64;
+        let mut bodies = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Plummer radial profile: r = a (u^{-2/3} − 1)^{-1/2}.
+            let u = rng.uniform(0.05, 0.95);
+            let r = 0.3 * (u.powf(-2.0 / 3.0) - 1.0).powf(-0.5).min(3.0);
+            let (x, y, z) = random_unit(rng, r);
+            // Isotropic velocities scaled to a rough virial temperature.
+            let vs = 0.3 / (1.0 + r);
+            let speed = vs * rng.uniform(0.2, 1.0);
+            let (vx, vy, vz) = random_unit(rng, speed);
+            bodies.push(Body {
+                pos: [x, y, z],
+                vel: [vx, vy, vz],
+                mass,
+            });
+        }
+        NBodySystem {
+            bodies,
+            softening: 0.05,
+        }
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// True when empty (cannot be constructed — API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.bodies.is_empty()
+    }
+
+    /// Pairwise interactions per full force evaluation.
+    pub fn pairs(&self) -> u64 {
+        let n = self.len() as u64;
+        n * (n - 1)
+    }
+
+    /// Direct-summation accelerations.
+    #[allow(clippy::needless_range_loop)]
+    pub fn accelerations(&self) -> Vec<[f64; 3]> {
+        let eps2 = self.softening * self.softening;
+        let mut acc = vec![[0.0; 3]; self.len()];
+        for i in 0..self.len() {
+            for j in 0..self.len() {
+                if i == j {
+                    continue;
+                }
+                let d = pair_accel(&self.bodies[i], &self.bodies[j], eps2);
+                acc[i][0] += d[0];
+                acc[i][1] += d[1];
+                acc[i][2] += d[2];
+            }
+        }
+        acc
+    }
+
+    /// Virtual time of one full force evaluation on `cpu`.
+    pub fn cpu_force_time(&self, cpu: &mut HostCpu) -> SimDuration {
+        cpu.float_work(self.pairs() * FLOPS_PER_PAIR)
+    }
+
+    /// One leapfrog (kick-drift-kick) step.
+    #[allow(clippy::needless_range_loop)]
+    pub fn step_leapfrog(&mut self, dt: f64) {
+        let acc = self.accelerations();
+        for (b, a) in self.bodies.iter_mut().zip(&acc) {
+            for k in 0..3 {
+                b.vel[k] += 0.5 * dt * a[k];
+                b.pos[k] += dt * b.vel[k];
+            }
+        }
+        let acc2 = self.accelerations();
+        for (b, a) in self.bodies.iter_mut().zip(&acc2) {
+            for k in 0..3 {
+                b.vel[k] += 0.5 * dt * a[k];
+            }
+        }
+    }
+
+    /// Total energy (kinetic + softened potential).
+    pub fn total_energy(&self) -> f64 {
+        let eps2 = self.softening * self.softening;
+        let mut e = 0.0;
+        for (i, b) in self.bodies.iter().enumerate() {
+            let v2 = b.vel.iter().map(|v| v * v).sum::<f64>();
+            e += 0.5 * b.mass * v2;
+            for other in &self.bodies[i + 1..] {
+                let r2: f64 = b
+                    .pos
+                    .iter()
+                    .zip(&other.pos)
+                    .map(|(a, c)| (a - c) * (a - c))
+                    .sum::<f64>()
+                    + eps2;
+                e -= b.mass * other.mass / r2.sqrt();
+            }
+        }
+        e
+    }
+}
+
+/// Acceleration on `a` due to `b` with softening ε².
+pub fn pair_accel(a: &Body, b: &Body, eps2: f64) -> [f64; 3] {
+    let dx = b.pos[0] - a.pos[0];
+    let dy = b.pos[1] - a.pos[1];
+    let dz = b.pos[2] - a.pos[2];
+    let r2 = dx * dx + dy * dy + dz * dz + eps2;
+    let inv_r3 = 1.0 / (r2 * r2.sqrt());
+    [
+        b.mass * dx * inv_r3,
+        b.mass * dy * inv_r3,
+        b.mass * dz * inv_r3,
+    ]
+}
+
+fn random_unit(rng: &mut WorkloadRng, scale: f64) -> (f64, f64, f64) {
+    // Marsaglia-style rejection for a uniform direction.
+    loop {
+        let x = rng.uniform(-1.0, 1.0);
+        let y = rng.uniform(-1.0, 1.0);
+        let z = rng.uniform(-1.0, 1.0);
+        let n2 = x * x + y * y + z * z;
+        if n2 > 1e-4 && n2 <= 1.0 {
+            let n = n2.sqrt();
+            return (scale * x / n, scale * y / n, scale * z / n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlantis_board::CpuClass;
+
+    fn sys(n: usize) -> NBodySystem {
+        NBodySystem::plummer(n, &mut WorkloadRng::seed_from_u64(4))
+    }
+
+    #[test]
+    fn plummer_masses_sum_to_one() {
+        let s = sys(100);
+        let m: f64 = s.bodies.iter().map(|b| b.mass).sum();
+        assert!((m - 1.0).abs() < 1e-12);
+        assert_eq!(s.pairs(), 100 * 99);
+    }
+
+    #[test]
+    fn two_bodies_attract_each_other() {
+        let s = NBodySystem {
+            bodies: vec![
+                Body {
+                    pos: [0.0; 3],
+                    vel: [0.0; 3],
+                    mass: 1.0,
+                },
+                Body {
+                    pos: [1.0, 0.0, 0.0],
+                    vel: [0.0; 3],
+                    mass: 1.0,
+                },
+            ],
+            softening: 0.0,
+        };
+        let acc = s.accelerations();
+        assert!(acc[0][0] > 0.99, "body 0 pulled towards +x: {:?}", acc[0]);
+        assert!(acc[1][0] < -0.99, "body 1 pulled towards −x");
+        assert!((acc[0][0] + acc[1][0]).abs() < 1e-12, "Newton's third law");
+    }
+
+    #[test]
+    fn momentum_is_conserved_by_forces() {
+        let s = sys(50);
+        let acc = s.accelerations();
+        for k in 0..3 {
+            let p: f64 = s.bodies.iter().zip(&acc).map(|(b, a)| b.mass * a[k]).sum();
+            assert!(p.abs() < 1e-12, "net force component {k} = {p}");
+        }
+    }
+
+    #[test]
+    fn leapfrog_roughly_conserves_energy() {
+        let mut s = sys(64);
+        let e0 = s.total_energy();
+        for _ in 0..20 {
+            s.step_leapfrog(0.002);
+        }
+        let e1 = s.total_energy();
+        let drift = ((e1 - e0) / e0).abs();
+        assert!(drift < 0.02, "energy drift {drift:.4}");
+    }
+
+    #[test]
+    fn cpu_time_scales_quadratically() {
+        let mut cpu = HostCpu::new(CpuClass::PentiumII300);
+        let t100 = sys(100).cpu_force_time(&mut cpu);
+        let t200 = sys(200).cpu_force_time(&mut cpu);
+        let ratio = t200.as_secs_f64() / t100.as_secs_f64();
+        assert!((3.9..=4.1).contains(&ratio), "O(n²): {ratio:.2}");
+    }
+}

@@ -1,0 +1,171 @@
+//! The workstation baseline: histogramming in software.
+//!
+//! §3.4 measures “35 ms using a C++ implementation on a Pentium-II/300
+//! standard PC”. The baseline here performs the same computation a
+//! straightforward C++ program would — scan the image for hits, then for
+//! every hit walk its LUT row and increment the listed pattern counters —
+//! while counting abstract operations, which the
+//! [`atlantis_board::HostCpu`] model converts to virtual time.
+//!
+//! Operation-count calibration (documented for EXPERIMENTS.md):
+//! * 2 ops per pixel of the input scan (load + test),
+//! * 3 ops per 64-bit LUT word touched (load, zero-test, loop bookkeeping),
+//! * 5 ops per set bit (extract, index arithmetic, load-increment-store).
+
+use super::event::Event;
+use super::patterns::PatternBank;
+use atlantis_board::{CpuClass, HostCpu};
+use atlantis_simcore::SimDuration;
+
+/// Ops charged per scanned input pixel.
+pub const OPS_PER_PIXEL: u64 = 2;
+/// Ops charged per 64-bit LUT word.
+pub const OPS_PER_WORD: u64 = 3;
+/// Ops charged per set bit (counter increment).
+pub const OPS_PER_BIT: u64 = 5;
+
+/// Result of a software histogramming run.
+#[derive(Debug, Clone)]
+pub struct CpuRun {
+    /// The track histogram.
+    pub histogram: Vec<u32>,
+    /// Patterns over threshold.
+    pub tracks: Vec<usize>,
+    /// Abstract operations executed.
+    pub ops: u64,
+    /// Virtual execution time on the configured CPU.
+    pub time: SimDuration,
+}
+
+/// The software histogrammer.
+#[derive(Debug)]
+pub struct CpuHistogrammer {
+    /// Per-straw sparse pattern lists (the LUT as a C++ program would
+    /// realistically hold it in host RAM).
+    rows: Vec<Vec<u32>>,
+    n_patterns: usize,
+    /// Track-acceptance threshold.
+    pub threshold: u32,
+}
+
+impl CpuHistogrammer {
+    /// Prepare the LUT for a bank, with a threshold in straw counts.
+    pub fn new(bank: &PatternBank, threshold: u32) -> Self {
+        CpuHistogrammer {
+            rows: bank.straw_rows(),
+            n_patterns: bank.len(),
+            threshold,
+        }
+    }
+
+    /// Words per dense LUT row (what the C++ inner loop would scan).
+    fn words_per_row(&self) -> u64 {
+        (self.n_patterns as u64).div_ceil(64)
+    }
+
+    /// Histogram one event on `cpu`, charging the op count against it.
+    pub fn run(&self, event: &Event, cpu: &mut HostCpu) -> CpuRun {
+        let mut histogram = vec![0u32; self.n_patterns];
+        let mut ops = event.active.len() as u64 * OPS_PER_PIXEL;
+        let words = self.words_per_row();
+        for &hit in &event.hits {
+            let row = &self.rows[hit as usize];
+            ops += words * OPS_PER_WORD;
+            ops += row.len() as u64 * OPS_PER_BIT;
+            for &p in row {
+                histogram[p as usize] += 1;
+            }
+        }
+        // Threshold scan over the histogram.
+        ops += self.n_patterns as u64 * 2;
+        let tracks = histogram
+            .iter()
+            .enumerate()
+            .filter_map(|(p, &h)| (h >= self.threshold).then_some(p))
+            .collect();
+        let time = cpu.integer_work(ops);
+        CpuRun {
+            histogram,
+            tracks,
+            ops,
+            time,
+        }
+    }
+
+    /// Convenience: run on a fresh Pentium-II/300, the paper's baseline
+    /// machine.
+    pub fn run_on_pentium_ii(&self, event: &Event) -> CpuRun {
+        let mut cpu = HostCpu::new(CpuClass::PentiumII300);
+        self.run(event, &mut cpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trt::event::{EventGenerator, TrtGeometry};
+    use atlantis_simcore::rng::WorkloadRng;
+
+    #[test]
+    fn histogram_matches_reference() {
+        let g = TrtGeometry::small();
+        let mut rng = WorkloadRng::seed_from_u64(11);
+        let bank = PatternBank::generate(g, 24, &mut rng);
+        let gen = EventGenerator::new(g);
+        let ev = gen.generate(&bank, &mut rng);
+        let h = CpuHistogrammer::new(&bank, 10);
+        let run = h.run_on_pentium_ii(&ev);
+        assert_eq!(run.histogram, bank.reference_histogram(&ev.active));
+        assert_eq!(run.tracks, bank.find_tracks(&run.histogram, 10));
+    }
+
+    #[test]
+    fn embedded_tracks_are_found() {
+        let g = TrtGeometry::default();
+        let mut rng = WorkloadRng::seed_from_u64(21);
+        let bank = PatternBank::generate(g, 512, &mut rng);
+        let gen = EventGenerator::new(g);
+        let ev = gen.generate(&bank, &mut rng);
+        // Threshold at ~60% of layers: true tracks (97% efficiency) pass,
+        // random noise patterns (≈19% occupancy) stay far below.
+        let h = CpuHistogrammer::new(&bank, 96);
+        let run = h.run_on_pentium_ii(&ev);
+        for t in &ev.true_tracks {
+            assert!(run.tracks.contains(t), "embedded track {t} must be found");
+        }
+    }
+
+    #[test]
+    fn full_scale_time_is_in_the_35ms_band() {
+        // The §3.4 baseline: full geometry, B-physics-scale bank
+        // (8 800 patterns), ≈19 % occupancy, Pentium-II/300.
+        let g = TrtGeometry::default();
+        let mut rng = WorkloadRng::seed_from_u64(1);
+        let bank = PatternBank::generate(g, 8800, &mut rng);
+        let gen = EventGenerator::new(g);
+        let ev = gen.generate(&bank, &mut rng);
+        let h = CpuHistogrammer::new(&bank, 100);
+        let run = h.run_on_pentium_ii(&ev);
+        let ms = run.time.as_millis_f64();
+        assert!(
+            (28.0..=42.0).contains(&ms),
+            "software histogramming should land near the paper's 35 ms, got {ms:.1}"
+        );
+    }
+
+    #[test]
+    fn ops_scale_with_occupancy() {
+        let g = TrtGeometry::default();
+        let mut rng = WorkloadRng::seed_from_u64(2);
+        let bank = PatternBank::generate(g, 1024, &mut rng);
+        let mut quiet = EventGenerator::new(g);
+        quiet.noise_occupancy = 0.02;
+        let mut busy = EventGenerator::new(g);
+        busy.noise_occupancy = 0.30;
+        let h = CpuHistogrammer::new(&bank, 100);
+        let rq = h.run_on_pentium_ii(&quiet.generate(&bank, &mut rng));
+        let rb = h.run_on_pentium_ii(&busy.generate(&bank, &mut rng));
+        assert!(rb.ops > 2 * rq.ops, "more hits, more work");
+        assert!(rb.time > rq.time);
+    }
+}

@@ -1,0 +1,41 @@
+//! The HEP TRT trigger (paper §3.1).
+//!
+//! “The most recent HEP pattern matching algorithm tries to find straight
+//! or curved tracks in a 2-dimensional input image delivered by a
+//! transition radiation tracking detector (TRT) with a repetition rate of
+//! up to 100 kHz. The size of the detector image is 80,000 pixels. The
+//! number of patterns varies from 240 to more than 2,400 depending on the
+//! operating frequency. […] Predefined patterns are stored in a large
+//! look-up table (LUT) with every data bit representing one pattern. Each
+//! pixel in the input image contributes to a number of patterns, defined
+//! by the content of the LUT. For every pattern a counter increments if
+//! its corresponding data bit is set. The total of all counter values
+//! builds the track histogram. A track is considered valid if its value
+//! is above a predefined threshold.”
+//!
+//! Module map:
+//! * [`event`] — detector geometry and the synthetic event generator
+//!   (substitute for real ATLAS TRT data, which we do not have),
+//! * [`patterns`] — the pattern bank (straight and curved track
+//!   templates) and its LUT layout in wide mezzanine SSRAM,
+//! * [`cpu`] — the C++-workstation baseline with explicit operation
+//!   counting, charged against the [`HostCpu`](atlantis_board::HostCpu)
+//!   model (§3.4's 35 ms on a Pentium-II/300),
+//! * [`fpga`] — a cycle-accurate CHDL histogrammer design (demonstrated
+//!   at reduced scale and used to validate the analytic model),
+//! * [`system`] — the full ACB-level performance model that reproduces
+//!   the 19.2 ms / 2.7 ms / 13× numbers of §3.4.
+
+pub mod cpu;
+pub mod event;
+pub mod fpga;
+pub mod patterns;
+pub mod sequencer;
+pub mod system;
+
+pub use cpu::CpuHistogrammer;
+pub use event::{Event, EventGenerator, TrtGeometry};
+pub use fpga::FpgaHistogrammer;
+pub use patterns::{PatternBank, PatternLut};
+pub use sequencer::TrtSequencer;
+pub use system::{emulate_fpga_histogram, AcbTrtConfig, AcbTrtModel, TrtTimings};

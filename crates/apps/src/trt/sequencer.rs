@@ -1,0 +1,355 @@
+//! The autonomous event sequencer: the whole multi-pass histogramming
+//! algorithm as **hardware**, controlled by a CHDL state machine.
+//!
+//! [`FpgaHistogrammer`](super::fpga::FpgaHistogrammer) is host-paced: the
+//! application loops over passes and hits, as early bring-up software
+//! would. In production the host cannot spend 19 ms of CPU in that loop —
+//! the ACB runs it itself. This design adds the control plane:
+//!
+//! * the hit list is DMA'd into an on-chip hit buffer once,
+//! * an [`atlantis_chdl::fsm::FsmBuilder`] sequencer walks
+//!   `Idle → Clear → Stream → Drain → Readout → (next pass | Done)`,
+//! * per pass, lane counters are copied into a result RAM that the host
+//!   reads back after `done` rises.
+//!
+//! Per-pass cost: `1 (clear) + hits (stream) + 1 (drain) + lanes
+//! (read-out) + 1 (check)` cycles — the sequenced formula validated by
+//! the tests and used for rate estimates.
+
+use super::patterns::PatternBank;
+use atlantis_chdl::fsm::FsmBuilder;
+use atlantis_chdl::signal::bits_for;
+use atlantis_chdl::{Design, MemId, Sim};
+
+/// Counter width (as in the host-paced datapath).
+pub const COUNTER_BITS: u8 = 8;
+
+/// A self-contained, FSM-sequenced histogrammer.
+#[derive(Debug)]
+pub struct TrtSequencer {
+    sim: Sim,
+    design: Design,
+    hit_mem: MemId,
+    result_mem: MemId,
+    lanes: u32,
+    passes: u32,
+    max_hits: u32,
+    n_patterns: usize,
+}
+
+impl TrtSequencer {
+    /// Elaborate the sequenced design for `bank` with `lanes` parallel
+    /// counters and room for `max_hits` hits per event.
+    pub fn new(bank: &PatternBank, lanes: u32, max_hits: u32) -> Self {
+        let straws = bank.geometry().straws();
+        let passes = (bank.len() as u32).div_ceil(lanes);
+        let lut = bank.lut(lanes);
+        assert!(
+            lanes <= 64,
+            "the sequenced test variant keeps lanes within one word"
+        );
+
+        let mut d = Design::new(format!("trt_seq_{lanes}x{passes}"));
+        let start = d.input("start", 1);
+        let n_hits = d.input("n_hits", bits_for(max_hits as u64 + 1));
+        let threshold = d.input("threshold", COUNTER_BITS);
+
+        // --- state machine ---------------------------------------------
+        let mut b = FsmBuilder::new("seq");
+        let s_idle = b.state("idle");
+        let s_clear = b.state("clear");
+        let s_stream = b.state("stream");
+        let s_drain = b.state("drain");
+        let s_readout = b.state("readout");
+        let s_check = b.state("check");
+        let s_done = b.state("done");
+
+        // Guards are built after the counters exist; FsmBuilder lets us
+        // declare transitions with signals created below, so first create
+        // the datapath registers the guards need.
+
+        // Hit index counter (cleared while not streaming).
+        let hit_w = bits_for(straws as u64);
+        let hit_idx = d.reg_slot("hit_idx", bits_for(max_hits as u64 + 1), 0);
+        // Pass counter.
+        let pass_w = bits_for(passes as u64 + 1);
+        let pass = d.reg_slot("pass", pass_w, 0);
+        // Read-out lane index.
+        let sel_w = bits_for(lanes as u64);
+        let ro_idx = d.reg_slot("ro_idx", sel_w, 0);
+
+        // Guard signals.
+        let one_hits = d.lit(1, n_hits.width());
+        let last_hit_val = d.sub(n_hits, one_hits);
+        let hits_done = d.eq(hit_idx.q, last_hit_val);
+        let ro_last = d.eq_const(ro_idx.q, (lanes - 1) as u64);
+        let pass_done = d.eq_const(pass.q, passes as u64);
+
+        b.transition(s_idle, start, s_clear);
+        b.transition(s_stream, hits_done, s_drain);
+        b.always(&mut d, s_drain, s_readout);
+        b.transition(s_readout, ro_last, s_check);
+        b.transition(s_check, pass_done, s_done);
+        b.always(&mut d, s_check, s_clear);
+        b.always(&mut d, s_done, s_idle);
+        b.always(&mut d, s_clear, s_stream);
+        let fsm = b.build(&mut d);
+
+        let in_clear = fsm.in_state(s_clear);
+        let in_stream = fsm.in_state(s_stream);
+        let in_drain = fsm.in_state(s_drain);
+        let in_readout = fsm.in_state(s_readout);
+        let in_idle = fsm.in_state(s_idle);
+        let in_done = fsm.in_state(s_done);
+        let busy = d.not(in_idle);
+        d.expose_output("busy", busy);
+        d.expose_output("done", in_done);
+
+        // Keep Q handles; the slots are consumed when driven below.
+        let hit_idx_q = hit_idx.q;
+        let pass_q = pass.q;
+        let ro_idx_q = ro_idx.q;
+
+        // --- datapath ----------------------------------------------------
+        // Hit buffer (filled by the host before `start`).
+        let hit_mem = d.memory("hits", max_hits as usize, hit_w);
+        let hit = d.read_async(hit_mem, hit_idx_q);
+
+        // hit_idx: counts in Stream, clears elsewhere.
+        {
+            let inc = d.inc(hit_idx_q);
+            let not_stream = d.not(in_stream);
+            d.set_reg_controls(&hit_idx, Some(in_stream), Some(not_stream));
+            d.drive_reg(hit_idx, inc);
+        }
+        // pass: increments in Drain, clears in Idle.
+        {
+            let inc = d.inc(pass_q);
+            d.set_reg_controls(&pass, Some(in_drain), Some(in_idle));
+            d.drive_reg(pass, inc);
+        }
+        // ro_idx: counts in Readout, clears elsewhere.
+        {
+            let inc = d.inc(ro_idx_q);
+            let not_ro = d.not(in_readout);
+            d.set_reg_controls(&ro_idx, Some(in_readout), Some(not_ro));
+            d.drive_reg(ro_idx, inc);
+        }
+
+        // LUT: addr = hit × passes + (pass − 1 during stream? No: pass
+        // increments in Drain, so during Stream `pass` already holds the
+        // current pass index 0-based).
+        let addr_w = bits_for(straws as u64 * passes as u64);
+        let addr = d.scoped("addr", |d| {
+            let hit_x = d.zext(hit, addr_w);
+            let k = d.lit(passes as u64, addr_w);
+            let scaled = d.mul(hit_x, k);
+            let pass_x = d.zext(pass_q, addr_w);
+            let pass_t = d.trunc(pass_x, addr_w);
+            d.add(scaled, pass_t)
+        });
+        let contents: Vec<u64> = (0..straws * passes)
+            .map(|i| lut.word(i / passes, i % passes).extract(0, lanes.min(64)))
+            .collect();
+        let lut_mem = d.rom("lut", lanes as u8, &contents);
+        let data = d.read_sync(lut_mem, addr);
+        let valid_d = d.reg("valid_d", in_stream);
+
+        // Lane counters.
+        let mut counters = Vec::with_capacity(lanes as usize);
+        d.push_scope("counters");
+        for i in 0..lanes {
+            let bit = d.bit(data, i as u8);
+            let en = d.and(valid_d, bit);
+            let slot = d.reg_slot(format!("cnt{i}"), COUNTER_BITS, 0);
+            let q = slot.q;
+            let next = d.inc(q);
+            d.set_reg_controls(&slot, Some(en), Some(in_clear));
+            d.drive_reg(slot, next);
+            counters.push(q);
+        }
+        d.pop_scope();
+
+        // Result RAM: result[(pass−1)·lanes + ro_idx] = counter[ro_idx],
+        // written during Readout (pass was already incremented in Drain).
+        let res_words = (passes * lanes) as usize;
+        let result_mem = d.memory("results", res_words, COUNTER_BITS);
+        let res_aw = bits_for(res_words as u64);
+        let res_addr = d.scoped("res_addr", |d| {
+            let pm1 = d.sub_const_guarded(pass_q, 1);
+            let p_x = d.zext(pm1, res_aw);
+            let k = d.lit(lanes as u64, res_aw);
+            let scaled = d.mul(p_x, k);
+            let ro_x = d.zext(ro_idx_q, res_aw);
+            d.add(scaled, ro_x)
+        });
+        let selected = d.select(ro_idx_q, &counters);
+        d.write_port(result_mem, res_addr, selected, in_readout);
+
+        // Track-found flag over the *current* counters (live signal).
+        let found_any = d.scoped("found", |d| {
+            let mut acc = d.low();
+            for &q in &counters {
+                let over = d.ge(q, threshold);
+                acc = d.or(acc, over);
+            }
+            acc
+        });
+        d.expose_output("found_now", found_any);
+
+        let sim = Sim::new(&d);
+        TrtSequencer {
+            sim,
+            design: d,
+            hit_mem,
+            result_mem,
+            lanes,
+            passes,
+            max_hits,
+            n_patterns: bank.len(),
+        }
+    }
+
+    /// The elaborated design.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Passes the sequencer runs per event.
+    pub fn passes(&self) -> u32 {
+        self.passes
+    }
+
+    /// The sequenced per-event cycle formula.
+    pub fn predicted_cycles(&self, n_hits: u64) -> u64 {
+        // Per pass: clear + hits + drain + lanes readout + check.
+        self.passes as u64 * (1 + n_hits + 1 + self.lanes as u64 + 1) + 1 // the final Done cycle
+    }
+
+    /// Run one event autonomously; returns `(histogram, cycles)`.
+    #[allow(clippy::needless_range_loop)]
+    pub fn run_event(&mut self, hits: &[u32], threshold: u32) -> (Vec<u32>, u64) {
+        assert!(!hits.is_empty() && hits.len() <= self.max_hits as usize);
+        // DMA the hit list into the on-chip buffer.
+        let words: Vec<u64> = hits.iter().map(|&h| h as u64).collect();
+        self.sim.load_mem(self.hit_mem, &words);
+        self.sim.set("n_hits", hits.len() as u64);
+        self.sim.set("threshold", threshold as u64);
+        // Pulse start.
+        let begin = self.sim.cycle();
+        self.sim.set("start", 1);
+        self.sim.step();
+        self.sim.set("start", 0);
+        // Run until done (bounded).
+        let bound = self.predicted_cycles(hits.len() as u64) + 16;
+        while self.sim.get("done") == 0 {
+            assert!(
+                self.sim.cycle() - begin < bound,
+                "sequencer must finish in bound"
+            );
+            self.sim.step();
+        }
+        let cycles = self.sim.cycle() - begin;
+        // Host reads the result RAM back (models the read-back DMA).
+        let mut histogram = vec![0u32; self.n_patterns];
+        for p in 0..self.n_patterns {
+            histogram[p] = self.sim.peek_mem(self.result_mem, p) as u32;
+        }
+        // Step back to Idle for the next event.
+        self.sim.step();
+        (histogram, cycles)
+    }
+}
+
+trait SubConstGuarded {
+    fn sub_const_guarded(&mut self, a: atlantis_chdl::Signal, k: u64) -> atlantis_chdl::Signal;
+}
+
+impl SubConstGuarded for Design {
+    /// `a − k`, clamped at zero (used for the pass−1 result address while
+    /// the machine idles with pass = 0).
+    fn sub_const_guarded(&mut self, a: atlantis_chdl::Signal, k: u64) -> atlantis_chdl::Signal {
+        let kc = self.lit(k, a.width());
+        let diff = self.sub(a, kc);
+        let zero = self.lit(0, a.width());
+        let under = self.lt(a, kc);
+        self.mux(under, zero, diff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trt::cpu::CpuHistogrammer;
+    use crate::trt::event::{EventGenerator, TrtGeometry};
+    use atlantis_fabric::{fit, Device};
+    use atlantis_simcore::rng::WorkloadRng;
+
+    fn setup() -> (PatternBank, crate::trt::event::Event) {
+        let g = TrtGeometry::small();
+        let mut rng = WorkloadRng::seed_from_u64(55);
+        let bank = PatternBank::generate(g, 48, &mut rng);
+        let ev = EventGenerator::new(g).generate(&bank, &mut rng);
+        (bank, ev)
+    }
+
+    #[test]
+    fn sequencer_matches_the_software_reference() {
+        let (bank, ev) = setup();
+        let mut seq = TrtSequencer::new(&bank, 16, 256);
+        let (hist, _) = seq.run_event(&ev.hits, 9);
+        let sw = CpuHistogrammer::new(&bank, 9).run_on_pentium_ii(&ev);
+        assert_eq!(hist, sw.histogram, "autonomous hardware agrees bit-exactly");
+    }
+
+    #[test]
+    fn cycle_count_matches_the_sequenced_formula() {
+        let (bank, ev) = setup();
+        for lanes in [8u32, 16, 48] {
+            let mut seq = TrtSequencer::new(&bank, lanes, 256);
+            let (_, cycles) = seq.run_event(&ev.hits, 9);
+            assert_eq!(
+                cycles,
+                seq.predicted_cycles(ev.hits.len() as u64),
+                "lanes={lanes}"
+            );
+        }
+    }
+
+    #[test]
+    fn back_to_back_events_reuse_the_machine() {
+        let (bank, ev) = setup();
+        let mut seq = TrtSequencer::new(&bank, 16, 256);
+        let (h1, c1) = seq.run_event(&ev.hits, 9);
+        let (h2, c2) = seq.run_event(&ev.hits, 9);
+        assert_eq!(h1, h2, "state fully cleared between events");
+        assert_eq!(c1, c2);
+        // A different event gives different counts.
+        let g = TrtGeometry::small();
+        let mut rng = WorkloadRng::seed_from_u64(56);
+        let ev2 = EventGenerator::new(g).generate(&bank, &mut rng);
+        let (h3, _) = seq.run_event(&ev2.hits, 9);
+        assert_ne!(h1, h3);
+        let sw = CpuHistogrammer::new(&bank, 9).run_on_pentium_ii(&ev2);
+        assert_eq!(h3, sw.histogram);
+    }
+
+    #[test]
+    fn sequencer_overhead_is_small_vs_host_paced() {
+        let (bank, ev) = setup();
+        let mut seq = TrtSequencer::new(&bank, 16, 256);
+        let (_, cycles) = seq.run_event(&ev.hits, 9);
+        let host_paced = 3 * (ev.hits.len() as u64 + 2); // FpgaHistogrammer formula
+                                                         // The sequencer adds read-out and check cycles but removes ALL
+                                                         // host interaction (which on the real system costs µs per PIO).
+        assert!(cycles < host_paced + 3 * (16 + 2) + 2);
+    }
+
+    #[test]
+    fn sequenced_design_fits_the_orca() {
+        let (bank, _) = setup();
+        let seq = TrtSequencer::new(&bank, 48, 512);
+        let fitted = fit(seq.design(), &Device::orca_3t125()).expect("sequencer fits");
+        assert!(fitted.report().gate_utilization < 0.2);
+    }
+}

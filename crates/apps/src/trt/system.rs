@@ -1,0 +1,344 @@
+//! The ACB-level TRT performance model — §3.4's headline numbers.
+//!
+//! “Measurements of histogramming performance were done using a
+//! single-memory ACB (176 bit RAM access). The execution time on the test
+//! system (algorithm plus I/O), 19.2 ms compared to 35 ms using a C++
+//! implementation on a Pentium-II/300 standard PC, extrapolates to 2.7 ms
+//! using 2 ACB with 4 memory modules each (1408 bit RAM access). This
+//! corresponds to a speed-up by a factor of 13.”
+//!
+//! The model composes from the building blocks of the other crates:
+//!
+//! * **I/O time** — the hit list DMA'd to the board through the real
+//!   [`Driver`]/[`PciBus`](atlantis_pci::PciBus) model (“the time needed
+//!   for I/O is indeed the bottle-neck, in case the ATLANTIS sub-systems
+//!   are employed as coprocessors”),
+//! * **compute time** — `passes × (hits + 2)` cycles at the design clock,
+//!   the formula validated cycle-accurately against the CHDL design in
+//!   [`fpga`](super::fpga),
+//! * **CPU baseline** — the op-counted software run of [`cpu`](super::cpu).
+
+use super::cpu::CpuHistogrammer;
+use super::event::{Event, TrtGeometry};
+use super::patterns::{PatternBank, PatternLut};
+use atlantis_board::Acb;
+use atlantis_mem::MemoryModule;
+use atlantis_pci::Driver;
+use atlantis_simcore::{Frequency, SimDuration};
+
+/// Width of one TRT mezzanine module's RAM access in bits.
+pub const MODULE_WIDTH_BITS: u32 = 176;
+
+/// A TRT system configuration.
+#[derive(Debug, Clone)]
+pub struct AcbTrtConfig {
+    /// Detector geometry.
+    pub geometry: TrtGeometry,
+    /// Pattern-bank size.
+    pub n_patterns: usize,
+    /// TRT memory modules installed (1 = the measured single-memory ACB;
+    /// 8 = 2 ACBs × 4 modules, the extrapolated configuration).
+    pub modules: u32,
+    /// Design clock (40 MHz in the measurements).
+    pub clock: Frequency,
+    /// Track-acceptance threshold in layer counts.
+    pub threshold: u32,
+}
+
+impl AcbTrtConfig {
+    /// §3.4's measured configuration: single-memory ACB, 176-bit access,
+    /// a B-physics-scale bank of 8 800 patterns, 40 MHz.
+    pub fn paper_measured() -> Self {
+        AcbTrtConfig {
+            geometry: TrtGeometry::default(),
+            n_patterns: 8_800,
+            modules: 1,
+            clock: Frequency::from_mhz(40),
+            threshold: 100,
+        }
+    }
+
+    /// §3.4's extrapolated configuration: 2 ACBs × 4 modules = 1 408-bit
+    /// RAM access.
+    pub fn paper_extrapolated() -> Self {
+        AcbTrtConfig {
+            modules: 8,
+            ..Self::paper_measured()
+        }
+    }
+
+    /// Combined RAM access width.
+    pub fn ram_width(&self) -> u32 {
+        self.modules * MODULE_WIDTH_BITS
+    }
+
+    /// Passes over the hit list per event.
+    pub fn passes(&self) -> u32 {
+        (self.n_patterns as u32).div_ceil(self.ram_width())
+    }
+
+    /// The cycle count for an event with `hits` active straws:
+    /// per pass, 1 clear + one hit per cycle + 1 pipeline drain.
+    pub fn event_cycles(&self, hits: u64) -> u64 {
+        self.passes() as u64 * (hits + 2)
+    }
+}
+
+/// Per-event timing decomposition.
+#[derive(Debug, Clone, Copy)]
+pub struct TrtTimings {
+    /// Hits in the event.
+    pub hits: u64,
+    /// Host → board DMA time for the hit list.
+    pub io: SimDuration,
+    /// FPGA histogramming time.
+    pub compute: SimDuration,
+    /// Total (I/O + compute; the test system overlaps nothing).
+    pub total: SimDuration,
+    /// FPGA cycles consumed.
+    pub cycles: u64,
+}
+
+/// The full system model: a driver-attached ACB plus the analytic
+/// histogramming formula. Events can arrive over two paths:
+///
+/// * **coprocessor mode** ([`AcbTrtModel::run_event`]) — the host DMAs
+///   the hit list over CompactPCI (the §3.4 test-system measurement),
+/// * **production mode** ([`AcbTrtModel::run_event_production`]) — the
+///   detector feeds an AIB and the hit list crosses the 1 GB/s private
+///   backplane, which is why the paper says PCI I/O is only the
+///   bottleneck “in case the ATLANTIS sub-systems are employed as
+///   coprocessors”.
+#[derive(Debug)]
+pub struct AcbTrtModel {
+    config: AcbTrtConfig,
+    driver: Driver<Acb>,
+    aab: atlantis_backplane::Aab,
+    conn: atlantis_backplane::ConnectionId,
+    backplane_now: atlantis_simcore::SimTime,
+}
+
+impl AcbTrtModel {
+    /// Assemble the system: an ACB with the configured number of TRT
+    /// modules (4 per board; 8 modules model the second ACB's modules at
+    /// equal width), opened through the microenable-compatible driver.
+    pub fn new(config: AcbTrtConfig) -> Self {
+        let mut acb = Acb::new();
+        let on_board = config.modules.min(4);
+        for m in 0..on_board {
+            acb.attach_module((m * 2) as usize, MemoryModule::trt(config.clock))
+                .expect("mezzanine slots available");
+        }
+        let driver = Driver::open(acb);
+        let mut aab =
+            atlantis_backplane::Aab::new(atlantis_backplane::BackplaneKind::Configurable, 2);
+        let conn = aab.connect(0, 1, 4).expect("fresh backplane");
+        AcbTrtModel {
+            config,
+            driver,
+            aab,
+            conn,
+            backplane_now: atlantis_simcore::SimTime::ZERO,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AcbTrtConfig {
+        &self.config
+    }
+
+    /// Time one event through the coprocessor path.
+    pub fn run_event(&mut self, event: &Event) -> TrtTimings {
+        let wire = event.wire_format();
+        let io = self.driver.dma_write(0, &wire);
+        let hits = event.hits.len() as u64;
+        let cycles = self.config.event_cycles(hits);
+        let compute = self.config.clock.cycles(cycles);
+        TrtTimings {
+            hits,
+            io,
+            compute,
+            total: io + compute,
+            cycles,
+        }
+    }
+
+    /// Time one event through the production path: AIB → private
+    /// backplane → ACB at 1 GB/s instead of host DMA.
+    pub fn run_event_production(&mut self, event: &Event) -> TrtTimings {
+        let bytes = event.wire_format().len() as u64;
+        let (start, done) = self
+            .aab
+            .transfer(self.conn, self.backplane_now, bytes)
+            .expect("connection live");
+        self.backplane_now = done;
+        let io = done.since(start);
+        let hits = event.hits.len() as u64;
+        let cycles = self.config.event_cycles(hits);
+        let compute = self.config.clock.cycles(cycles);
+        TrtTimings {
+            hits,
+            io,
+            compute,
+            total: io + compute,
+            cycles,
+        }
+    }
+
+    /// The software baseline for the same event and bank.
+    pub fn cpu_baseline(&self, bank: &PatternBank, event: &Event) -> SimDuration {
+        let sw = CpuHistogrammer::new(bank, self.config.threshold);
+        sw.run_on_pentium_ii(event).time
+    }
+}
+
+/// Software emulation of the full-width FPGA data path: walk the LUT in
+/// `ram_width`-bit words exactly as the hardware would, producing the
+/// histogram. Used to prove functional equivalence at full scale, where
+/// gate-level simulation is impractical.
+pub fn emulate_fpga_histogram(lut: &PatternLut, hits: &[u32], n_patterns: usize) -> Vec<u32> {
+    let mut histogram = vec![0u32; n_patterns];
+    for pass in 0..lut.passes() {
+        for &h in hits {
+            let word = lut.word(h, pass);
+            for bit in word.iter_ones() {
+                let p = (pass * lut.ram_width() + bit) as usize;
+                if p < n_patterns {
+                    histogram[p] += 1;
+                }
+            }
+        }
+    }
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trt::event::EventGenerator;
+    use atlantis_simcore::rng::WorkloadRng;
+    use atlantis_simcore::stats::speedup;
+
+    fn paper_event(config: &AcbTrtConfig) -> (PatternBank, Event) {
+        let mut rng = WorkloadRng::seed_from_u64(1999);
+        let bank = PatternBank::generate(config.geometry, config.n_patterns, &mut rng);
+        let gen = EventGenerator::new(config.geometry);
+        let ev = gen.generate(&bank, &mut rng);
+        (bank, ev)
+    }
+
+    #[test]
+    fn measured_configuration_lands_near_19_2_ms() {
+        let config = AcbTrtConfig::paper_measured();
+        assert_eq!(config.ram_width(), 176);
+        assert_eq!(config.passes(), 50);
+        let (_, ev) = paper_event(&config);
+        let mut model = AcbTrtModel::new(config);
+        let t = model.run_event(&ev);
+        let ms = t.total.as_millis_f64();
+        assert!(
+            (17.5..=21.0).contains(&ms),
+            "paper: 19.2 ms (algorithm plus I/O); model: {ms:.2} ms"
+        );
+        assert!(
+            t.io < t.compute,
+            "compute dominates on the single-module ACB"
+        );
+    }
+
+    #[test]
+    fn extrapolated_configuration_lands_near_2_7_ms() {
+        let config = AcbTrtConfig::paper_extrapolated();
+        assert_eq!(config.ram_width(), 1408);
+        assert_eq!(config.passes(), 7);
+        let (_, ev) = paper_event(&config);
+        let mut model = AcbTrtModel::new(config);
+        let t = model.run_event(&ev);
+        let ms = t.total.as_millis_f64();
+        assert!(
+            (2.4..=3.3).contains(&ms),
+            "paper: 2.7 ms; model: {ms:.2} ms"
+        );
+    }
+
+    #[test]
+    fn speedup_over_the_pentium_is_about_13() {
+        let measured = AcbTrtConfig::paper_measured();
+        let (bank, ev) = paper_event(&measured);
+        let mut fast = AcbTrtModel::new(AcbTrtConfig::paper_extrapolated());
+        let accel = fast.run_event(&ev).total;
+        let cpu = fast.cpu_baseline(&bank, &ev);
+        let s = speedup(cpu.as_secs_f64(), accel.as_secs_f64());
+        assert!(
+            (10.0..=15.0).contains(&s),
+            "paper: 13×; model: {s:.1}× ({} vs {})",
+            cpu,
+            accel
+        );
+    }
+
+    #[test]
+    fn io_becomes_the_bottleneck_as_modules_scale() {
+        // “For the TRT algorithm, the time needed for I/O is indeed the
+        // bottle-neck” — once compute is divided 8 ways.
+        let config = AcbTrtConfig::paper_extrapolated();
+        let (_, ev) = paper_event(&config);
+        let mut model = AcbTrtModel::new(config);
+        let t = model.run_event(&ev);
+        assert!(
+            t.io.as_secs_f64() > 0.10 * t.total.as_secs_f64(),
+            "I/O is a significant fraction: {} of {}",
+            t.io,
+            t.total
+        );
+    }
+
+    #[test]
+    fn full_width_emulation_matches_reference() {
+        let g = TrtGeometry::default();
+        let mut rng = WorkloadRng::seed_from_u64(5);
+        let bank = PatternBank::generate(g, 1000, &mut rng);
+        let gen = EventGenerator::new(g);
+        let ev = gen.generate(&bank, &mut rng);
+        let lut = bank.lut(176);
+        let hist = emulate_fpga_histogram(&lut, &ev.hits, bank.len());
+        assert_eq!(hist, bank.reference_histogram(&ev.active));
+    }
+
+    #[test]
+    fn cycles_follow_the_validated_formula() {
+        let config = AcbTrtConfig::paper_measured();
+        assert_eq!(config.event_cycles(15_200), 50 * 15_202);
+        let half = AcbTrtConfig {
+            modules: 2,
+            ..config
+        };
+        assert_eq!(half.passes(), 25, "double width, half the passes");
+    }
+
+    #[test]
+    fn production_path_io_beats_pci_io() {
+        let config = AcbTrtConfig::paper_extrapolated();
+        let (_, ev) = paper_event(&config);
+        let mut model = AcbTrtModel::new(config);
+        let pci = model.run_event(&ev);
+        let prod = model.run_event_production(&ev);
+        assert!(
+            prod.io.as_secs_f64() < pci.io.as_secs_f64() / 5.0,
+            "1 GB/s backplane vs ~110 MB/s PCI: {} vs {}",
+            prod.io,
+            pci.io
+        );
+        assert_eq!(prod.compute, pci.compute, "compute is path-independent");
+        // In production the I/O bottleneck §3.4 worries about vanishes.
+        assert!(prod.io.as_secs_f64() < 0.05 * prod.total.as_secs_f64());
+    }
+
+    #[test]
+    fn module_attachment_matches_config() {
+        let model = AcbTrtModel::new(AcbTrtConfig::paper_measured());
+        assert_eq!(model.driver.target().modules().len(), 1);
+        let model8 = AcbTrtModel::new(AcbTrtConfig::paper_extrapolated());
+        assert_eq!(model8.driver.target().modules().len(), 4, "4 per board");
+    }
+}

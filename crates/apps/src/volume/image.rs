@@ -1,0 +1,111 @@
+//! Grayscale images and PGM output for the rendering examples.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// A floating-point grayscale image with intensities in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct GrayImage {
+    width: u32,
+    height: u32,
+    pixels: Vec<f32>,
+}
+
+impl GrayImage {
+    /// A black image.
+    pub fn new(width: u32, height: u32) -> Self {
+        GrayImage {
+            width,
+            height,
+            pixels: vec![0.0; (width * height) as usize],
+        }
+    }
+
+    /// Image width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Set a pixel (clamped to `[0, 1]`).
+    pub fn set(&mut self, x: u32, y: u32, v: f32) {
+        self.pixels[(y * self.width + x) as usize] = v.clamp(0.0, 1.0);
+    }
+
+    /// Read a pixel.
+    pub fn get(&self, x: u32, y: u32) -> f32 {
+        self.pixels[(y * self.width + x) as usize]
+    }
+
+    /// The raw pixel buffer.
+    pub fn pixels(&self) -> &[f32] {
+        &self.pixels
+    }
+
+    /// Mean intensity.
+    pub fn mean(&self) -> f32 {
+        self.pixels.iter().sum::<f32>() / self.pixels.len() as f32
+    }
+
+    /// Quantise to 8 bits.
+    pub fn to_u8(&self) -> Vec<u8> {
+        self.pixels
+            .iter()
+            .map(|&p| (p * 255.0).round() as u8)
+            .collect()
+    }
+
+    /// Write as a binary PGM (P5) file.
+    pub fn save_pgm(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "P5\n{} {}\n255", self.width, self.height)?;
+        f.write_all(&self.to_u8())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_round_trip_and_clamp() {
+        let mut img = GrayImage::new(4, 2);
+        img.set(3, 1, 0.5);
+        img.set(0, 0, 2.0);
+        assert_eq!(img.get(3, 1), 0.5);
+        assert_eq!(img.get(0, 0), 1.0, "clamped");
+        assert_eq!(img.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn to_u8_quantises() {
+        let mut img = GrayImage::new(2, 1);
+        img.set(0, 0, 1.0);
+        img.set(1, 0, 0.5);
+        assert_eq!(img.to_u8(), vec![255, 128]);
+    }
+
+    #[test]
+    fn pgm_file_has_header_and_payload() {
+        let mut img = GrayImage::new(3, 2);
+        img.set(1, 1, 1.0);
+        let path = std::env::temp_dir().join("atlantis_test_image.pgm");
+        img.save_pgm(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n3 2\n255\n"));
+        assert_eq!(bytes.len(), 11 + 6);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mean_intensity() {
+        let mut img = GrayImage::new(2, 2);
+        img.set(0, 0, 1.0);
+        assert!((img.mean() - 0.25).abs() < 1e-6);
+    }
+}

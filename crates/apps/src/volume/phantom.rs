@@ -1,0 +1,382 @@
+//! Synthetic CT volumes.
+//!
+//! The paper's detailed simulations used “a CT data set with 256*256*128
+//! voxels”, viewed from three directions at three soft-tissue opacity
+//! levels. Medical data is not shipped with this reproduction, so
+//! [`HeadPhantom`] synthesizes a head-like volume with the properties the
+//! algorithm's statistics depend on: a large empty exterior, a hard
+//! high-density shell (skull), soft tissue inside, and low-density
+//! cavities. The phantom is procedural, so 512³ volumes for the
+//! VolumePro comparison need no 134 MB allocation.
+
+/// A scalar density volume, sampled at integer voxel coordinates.
+pub trait DensityField: Sync {
+    /// Volume dimensions `(nx, ny, nz)`.
+    fn dims(&self) -> (u32, u32, u32);
+
+    /// Density at a voxel; coordinates outside the volume return 0.
+    fn at(&self, x: i32, y: i32, z: i32) -> u8;
+
+    /// Total voxels.
+    fn voxels(&self) -> u64 {
+        let (nx, ny, nz) = self.dims();
+        nx as u64 * ny as u64 * nz as u64
+    }
+
+    /// Tri-linear interpolation at a fractional position.
+    fn sample(&self, x: f32, y: f32, z: f32) -> f32 {
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let z0 = z.floor();
+        let (fx, fy, fz) = (x - x0, y - y0, z - z0);
+        let (ix, iy, iz) = (x0 as i32, y0 as i32, z0 as i32);
+        let mut acc = 0.0f32;
+        for dz in 0..2 {
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    let w = (if dx == 0 { 1.0 - fx } else { fx })
+                        * (if dy == 0 { 1.0 - fy } else { fy })
+                        * (if dz == 0 { 1.0 - fz } else { fz });
+                    if w > 0.0 {
+                        acc += w * self.at(ix + dx, iy + dy, iz + dz) as f32;
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// Central-difference gradient magnitude at a voxel (for the
+    /// gradient-based classification/shading of §3.2).
+    fn gradient_mag(&self, x: i32, y: i32, z: i32) -> f32 {
+        let gx = self.at(x + 1, y, z) as f32 - self.at(x - 1, y, z) as f32;
+        let gy = self.at(x, y + 1, z) as f32 - self.at(x, y - 1, z) as f32;
+        let gz = self.at(x, y, z + 1) as f32 - self.at(x, y, z - 1) as f32;
+        (gx * gx + gy * gy + gz * gz).sqrt() * 0.5
+    }
+}
+
+/// A dense, stored volume.
+#[derive(Debug, Clone)]
+pub struct StoredVolume {
+    nx: u32,
+    ny: u32,
+    nz: u32,
+    data: Vec<u8>,
+}
+
+impl StoredVolume {
+    /// A zero volume.
+    pub fn new(nx: u32, ny: u32, nz: u32) -> Self {
+        StoredVolume {
+            nx,
+            ny,
+            nz,
+            data: vec![0; (nx * ny * nz) as usize],
+        }
+    }
+
+    /// Materialise any density field (for block-table precomputation or
+    /// file export).
+    pub fn from_field(field: &dyn DensityField) -> Self {
+        let (nx, ny, nz) = field.dims();
+        let mut v = StoredVolume::new(nx, ny, nz);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let d = field.at(x as i32, y as i32, z as i32);
+                    v.set(x, y, z, d);
+                }
+            }
+        }
+        v
+    }
+
+    /// Set one voxel.
+    pub fn set(&mut self, x: u32, y: u32, z: u32, v: u8) {
+        let idx = ((z * self.ny + y) * self.nx + x) as usize;
+        self.data[idx] = v;
+    }
+
+    /// Raw voxel data (x-fastest layout).
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DensityField for StoredVolume {
+    fn dims(&self) -> (u32, u32, u32) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    fn at(&self, x: i32, y: i32, z: i32) -> u8 {
+        if x < 0
+            || y < 0
+            || z < 0
+            || x >= self.nx as i32
+            || y >= self.ny as i32
+            || z >= self.nz as i32
+        {
+            return 0;
+        }
+        self.data[((z as u32 * self.ny + y as u32) * self.nx + x as u32) as usize]
+    }
+}
+
+/// The procedural head phantom.
+///
+/// Densities (8-bit, CT-like): air 0, soft tissue ≈ 70–110, ventricle
+/// cavity ≈ 30, skull shell ≈ 210–240.
+#[derive(Debug, Clone, Copy)]
+pub struct HeadPhantom {
+    nx: u32,
+    ny: u32,
+    nz: u32,
+}
+
+impl HeadPhantom {
+    /// The paper's data-set size: 256 × 256 × 128.
+    pub fn paper_ct() -> Self {
+        HeadPhantom {
+            nx: 256,
+            ny: 256,
+            nz: 128,
+        }
+    }
+
+    /// An arbitrary size (e.g. 512³ for the VolumePro comparison).
+    pub fn with_dims(nx: u32, ny: u32, nz: u32) -> Self {
+        HeadPhantom { nx, ny, nz }
+    }
+
+    /// Normalised ellipsoid radius of a voxel w.r.t. the head surface.
+    fn head_r(&self, x: i32, y: i32, z: i32) -> f32 {
+        let cx = self.nx as f32 / 2.0;
+        let cy = self.ny as f32 / 2.0;
+        let cz = self.nz as f32 / 2.0;
+        // Head half-axes: 70% of the half-dimension.
+        let ax = cx * 0.70;
+        let ay = cy * 0.78;
+        let az = cz * 0.82;
+        let dx = (x as f32 - cx) / ax;
+        let dy = (y as f32 - cy) / ay;
+        let dz = (z as f32 - cz) / az;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
+
+impl DensityField for HeadPhantom {
+    fn dims(&self) -> (u32, u32, u32) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    fn at(&self, x: i32, y: i32, z: i32) -> u8 {
+        if x < 0
+            || y < 0
+            || z < 0
+            || x >= self.nx as i32
+            || y >= self.ny as i32
+            || z >= self.nz as i32
+        {
+            return 0;
+        }
+        let r = self.head_r(x, y, z);
+        if r > 1.0 {
+            0 // air outside the head
+        } else if r > 0.88 {
+            // Scalp / skin: soft tissue *outside* the skull, so the three
+            // opacity levels genuinely change how deep rays sample.
+            75 + ((r - 0.88) * 100.0) as u8
+        } else if r > 0.83 {
+            // Skull shell: a thin hard surface with a little texture.
+            let t = ((x ^ y ^ z) & 0xF) as u8;
+            210 + t
+        } else if r < 0.25 {
+            30 // ventricle-like low-density cavity
+        } else {
+            // Brain tissue with a gentle radial gradient.
+            70 + (r * 40.0) as u8
+        }
+    }
+}
+
+/// A hard-surface phantom: a hollow shell with internal struts and no
+/// soft tissue — “typical data with hard surfaces and otherwise empty
+/// space in between” (§3.4), the setting of the VolumePro comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct ShellPhantom {
+    nx: u32,
+    ny: u32,
+    nz: u32,
+}
+
+impl ShellPhantom {
+    /// A cubic hard-surface phantom of edge `n`.
+    pub fn cube(n: u32) -> Self {
+        ShellPhantom {
+            nx: n,
+            ny: n,
+            nz: n,
+        }
+    }
+}
+
+impl DensityField for ShellPhantom {
+    fn dims(&self) -> (u32, u32, u32) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    fn at(&self, x: i32, y: i32, z: i32) -> u8 {
+        if x < 0
+            || y < 0
+            || z < 0
+            || x >= self.nx as i32
+            || y >= self.ny as i32
+            || z >= self.nz as i32
+        {
+            return 0;
+        }
+        let cx = self.nx as f32 / 2.0;
+        let cy = self.ny as f32 / 2.0;
+        let cz = self.nz as f32 / 2.0;
+        let dx = (x as f32 - cx) / (cx * 0.75);
+        let dy = (y as f32 - cy) / (cy * 0.75);
+        let dz = (z as f32 - cz) / (cz * 0.80);
+        let r = (dx * dx + dy * dy + dz * dz).sqrt();
+        // The outer shell.
+        if (0.90..=1.0).contains(&r) {
+            return 230;
+        }
+        // Internal struts along the axes.
+        let strut = |a: f32, b: f32| a.abs() < 0.06 && b.abs() < 0.06;
+        if r < 0.9 && (strut(dx, dy) || strut(dy, dz) || strut(dx, dz)) {
+            return 215;
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shell_phantom_is_hard_surfaces_only() {
+        let p = ShellPhantom::cube(64);
+        let mut hist = [0u64; 3]; // empty, <bone, bone
+        for z in 0..64 {
+            for y in 0..64 {
+                for x in 0..64 {
+                    let d = p.at(x, y, z);
+                    let bin = if d == 0 {
+                        0
+                    } else if d < 180 {
+                        1
+                    } else {
+                        2
+                    };
+                    hist[bin] += 1;
+                }
+            }
+        }
+        assert_eq!(hist[1], 0, "no soft tissue anywhere");
+        assert!(hist[2] > 0, "the shell exists");
+        let empty_frac = hist[0] as f64 / p.voxels() as f64;
+        assert!(empty_frac > 0.7, "mostly empty space: {empty_frac:.2}");
+    }
+
+    #[test]
+    fn shell_has_a_hollow_interior() {
+        let p = ShellPhantom::cube(64);
+        // A point inside the shell but away from the struts.
+        assert_eq!(p.at(32 + 10, 32 + 10, 32 + 10), 0);
+        // The shell along +x.
+        let hit = (32..64).map(|x| p.at(x, 32 + 8, 32)).any(|d| d >= 200);
+        assert!(hit);
+    }
+
+    #[test]
+    fn paper_ct_dimensions() {
+        let p = HeadPhantom::paper_ct();
+        assert_eq!(p.dims(), (256, 256, 128));
+        assert_eq!(p.voxels(), 8_388_608);
+    }
+
+    #[test]
+    fn outside_is_zero() {
+        let p = HeadPhantom::paper_ct();
+        assert_eq!(p.at(-1, 0, 0), 0);
+        assert_eq!(p.at(0, 0, 200), 0);
+        assert_eq!(p.at(0, 0, 0), 0, "corners are outside the head");
+    }
+
+    #[test]
+    fn centre_is_cavity_and_shell_is_dense() {
+        let p = HeadPhantom::paper_ct();
+        assert_eq!(p.at(128, 128, 64), 30, "centre is the low-density cavity");
+        // Walk outward along +x until we hit the shell.
+        let shell = (128..256)
+            .map(|x| p.at(x, 128, 64))
+            .find(|&d| d >= 210)
+            .expect("a skull shell exists along +x");
+        assert!(shell >= 210);
+    }
+
+    #[test]
+    fn empty_space_fraction_is_large() {
+        // “typical data with hard surfaces and otherwise empty space”.
+        let p = HeadPhantom::with_dims(64, 64, 32);
+        let empty = (0..32)
+            .flat_map(|z| (0..64).flat_map(move |y| (0..64).map(move |x| (x, y, z))))
+            .filter(|&(x, y, z)| p.at(x, y, z) == 0)
+            .count();
+        let frac = empty as f64 / p.voxels() as f64;
+        assert!((0.3..0.8).contains(&frac), "empty fraction {frac:.2}");
+    }
+
+    #[test]
+    fn trilinear_interpolates_between_voxels() {
+        let mut v = StoredVolume::new(4, 4, 4);
+        v.set(1, 1, 1, 100);
+        v.set(2, 1, 1, 200);
+        assert_eq!(v.sample(1.0, 1.0, 1.0), 100.0);
+        assert_eq!(v.sample(2.0, 1.0, 1.0), 200.0);
+        let mid = v.sample(1.5, 1.0, 1.0);
+        assert!((mid - 150.0).abs() < 1e-3, "{mid}");
+    }
+
+    #[test]
+    fn trilinear_at_integer_equals_at() {
+        let p = HeadPhantom::with_dims(32, 32, 16);
+        for (x, y, z) in [(10, 12, 8), (16, 16, 8), (3, 30, 1)] {
+            let s = p.sample(x as f32, y as f32, z as f32);
+            assert_eq!(s as u8, p.at(x, y, z));
+        }
+    }
+
+    #[test]
+    fn stored_matches_procedural() {
+        let p = HeadPhantom::with_dims(16, 16, 8);
+        let s = StoredVolume::from_field(&p);
+        for z in 0..8 {
+            for y in 0..16 {
+                for x in 0..16 {
+                    assert_eq!(s.at(x, y, z), p.at(x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_peaks_at_the_shell() {
+        let p = HeadPhantom::paper_ct();
+        // Find the shell along +x from the centre, then compare gradients.
+        let shell_x = (128..256).find(|&x| p.at(x, 128, 64) >= 210).unwrap();
+        let g_shell = p.gradient_mag(shell_x, 128, 64);
+        let g_tissue = p.gradient_mag(150, 128, 64);
+        assert!(
+            g_shell > g_tissue,
+            "shell gradient {g_shell} > tissue {g_tissue}"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the AAB: channel accounting is conserved, transfer
+//! timing follows the width law, and concurrent connections never slow
+//! each other down.
+
+use atlantis_backplane::{Aab, BackplaneKind, ChannelConfig};
+use atlantis_simcore::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever sequence of connects/disconnects runs, the number of
+    /// reserved channels per slot never exceeds the configuration and
+    /// never goes negative (conservation).
+    #[test]
+    fn channel_accounting_is_conserved(ops in proptest::collection::vec((0usize..4, 0usize..4, 1usize..5, any::<bool>()), 1..40)) {
+        let mut aab = Aab::new(BackplaneKind::Configurable, 4);
+        let mut live: Vec<(atlantis_backplane::ConnectionId, usize, usize, usize)> = Vec::new();
+        let mut reserved = [0usize; 4];
+        for (from, to, ch, disconnect) in ops {
+            if disconnect && !live.is_empty() {
+                let (id, f, t, c) = live.remove(0);
+                aab.disconnect(id).unwrap();
+                reserved[f] -= c;
+                reserved[t] -= c;
+            } else if from != to {
+                match aab.connect(from, to, ch) {
+                    Ok(id) => {
+                        reserved[from] += ch;
+                        reserved[to] += ch;
+                        live.push((id, from, to, ch));
+                    }
+                    Err(_) => {
+                        // Rejected only when it would overflow a slot.
+                        prop_assert!(reserved[from] + ch > 4 || reserved[to] + ch > 4);
+                    }
+                }
+            }
+            for r in reserved {
+                prop_assert!(r <= 4);
+            }
+        }
+    }
+
+    /// Transfer time scales inversely with reserved width and linearly
+    /// with size (up to cycle rounding and latency).
+    #[test]
+    fn transfer_time_follows_the_width_law(bytes in 4096u64..4_000_000, ch in 1usize..5) {
+        let mut aab = Aab::new(BackplaneKind::Configurable, 2);
+        let conn = aab.connect(0, 1, ch).unwrap();
+        let (s, d) = aab.transfer(conn, SimTime::ZERO, bytes).unwrap();
+        let secs = d.since(s).as_secs_f64();
+        let expected = bytes as f64 / (66e6 * ch as f64 * 4.0);
+        prop_assert!((secs - expected).abs() / expected < 0.01,
+            "{bytes} B on {ch} ch: {secs} vs {expected}");
+    }
+
+    /// Back-to-back transfers on one connection sum exactly; transfers on
+    /// disjoint connections overlap fully.
+    #[test]
+    fn serialisation_and_overlap(sizes in proptest::collection::vec(1024u64..100_000, 2..8)) {
+        let mut aab = Aab::new(BackplaneKind::Configurable, 4);
+        let c1 = aab.connect(0, 1, 2).unwrap();
+        let c2 = aab.connect(2, 3, 2).unwrap();
+        let mut last_done = SimTime::ZERO;
+        for (i, &b) in sizes.iter().enumerate() {
+            let conn = if i % 2 == 0 { c1 } else { c2 };
+            let (start, done) = aab.transfer(conn, SimTime::ZERO, b).unwrap();
+            if i >= 2 {
+                // Same connection as two steps ago: must start at or after
+                // that transfer's completion.
+                prop_assert!(start >= SimTime::ZERO);
+            }
+            last_done = last_done.max(done);
+        }
+        // The total elapsed equals the max of the two serial chains (they
+        // overlap), not their sum.
+        let chain = |k: usize| -> u64 {
+            sizes.iter().enumerate().filter(|(i, _)| i % 2 == k).map(|(_, &b)| b).sum()
+        };
+        let serial_max = chain(0).max(chain(1));
+        let bw = 66e6 * 2.0 * 4.0;
+        let expect = serial_max as f64 / bw;
+        let got = last_done.since(SimTime::ZERO).as_secs_f64();
+        prop_assert!(got < expect * 1.05 + 1e-6, "{got} vs {expect}");
+    }
+
+    /// Every granularity moves any byte count losslessly in whole cycles.
+    #[test]
+    fn all_granularities_move_all_sizes(bytes in 1u64..100_000, cfg_idx in 0usize..4) {
+        let cfg = ChannelConfig::all()[cfg_idx];
+        let mut aab = Aab::with_config(BackplaneKind::Configurable, 2, cfg);
+        let conn = aab.connect(0, 1, cfg.channels()).unwrap();
+        let (s, d) = aab.transfer(conn, SimTime::ZERO, bytes).unwrap();
+        prop_assert!(d > s);
+        prop_assert_eq!(aab.bytes_moved(conn), bytes);
+    }
+}

@@ -1,0 +1,38 @@
+//! Criterion bench for the AAB scheduling model and the AIB buffering
+//! path.
+
+use atlantis_backplane::{Aab, BackplaneKind};
+use atlantis_board::Aib;
+use atlantis_mem::WideWord;
+use atlantis_simcore::SimTime;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_backplane(c: &mut Criterion) {
+    c.bench_function("aab_10k_transfers", |b| {
+        b.iter(|| {
+            let mut aab = Aab::new(BackplaneKind::Configurable, 4);
+            let c1 = aab.connect(0, 1, 2).unwrap();
+            let c2 = aab.connect(2, 3, 2).unwrap();
+            for i in 0..10_000u64 {
+                let conn = if i % 2 == 0 { c1 } else { c2 };
+                aab.transfer(conn, SimTime::ZERO, 4096).unwrap();
+            }
+            aab.bytes_moved(c1)
+        });
+    });
+
+    c.bench_function("aib_channel_offer_pump_drain_10k", |b| {
+        b.iter(|| {
+            let mut aib = Aib::new();
+            let ch = aib.channel_mut(0);
+            for i in 0..10_000u64 {
+                ch.offer(WideWord::from_lanes(36, vec![i]));
+                ch.pump(1);
+            }
+            ch.drain(10_000).len()
+        });
+    });
+}
+
+criterion_group!(benches, bench_backplane);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for E1/Table 1: host-side cost of the PCI/DMA model
+//! across the paper's block sizes.
+
+use atlantis_board::Acb;
+use atlantis_pci::{DmaDirection, Driver, LocalMemory};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_dma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dma_model");
+    for kb in [4usize, 64, 1024] {
+        let bytes = kb * 1024;
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_with_input(BenchmarkId::new("read", kb), &bytes, |b, &bytes| {
+            let mut drv = Driver::open(LocalMemory::new(bytes));
+            b.iter(|| drv.dma_read(0, bytes));
+        });
+        group.bench_with_input(BenchmarkId::new("write", kb), &bytes, |b, &bytes| {
+            let mut drv = Driver::open(LocalMemory::new(bytes));
+            let data = vec![0u8; bytes];
+            b.iter(|| drv.dma_write(0, &data));
+        });
+    }
+    group.finish();
+
+    // The full Table 1 row generation, as the harness binary runs it.
+    c.bench_function("table1_row_generation", |b| {
+        b.iter(|| {
+            let mut drv = Driver::open(Acb::new());
+            drv.measure_throughput(64 * 1024, DmaDirection::BoardToHost)
+        });
+    });
+}
+
+criterion_group!(benches, bench_dma);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for the 2-D image path: CPU filters and the CHDL
+//! streaming convolution engine.
+
+use atlantis_apps::image2d::{ConvolutionEngine, Image2d, Kernel3};
+use atlantis_board::{CpuClass, HostCpu};
+use atlantis_simcore::rng::WorkloadRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_image2d(c: &mut Criterion) {
+    let img = Image2d::synthetic(128, 96, &mut WorkloadRng::seed_from_u64(1));
+
+    c.bench_function("image2d_cpu_convolve_128x96", |b| {
+        let mut cpu = HostCpu::new(CpuClass::PentiumII300);
+        b.iter(|| img.convolve3(&Kernel3::sharpen(), &mut cpu));
+    });
+
+    c.bench_function("image2d_cpu_median_128x96", |b| {
+        let mut cpu = HostCpu::new(CpuClass::PentiumII300);
+        b.iter(|| img.median3(&mut cpu));
+    });
+
+    let mut group = c.benchmark_group("image2d_chdl_engine");
+    group.sample_size(20);
+    group.bench_function("conv_stream_128x96", |b| {
+        let mut engine = ConvolutionEngine::new(128, &Kernel3::sharpen());
+        b.iter(|| engine.filter(&img));
+    });
+    group.bench_function("sobel_stream_128x96", |b| {
+        let mut engine = atlantis_apps::image2d::SobelEngine::new(128);
+        b.iter(|| engine.filter(&img));
+    });
+    group.bench_function("median_stream_128x96", |b| {
+        let mut engine = atlantis_apps::image2d::MedianEngine::new(128);
+        b.iter(|| engine.filter(&img));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_image2d);
+criterion_main!(benches);

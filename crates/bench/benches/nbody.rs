@@ -1,0 +1,30 @@
+//! Criterion bench for the N-body path: the f64 reference and the
+//! gate-level fixed-point force pipeline.
+
+use atlantis_apps::nbody::{ForcePipeline, NBodySystem};
+use atlantis_simcore::rng::WorkloadRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_nbody(c: &mut Criterion) {
+    let sys256 = NBodySystem::plummer(256, &mut WorkloadRng::seed_from_u64(1));
+    c.bench_function("nbody_f64_direct_sum_256", |b| {
+        b.iter(|| sys256.accelerations());
+    });
+
+    let sys16 = NBodySystem::plummer(16, &mut WorkloadRng::seed_from_u64(2));
+    let mut group = c.benchmark_group("nbody_chdl");
+    group.sample_size(10);
+    group.bench_function("gate_level_force_16", |b| {
+        let mut pipe = ForcePipeline::new(sys16.softening);
+        b.iter(|| pipe.accelerations(&sys16));
+    });
+    group.finish();
+
+    c.bench_function("nbody_leapfrog_step_64", |b| {
+        let mut sys = NBodySystem::plummer(64, &mut WorkloadRng::seed_from_u64(3));
+        b.iter(|| sys.step_leapfrog(0.001));
+    });
+}
+
+criterion_group!(benches, bench_nbody);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for E2/E7: the TRT histogramming paths — the software
+//! baseline, the full-width FPGA-data-path emulation and the
+//! cycle-accurate CHDL design (at reduced scale).
+
+use atlantis_apps::trt::{
+    emulate_fpga_histogram, CpuHistogrammer, EventGenerator, FpgaHistogrammer, PatternBank,
+    TrtGeometry,
+};
+use atlantis_simcore::rng::WorkloadRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_trt(c: &mut Criterion) {
+    let g = TrtGeometry::default();
+    let mut rng = WorkloadRng::seed_from_u64(1);
+    let bank = PatternBank::generate(g, 2400, &mut rng);
+    let event = EventGenerator::new(g).generate(&bank, &mut rng);
+
+    let sw = CpuHistogrammer::new(&bank, 100);
+    c.bench_function("trt_cpu_histogram_2400p", |b| {
+        b.iter(|| sw.run_on_pentium_ii(&event));
+    });
+
+    let lut = bank.lut(176);
+    c.bench_function("trt_fpga_emulation_176bit", |b| {
+        b.iter(|| emulate_fpga_histogram(&lut, &event.hits, bank.len()));
+    });
+
+    // Cycle-accurate CHDL design at reduced scale.
+    let gs = TrtGeometry::small();
+    let mut rng = WorkloadRng::seed_from_u64(2);
+    let small_bank = PatternBank::generate(gs, 48, &mut rng);
+    let small_event = EventGenerator::new(gs).generate(&small_bank, &mut rng);
+    let mut hw = FpgaHistogrammer::new(&small_bank, 16);
+    c.bench_function("trt_chdl_cycle_accurate_small", |b| {
+        b.iter(|| hw.run_event(&small_event.hits, 9));
+    });
+
+    c.bench_function("trt_pattern_bank_generation_2400", |b| {
+        let mut rng = WorkloadRng::seed_from_u64(3);
+        b.iter(|| PatternBank::generate(g, 2400, &mut rng));
+    });
+
+    // The FSM-sequenced autonomous design.
+    let mut seq = atlantis_apps::trt::TrtSequencer::new(&small_bank, 16, 256);
+    c.bench_function("trt_chdl_sequencer_small", |b| {
+        b.iter(|| seq.run_event(&small_event.hits, 9));
+    });
+}
+
+criterion_group!(benches, bench_trt);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench for E3–E6: the renderer and the pipeline model.
+
+use atlantis_apps::volume::pipeline::{simulate_frame, PipelineConfig};
+use atlantis_apps::volume::raycast::Projection;
+use atlantis_apps::volume::{Classifier, HeadPhantom, OpacityLevel, RayCaster, ViewDirection};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_volume(c: &mut Criterion) {
+    let phantom = HeadPhantom::with_dims(128, 128, 64);
+    let mut group = c.benchmark_group("raycast_128");
+    group.sample_size(20);
+    for level in OpacityLevel::all() {
+        group.bench_with_input(
+            BenchmarkId::new("render", format!("{level:?}")),
+            &level,
+            |b, &level| {
+                let caster = RayCaster::new(&phantom, Classifier::new(level));
+                b.iter(|| caster.render(128, 64, ViewDirection::AxisZ, Projection::Parallel));
+            },
+        );
+    }
+    group.finish();
+
+    // The pipeline hazard simulation on a fixed sample distribution.
+    let caster = RayCaster::new(&phantom, Classifier::new(OpacityLevel::SemiTransparent));
+    let (_, stats) = caster.render(128, 64, ViewDirection::AxisZ, Projection::Parallel);
+    let mt = PipelineConfig::atlantis_parallel();
+    let st = mt.single_threaded();
+    c.bench_function("pipeline_sim_multithreaded", |b| {
+        b.iter(|| simulate_frame(&mt, &stats.samples_per_ray));
+    });
+    c.bench_function("pipeline_sim_singlethreaded", |b| {
+        b.iter(|| simulate_frame(&st, &stats.samples_per_ray));
+    });
+
+    c.bench_function("block_table_build_128", |b| {
+        b.iter(|| atlantis_apps::volume::raycast::BlockTable::build(&phantom));
+    });
+
+    // Gate-level datapath stages.
+    let mut tri = atlantis_apps::volume::TrilinearUnit::new();
+    c.bench_function("chdl_trilinear_1k_samples", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                tri.sample([i as u8; 8], 10, 20, 30);
+            }
+        });
+    });
+    let mut comp = atlantis_apps::volume::CompositorUnit::new();
+    c.bench_function("chdl_compositor_1k_samples", |b| {
+        b.iter(|| {
+            comp.restart();
+            for _ in 0..1000 {
+                comp.step(3, 128);
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_volume);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! **E10** — static resource audit of the system models against every
+//! §2 figure, plus fitting reports for the application designs.
+
+use atlantis_apps::image2d::Kernel3;
+use atlantis_apps::nbody::ForcePipeline;
+use atlantis_apps::trt::fpga::build_external_design;
+use atlantis_bench::{f, Checker, Table};
+use atlantis_chdl::Design;
+use atlantis_core::audit_system;
+use atlantis_fabric::{fit, Device};
+
+fn main() {
+    let mut c = Checker::new();
+
+    let mut table = Table::new(
+        "E10a: §2 resource audit (paper figure vs model)",
+        &["source", "claim", "paper", "model", "ok"],
+    );
+    for row in audit_system() {
+        table.row(&[
+            row.source.to_string(),
+            row.claim.to_string(),
+            f(row.expected, 0),
+            f(row.actual, 0),
+            if row.ok() { "✓".into() } else { "✗".into() },
+        ]);
+        c.check(format!("{} — {}", row.source, row.claim), row.ok());
+    }
+    table.print();
+
+    // Application designs fitted to the parts they target.
+    let mut fits = Table::new(
+        "E10b: application datapaths fitted to their devices",
+        &[
+            "design",
+            "device",
+            "gates",
+            "FFs",
+            "RAM bits",
+            "pins",
+            "gate util %",
+        ],
+    );
+    let orca = Device::orca_3t125();
+
+    let trt = build_external_design(80_000, 50, 176);
+    let nbody = ForcePipeline::new(0.05);
+    let conv: Design = {
+        use atlantis_apps::image2d::ConvolutionEngine;
+        // Re-elaborate through the public API for an honest report.
+        let engine = ConvolutionEngine::new(768, &Kernel3::sharpen());
+        engine.design().clone()
+    };
+
+    for (name, design) in [
+        ("TRT histogrammer (176 lanes)", &trt),
+        ("N-body force pipeline", nbody.design()),
+        ("3×3 convolution, 768-wide", &conv),
+    ] {
+        let fitted = fit(design, &orca).unwrap_or_else(|e| panic!("{name} must fit: {e}"));
+        let r = fitted.report();
+        fits.row(&[
+            name.to_string(),
+            orca.name.clone(),
+            r.gates.to_string(),
+            r.flip_flops.to_string(),
+            r.ram_bits.to_string(),
+            r.io_pins.to_string(),
+            f(r.gate_utilization * 100.0, 1),
+        ]);
+        c.check(format!("{name} fits the ORCA 3T125"), true);
+        c.check(
+            format!("{name} respects the 422-signal ACB pin budget"),
+            r.io_pins <= 422,
+        );
+    }
+    fits.print();
+
+    c.finish();
+}

@@ -1,0 +1,90 @@
+//! **E11 (outlook)** — the online trigger chain's sustainable event rate.
+//!
+//! §3.1 quotes the TRT algorithm at “a repetition rate of up to 100 kHz”
+//! and §4 announces the FOPI trigger deployment. This extension
+//! experiment drives the full chain model — S-Link channels → two-stage
+//! AIB buffering → backplane → ACB histogramming — across input rates and
+//! locates the lossless knee.
+
+use atlantis_apps::daq::{max_lossless_rate, simulate, TriggerChainConfig};
+use atlantis_bench::{f, Checker, Table};
+use atlantis_simcore::SimDuration;
+
+fn main() {
+    let config = TriggerChainConfig::level2_trigger();
+    println!(
+        "chain: {}-word RoI events, {} channels, {} passes on the ACB, service time {}\n",
+        config.event_words,
+        config.channels,
+        config.trt.passes(),
+        config.service_time()
+    );
+
+    let mut table = Table::new(
+        "E11: trigger chain under load (1 s windows)",
+        &[
+            "input rate (kHz)",
+            "processed (kHz)",
+            "dropped %",
+            "ACB busy %",
+            "max buffer (words)",
+        ],
+    );
+    let window = SimDuration::from_secs(1);
+    let mut results = Vec::new();
+    for khz in [25u32, 50, 75, 100, 125, 150, 200] {
+        let stats = simulate(&config, khz as f64 * 1000.0, window);
+        table.row(&[
+            khz.to_string(),
+            f(stats.processed_rate_hz / 1000.0, 1),
+            f(stats.loss_fraction() * 100.0, 2),
+            f(stats.busy_fraction * 100.0, 1),
+            stats.max_buffer_words.to_string(),
+        ]);
+        results.push((khz, stats));
+    }
+    table.print();
+
+    let knee = max_lossless_rate(&config, window);
+    println!(
+        "lossless knee: {:.1} kHz (ACB capacity {:.1} kHz)\n",
+        knee / 1000.0,
+        config.theoretical_max_rate() / 1000.0
+    );
+
+    let mut c = Checker::new();
+    c.check_band(
+        "the chain sustains the paper's 100 kHz class",
+        knee / 1000.0,
+        95.0,
+        150.0,
+    );
+    c.check(
+        "below capacity nothing drops",
+        results
+            .iter()
+            .filter(|(k, _)| *k <= 100)
+            .all(|(_, s)| s.dropped == 0),
+    );
+    c.check(
+        "well above capacity events drop",
+        results.iter().any(|(k, s)| *k >= 150 && s.dropped > 0),
+    );
+    c.check(
+        "the ACB saturates (busy ≈ 100%) under overload",
+        results.last().unwrap().1.busy_fraction > 0.98,
+    );
+    c.check(
+        "processed rate is capped at ACB capacity",
+        results
+            .iter()
+            .all(|(_, s)| s.processed_rate_hz <= config.theoretical_max_rate() * 1.01),
+    );
+    c.check(
+        "buffer occupancy grows with offered load",
+        results
+            .windows(2)
+            .all(|w| w[1].1.max_buffer_words >= w[0].1.max_buffer_words),
+    );
+    c.finish();
+}

@@ -1,0 +1,61 @@
+//! **E1 / Table 1** — ATLANTIS DMA performance.
+//!
+//! Paper §3.4: “results showing the data throughput over CPCI for various
+//! applications, measured with ATLANTIS, microenable driver, design speed
+//! 40 MHz” — DMA read and write rate (MB/s) as a function of block size,
+//! with the host interface “allowing 125 MB/s max. data rate” (§2.1).
+
+use atlantis_bench::{f, Checker, Table};
+use atlantis_board::Acb;
+use atlantis_pci::{DmaDirection, Driver};
+
+fn main() {
+    let mut table = Table::new(
+        "Table 1: ATLANTIS DMA performance (CPCI, microenable driver, 40 MHz)",
+        &["Block size (kB)", "DMA Read (MB/s)", "DMA Write (MB/s)"],
+    );
+    let blocks: &[usize] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let mut read_rates = Vec::new();
+    let mut write_rates = Vec::new();
+    for &kb in blocks {
+        let mut rd = Driver::open(Acb::new());
+        let mut wd = Driver::open(Acb::new());
+        let r = rd.measure_throughput(kb * 1024, DmaDirection::BoardToHost);
+        let w = wd.measure_throughput(kb * 1024, DmaDirection::HostToBoard);
+        table.row(&[kb.to_string(), f(r, 1), f(w, 1)]);
+        read_rates.push(r);
+        write_rates.push(w);
+    }
+    table.print();
+
+    let mut c = Checker::new();
+    c.check_band(
+        "large-block read saturates at the paper's 125 MB/s max",
+        *read_rates.last().unwrap(),
+        118.0,
+        126.0,
+    );
+    c.check(
+        "read throughput grows monotonically with block size",
+        read_rates.windows(2).all(|w| w[1] > w[0]),
+    );
+    c.check(
+        "write throughput grows monotonically with block size",
+        write_rates.windows(2).all(|w| w[1] > w[0]),
+    );
+    c.check(
+        "reads (posted PCI writes) beat writes (PCI master reads) at every size",
+        read_rates.iter().zip(&write_rates).all(|(r, w)| r > w),
+    );
+    c.check_band(
+        "small blocks are software-overhead bound (1 kB read)",
+        read_rates[0],
+        10.0,
+        45.0,
+    );
+    c.check(
+        "nothing exceeds the 132 MB/s PCI theoretical peak",
+        read_rates.iter().chain(&write_rates).all(|&x| x < 132.0),
+    );
+    c.finish();
+}

@@ -1,0 +1,108 @@
+//! **E2** — TRT histogramming performance.
+//!
+//! Paper §3.4: “The execution time on the test system (algorithm plus
+//! I/O), 19.2 ms compared to 35 ms using a C++ implementation on a
+//! Pentium-II/300 standard PC, extrapolates to 2.7 ms using 2 ACB with 4
+//! memory modules each (1408 bit RAM access). This corresponds to a
+//! speed-up by a factor of 13.”
+
+use atlantis_apps::trt::{AcbTrtConfig, AcbTrtModel, CpuHistogrammer, EventGenerator, PatternBank};
+use atlantis_bench::{f, Checker, Table};
+use atlantis_simcore::rng::WorkloadRng;
+use atlantis_simcore::stats::speedup;
+
+fn main() {
+    let measured = AcbTrtConfig::paper_measured();
+    let mut rng = WorkloadRng::seed_from_u64(1999);
+    let bank = PatternBank::generate(measured.geometry, measured.n_patterns, &mut rng);
+    let generator = EventGenerator::new(measured.geometry);
+
+    // Average over several events for stable numbers.
+    let events: Vec<_> = (0..5)
+        .map(|_| generator.generate(&bank, &mut rng))
+        .collect();
+
+    let sw = CpuHistogrammer::new(&bank, measured.threshold);
+    let cpu_ms: f64 = events
+        .iter()
+        .map(|e| sw.run_on_pentium_ii(e).time.as_millis_f64())
+        .sum::<f64>()
+        / events.len() as f64;
+
+    let mut rows = Vec::new();
+    for modules in [1u32, 2, 4, 8] {
+        let config = AcbTrtConfig {
+            modules,
+            ..measured.clone()
+        };
+        let mut model = AcbTrtModel::new(config.clone());
+        let (mut io, mut total) = (0.0, 0.0);
+        for e in &events {
+            let t = model.run_event(e);
+            io += t.io.as_millis_f64();
+            total += t.total.as_millis_f64();
+        }
+        io /= events.len() as f64;
+        total /= events.len() as f64;
+        rows.push((modules, config.ram_width(), config.passes(), io, total));
+    }
+
+    let mut table = Table::new(
+        "E2: TRT execution time, algorithm plus I/O (paper: 35 ms CPU, 19.2 ms 1-module ACB, 2.7 ms 2 ACB × 4 modules)",
+        &["configuration", "RAM width (bit)", "passes", "I/O (ms)", "total (ms)"],
+    );
+    table.row(&[
+        "Pentium-II/300 C++".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        f(cpu_ms, 2),
+    ]);
+    for &(modules, width, passes, io, total) in &rows {
+        let name = match modules {
+            1 => "ACB, 1 module".to_string(),
+            8 => "2 ACB × 4 modules".to_string(),
+            m => format!("ACB, {m} modules"),
+        };
+        table.row(&[
+            name,
+            width.to_string(),
+            passes.to_string(),
+            f(io, 2),
+            f(total, 2),
+        ]);
+    }
+    table.print();
+
+    let single = rows[0].4;
+    let extrapolated = rows[3].4;
+    let mut c = Checker::new();
+    c.check_band("CPU baseline near the paper's 35 ms", cpu_ms, 28.0, 42.0);
+    c.check_band(
+        "single-module ACB near the paper's 19.2 ms",
+        single,
+        17.5,
+        21.5,
+    );
+    c.check_band(
+        "2 ACB × 4 modules near the paper's 2.7 ms",
+        extrapolated,
+        2.3,
+        3.5,
+    );
+    c.check_band(
+        "speed-up near the paper's 13×",
+        speedup(cpu_ms, extrapolated),
+        9.0,
+        15.0,
+    );
+    c.check(
+        "total time decreases monotonically with module count",
+        rows.windows(2).all(|w| w[1].4 < w[0].4),
+    );
+    c.check(
+        "I/O does not scale with modules (it is the coming bottleneck)",
+        rows.iter().all(|r| (r.3 - rows[0].3).abs() < 0.05),
+    );
+    c.finish();
+}

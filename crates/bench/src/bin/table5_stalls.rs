@@ -1,0 +1,92 @@
+//! **E5** — pipeline stalls with and without ray multi-threading.
+//!
+//! Paper §3.2: “compared to conventional architectures the number of
+//! pipeline stalls is reduced from more than 90% to less than 10% of
+//! rendering time.”
+
+use atlantis_apps::volume::pipeline::{frame_from_render, PipelineConfig};
+use atlantis_apps::volume::raycast::Projection;
+use atlantis_apps::volume::{Classifier, HeadPhantom, OpacityLevel, RayCaster, ViewDirection};
+use atlantis_bench::{f, Checker, Table};
+
+fn main() {
+    let phantom = HeadPhantom::paper_ct();
+    let caster = RayCaster::new(&phantom, Classifier::new(OpacityLevel::SemiTransparent));
+    let (_, stats) = caster.render(256, 128, ViewDirection::AxisZ, Projection::Parallel);
+
+    let mt = PipelineConfig::atlantis_parallel();
+    let st = mt.single_threaded();
+
+    let mut table = Table::new(
+        "E5: pipeline stalls, conventional vs multi-threaded rays (paper: >90% → <10%)",
+        &[
+            "architecture",
+            "threads/pipeline",
+            "cycles",
+            "stall %",
+            "speed-up",
+        ],
+    );
+    let frame_st = frame_from_render(&st, &stats);
+    let frame_mt = frame_from_render(&mt, &stats);
+    let speedup = frame_st.cycles as f64 / frame_mt.cycles as f64;
+    table.row(&[
+        "conventional (1 ray in flight)".into(),
+        "1".into(),
+        frame_st.cycles.to_string(),
+        f((1.0 - frame_st.efficiency) * 100.0, 1),
+        "1.0×".into(),
+    ]);
+    table.row(&[
+        "multi-threaded rays".into(),
+        mt.threads.to_string(),
+        frame_mt.cycles.to_string(),
+        f((1.0 - frame_mt.efficiency) * 100.0, 1),
+        format!("{speedup:.1}×"),
+    ]);
+    table.print();
+
+    // A thread-count sweep showing the crossover at the pipeline depth.
+    let mut sweep = Table::new(
+        "E5b: stall fraction vs ray contexts (pipeline depth = 12)",
+        &["threads", "stall %"],
+    );
+    let mut stall_by_threads = Vec::new();
+    for threads in [1usize, 2, 4, 8, 12, 16, 24] {
+        let cfg = PipelineConfig { threads, ..mt };
+        let fr = frame_from_render(&cfg, &stats);
+        let stall = (1.0 - fr.efficiency) * 100.0;
+        sweep.row(&[threads.to_string(), f(stall, 1)]);
+        stall_by_threads.push((threads, stall));
+    }
+    sweep.print();
+
+    let mut c = Checker::new();
+    c.check_band(
+        "conventional architecture stalls >90%",
+        (1.0 - frame_st.efficiency) * 100.0,
+        90.0,
+        100.0,
+    );
+    c.check_band(
+        "multi-threaded stalls <10%",
+        (1.0 - frame_mt.efficiency) * 100.0,
+        0.0,
+        10.0,
+    );
+    c.check_band(
+        "multi-threading recovers ≈ the pipeline depth",
+        speedup,
+        8.0,
+        13.0,
+    );
+    c.check(
+        "stalls fall monotonically with thread count",
+        stall_by_threads.windows(2).all(|w| w[1].1 <= w[0].1 + 0.2),
+    );
+    c.check(
+        "stalls collapse once threads cover the pipeline depth",
+        stall_by_threads.iter().find(|(t, _)| *t == 12).unwrap().1 < 15.0,
+    );
+    c.finish();
+}

@@ -1,0 +1,106 @@
+//! **E7** — HEP speed-up sweep.
+//!
+//! Paper §3.1: “In the field of HEP many FPGA algorithms have been
+//! implemented at our institute during the past 5 years. Results show
+//! speedup rates in the range from 10 to 1,000 compared to workstation
+//! implementations” (footnote: “Measured on Enable-1 with parallel
+//! histogramming only, no I/O”). The sweep varies the two levers the
+//! paper identifies — pattern count (“from 240 to more than 2,400
+//! depending on the operating frequency”) and RAM access width — and
+//! reports the speed-up against two workstation implementations: the
+//! word-packed C++ of §3.4 and the naive bit-serial loop the early
+//! Enable-era comparisons were made against.
+
+use atlantis_apps::trt::{AcbTrtConfig, AcbTrtModel, CpuHistogrammer, EventGenerator, PatternBank};
+use atlantis_bench::{f, Checker, Table};
+use atlantis_board::{CpuClass, HostCpu};
+use atlantis_simcore::rng::WorkloadRng;
+
+/// The naive bit-serial workstation histogrammer: for every hit, test
+/// every pattern bit individually (2 ops each) — how the pre-optimization
+/// C++ of the early comparisons worked.
+fn naive_cpu_seconds(hits: u64, patterns: u64) -> f64 {
+    let ops = hits * patterns * 2;
+    let mut cpu = HostCpu::new(CpuClass::PentiumII300);
+    cpu.integer_work(ops).as_secs_f64()
+}
+
+fn main() {
+    let mut table = Table::new(
+        "E7: TRT compute-only speed-up sweep vs Pentium-II/300 (paper §3.1: 10–1000× across HEP algorithms, no I/O)",
+        &["patterns", "modules", "passes", "vs packed C++", "vs bit-serial C++", "with I/O"],
+    );
+
+    let base = AcbTrtConfig::paper_measured();
+    let mut rng = WorkloadRng::seed_from_u64(7);
+    let mut c = Checker::new();
+    let mut rows = Vec::new();
+
+    for &patterns in &[240usize, 1024, 2400, 8800] {
+        let bank = PatternBank::generate(base.geometry, patterns, &mut rng);
+        let generator = EventGenerator::new(base.geometry);
+        let event = generator.generate(&bank, &mut rng);
+        let sw = CpuHistogrammer::new(&bank, base.threshold);
+        let cpu_packed = sw.run_on_pentium_ii(&event).time.as_secs_f64();
+        let cpu_naive = naive_cpu_seconds(event.hits.len() as u64, patterns as u64);
+
+        for &modules in &[1u32, 4, 8] {
+            let config = AcbTrtConfig {
+                n_patterns: patterns,
+                modules,
+                ..base.clone()
+            };
+            let passes = config.passes();
+            let mut model = AcbTrtModel::new(config);
+            let t = model.run_event(&event);
+            let s_packed = cpu_packed / t.compute.as_secs_f64();
+            let s_naive = cpu_naive / t.compute.as_secs_f64();
+            let s_total = cpu_packed / t.total.as_secs_f64();
+            table.row(&[
+                patterns.to_string(),
+                modules.to_string(),
+                passes.to_string(),
+                f(s_packed, 1),
+                f(s_naive, 1),
+                f(s_total, 1),
+            ]);
+            rows.push((patterns, modules, passes, s_packed, s_naive, s_total));
+        }
+    }
+    table.print();
+
+    let max_naive = rows.iter().map(|r| r.4).fold(0.0f64, f64::max);
+    let min_packed = rows.iter().map(|r| r.3).fold(f64::INFINITY, f64::min);
+    c.check_band(
+        "bit-serial comparisons reach deep into the paper's 10–1000 range",
+        max_naive,
+        100.0,
+        1000.0,
+    );
+    c.check_band(
+        "even the word-packed baseline is beaten at least ≈2×",
+        min_packed,
+        1.5,
+        f64::INFINITY,
+    );
+    c.check(
+        "speed-up grows with RAM width at fixed pattern count",
+        rows.chunks(3)
+            .all(|ch| ch[0].3 <= ch[1].3 && ch[1].3 <= ch[2].3),
+    );
+    c.check(
+        "I/O caps the with-I/O speed-up below compute-only",
+        rows.iter().all(|r| r.5 <= r.3),
+    );
+    c.check(
+        "small banks run in a single pass at full width",
+        rows.iter()
+            .filter(|r| r.0 <= 1024 && r.1 == 8)
+            .all(|r| r.2 == 1),
+    );
+    c.check(
+        "the paper's 240…2400-pattern operating range is covered",
+        rows.iter().any(|r| r.0 == 240) && rows.iter().any(|r| r.0 == 2400),
+    );
+    c.finish();
+}

@@ -1,0 +1,92 @@
+//! **E8** — the N-body sub-task on FPGA hardware.
+//!
+//! Paper §3.3: floating point on FPGAs was considered hopeless (“In 1995
+//! approx. 10 MFLOP per Xilinx chip were reported for 18 bit precision”),
+//! yet “the results indicate that FPGAs can indeed provide a significant
+//! performance increase even in this area” via the fixed-point
+//! pairwise-force sub-task.
+
+use atlantis_apps::nbody::sim::FLOPS_PER_PAIR;
+use atlantis_apps::nbody::{ForcePipeline, NBodySystem};
+use atlantis_bench::{f, Checker, Table};
+use atlantis_board::{CpuClass, HostCpu};
+use atlantis_simcore::rng::WorkloadRng;
+
+fn main() {
+    let mut rng = WorkloadRng::seed_from_u64(1997); // GRAPE-4, ApJ 480
+    let mut c = Checker::new();
+
+    // Throughput comparison across system sizes.
+    let mut table = Table::new(
+        "E8: pairwise-force throughput, FPGA fixed-point pipeline vs workstations (pairs/s)",
+        &["engine", "pairs/s", "vs P-II/300"],
+    );
+    let pipe = ForcePipeline::new(0.05);
+    let fpga_rate = pipe.pairs_per_second();
+    let engines: Vec<(&str, f64)> = vec![
+        ("ACB force pipeline, 40 MHz", fpga_rate),
+        (
+            "Pentium-II/300 (55 MFLOPS sustained)",
+            55e6 / FLOPS_PER_PAIR as f64,
+        ),
+        ("Pentium-200 MMX (25 MFLOPS)", 25e6 / FLOPS_PER_PAIR as f64),
+        (
+            "1995 FPGA floating point (10 MFLOPS)",
+            10e6 / FLOPS_PER_PAIR as f64,
+        ),
+    ];
+    let p2 = engines[1].1;
+    for (name, rate) in &engines {
+        table.row(&[name.to_string(), f(*rate, 0), format!("{:.1}×", rate / p2)]);
+    }
+    table.print();
+
+    // Accuracy: the pipeline must track the f64 reference.
+    let sys = NBodySystem::plummer(32, &mut rng);
+    let mut pipe = ForcePipeline::new(sys.softening);
+    let (hw, cycles, hw_time) = pipe.accelerations(&sys);
+    let exact = sys.accelerations();
+    let mut worst: f64 = 0.0;
+    for (h, e) in hw.iter().zip(&exact) {
+        let mag = (e[0] * e[0] + e[1] * e[1] + e[2] * e[2]).sqrt().max(1e-3);
+        for k in 0..3 {
+            worst = worst.max((h[k] - e[k]).abs() / mag);
+        }
+    }
+    let mut cpu = HostCpu::new(CpuClass::PentiumII300);
+    let cpu_time = sys.cpu_force_time(&mut cpu);
+    println!(
+        "accuracy over a {}-body Plummer sphere: worst relative force error {:.2}%",
+        sys.len(),
+        worst * 100.0
+    );
+    println!(
+        "full force evaluation: CPU {:.2} ms vs FPGA {:.3} ms ({} cycles)\n",
+        cpu_time.as_millis_f64(),
+        hw_time.as_millis_f64(),
+        cycles
+    );
+
+    c.check(
+        "one pair per cycle at the design clock",
+        cycles == sys.pairs(),
+    );
+    c.check_band(
+        "the paper's 'significant performance increase' (vs P-II/300)",
+        fpga_rate / p2,
+        10.0,
+        30.0,
+    );
+    c.check(
+        "fixed point crushes 1995-era FPGA floating point",
+        fpga_rate / engines[3].1 > 50.0,
+    );
+    c.check_band(
+        "fixed-point force error stays small",
+        worst * 100.0,
+        0.0,
+        5.0,
+    );
+    c.check("end-to-end evaluation beats the CPU", cpu_time > hw_time);
+    c.finish();
+}

@@ -1,0 +1,154 @@
+//! Shared harness for the table-regeneration binaries.
+//!
+//! Every `table*` binary prints its rows in the paper's format, compares
+//! each quantitative claim against the model, and exits non-zero if any
+//! band check fails — so `for t in table*; do cargo run --bin $t; done`
+//! doubles as a regression suite for the reproduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// A printable table.
+#[derive(Debug, Default)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with a title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with padded columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} ===", self.title);
+        for (c, w) in self.columns.iter().zip(&widths) {
+            let _ = write!(out, "{c:>w$}  ");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (cell, w) in row.iter().zip(&widths) {
+                let _ = write!(out, "{cell:>w$}  ");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Collects pass/fail band checks and reports at the end.
+#[derive(Debug, Default)]
+pub struct Checker {
+    checks: Vec<(String, bool)>,
+}
+
+impl Checker {
+    /// An empty checker.
+    pub fn new() -> Self {
+        Checker::default()
+    }
+
+    /// Record a named boolean check.
+    pub fn check(&mut self, name: impl Into<String>, ok: bool) {
+        let name = name.into();
+        println!("  [{}] {name}", if ok { "ok" } else { "FAIL" });
+        self.checks.push((name, ok));
+    }
+
+    /// Check that `value` lies within `[lo, hi]`.
+    pub fn check_band(&mut self, name: impl Into<String>, value: f64, lo: f64, hi: f64) {
+        let name = name.into();
+        let ok = (lo..=hi).contains(&value);
+        println!(
+            "  [{}] {name}: {value:.3} (band {lo:.3}..{hi:.3})",
+            if ok { "ok" } else { "FAIL" }
+        );
+        self.checks.push((name, ok));
+    }
+
+    /// Print the summary; exit non-zero when anything failed.
+    pub fn finish(self) {
+        let failed: Vec<&str> = self
+            .checks
+            .iter()
+            .filter(|(_, ok)| !ok)
+            .map(|(n, _)| n.as_str())
+            .collect();
+        let total = self.checks.len();
+        if failed.is_empty() {
+            println!("\nall {total} band checks passed ✓");
+        } else {
+            println!(
+                "\n{} of {total} band checks FAILED: {failed:?}",
+                failed.len()
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Format a float with the given precision.
+pub fn f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("T", &["a", "long-col"]);
+        t.row(&["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("=== T ==="));
+        assert!(s.contains("long-col"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_enforced() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn checker_accumulates() {
+        let mut c = Checker::new();
+        c.check("x", true);
+        c.check_band("y", 5.0, 4.0, 6.0);
+        c.finish(); // must not exit
+    }
+
+    #[test]
+    fn formatting_helper() {
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,142 @@
+//! The board clock tree.
+//!
+//! §2: “The basic approach in Atlantis is to provide a central clock from
+//! the AAB. Additionally the I/O ports of all FPGAs on either ACB and AIB
+//! have their individual clock sources. Finally each ACB and AIB provides
+//! a local clock which can be used if the main AAB clock is not available
+//! or if the application requires an additional clock.”
+
+use atlantis_fabric::ProgrammableClock;
+use atlantis_simcore::Frequency;
+
+/// Which clock source a consumer selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockSelect {
+    /// The central clock distributed by the AAB.
+    Main,
+    /// The board's local fallback clock.
+    Local,
+    /// The individual clock of I/O port `n`.
+    IoPort(usize),
+}
+
+/// One board's clock tree.
+#[derive(Debug, Clone)]
+pub struct ClockTree {
+    /// Present only when the board is plugged into a powered AAB.
+    main: Option<ProgrammableClock>,
+    local: ProgrammableClock,
+    io: Vec<ProgrammableClock>,
+}
+
+impl ClockTree {
+    /// A clock tree with `io_ports` per-port clocks, all defaulting to
+    /// 40 MHz (the paper's measurement design speed).
+    pub fn new(io_ports: usize) -> Self {
+        let f40 = Frequency::from_mhz(40);
+        ClockTree {
+            main: None,
+            local: ProgrammableClock::new("local", f40),
+            io: (0..io_ports)
+                .map(|i| ProgrammableClock::new(format!("io{i}"), f40))
+                .collect(),
+        }
+    }
+
+    /// Attach the central AAB clock (happens when the board is inserted
+    /// into a crate slot).
+    pub fn attach_main(&mut self, freq: Frequency) {
+        self.main = Some(ProgrammableClock::new("AAB main", freq));
+    }
+
+    /// Detach the central clock (standalone / downscaled test system).
+    pub fn detach_main(&mut self) {
+        self.main = None;
+    }
+
+    /// Resolve a selection to a clock, falling back from Main to Local
+    /// when the AAB clock is absent — the behaviour §2 describes.
+    pub fn resolve(&self, select: ClockSelect) -> &ProgrammableClock {
+        match select {
+            ClockSelect::Main => self.main.as_ref().unwrap_or(&self.local),
+            ClockSelect::Local => &self.local,
+            ClockSelect::IoPort(n) => &self.io[n],
+        }
+    }
+
+    /// Reprogram a clock under software control. Returns `false` when the
+    /// target clock does not exist or the frequency is out of range.
+    pub fn program(&mut self, select: ClockSelect, freq: Frequency) -> bool {
+        match select {
+            ClockSelect::Main => match &mut self.main {
+                Some(c) => c.set_frequency(freq),
+                None => false,
+            },
+            ClockSelect::Local => self.local.set_frequency(freq),
+            ClockSelect::IoPort(n) => match self.io.get_mut(n) {
+                Some(c) => c.set_frequency(freq),
+                None => false,
+            },
+        }
+    }
+
+    /// Number of per-port clocks.
+    pub fn io_ports(&self) -> usize {
+        self.io.len()
+    }
+
+    /// Whether the central AAB clock is present.
+    pub fn has_main(&self) -> bool {
+        self.main.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn falls_back_to_local_without_main() {
+        let tree = ClockTree::new(4);
+        assert!(!tree.has_main());
+        let c = tree.resolve(ClockSelect::Main);
+        assert_eq!(c.name(), "local", "main falls back to local");
+    }
+
+    #[test]
+    fn main_takes_over_when_attached() {
+        let mut tree = ClockTree::new(4);
+        tree.attach_main(Frequency::from_mhz(66));
+        let c = tree.resolve(ClockSelect::Main);
+        assert_eq!(c.name(), "AAB main");
+        assert_eq!(c.frequency(), Frequency::from_mhz(66));
+        tree.detach_main();
+        assert_eq!(tree.resolve(ClockSelect::Main).name(), "local");
+    }
+
+    #[test]
+    fn io_ports_are_individual() {
+        let mut tree = ClockTree::new(4);
+        assert!(tree.program(ClockSelect::IoPort(2), Frequency::from_mhz(66)));
+        assert_eq!(
+            tree.resolve(ClockSelect::IoPort(2)).frequency(),
+            Frequency::from_mhz(66)
+        );
+        assert_eq!(
+            tree.resolve(ClockSelect::IoPort(0)).frequency(),
+            Frequency::from_mhz(40),
+            "other ports unchanged"
+        );
+    }
+
+    #[test]
+    fn programming_bounds_respected() {
+        let mut tree = ClockTree::new(1);
+        assert!(!tree.program(ClockSelect::Local, Frequency::from_mhz(200)));
+        assert!(!tree.program(ClockSelect::IoPort(9), Frequency::from_mhz(40)));
+        assert!(
+            !tree.program(ClockSelect::Main, Frequency::from_mhz(40)),
+            "no main yet"
+        );
+    }
+}

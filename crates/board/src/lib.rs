@@ -1,0 +1,38 @@
+//! # `atlantis-board` — the ATLANTIS board set
+//!
+//! The system is built from three board types on a CompactPCI crate
+//! (paper §2):
+//!
+//! * the **ACB** (ATLANTIS Computing Board, §2.1) — a 2×2 matrix of ORCA
+//!   3T125 FPGAs with 72-line inter-FPGA links, a 206-line memory
+//!   interconnect per FPGA fed by exchangeable mezzanine memory modules, a
+//!   PLX9080 host interface, two backplane ports and an LVDS external
+//!   port — modelled by [`Acb`];
+//! * the **AIB** (ATLANTIS I/O Board, §2.2) — two Virtex XCV600s
+//!   controlling four mezzanine I/O channels of 264 MB/s each with
+//!   two-stage buffering — modelled by [`Aib`];
+//! * the **host CPU** (§2.4) — an industrial CompactPCI Pentium-class PC
+//!   that runs the development tools, the application, and the control
+//!   plane — modelled by [`HostCpu`].
+//!
+//! [`ClockTree`] reproduces the clocking scheme of §2: a central AAB
+//! clock, per-board local fallback clocks and individual I/O-port clocks,
+//! all software-programmable. [`SLinkPort`] models the CERN S-Link
+//! FIFO-style point-to-point link that can be attached to the ACB's
+//! external connectors “to set up a downscaled or test system without the
+//! need to add AAB and AIB modules”.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acb;
+pub mod aib;
+pub mod clocks;
+pub mod host;
+pub mod s_link;
+
+pub use acb::{Acb, AcbError, FpgaRole};
+pub use aib::{Aib, IoChannel, IoDaughter};
+pub use clocks::{ClockSelect, ClockTree};
+pub use host::{CpuClass, HostCpu};
+pub use s_link::SLinkPort;

@@ -1,0 +1,156 @@
+//! S-Link, the CERN FIFO-like point-to-point link standard.
+//!
+//! “The connectors can be used to attach I/O modules, e.g. S-Link, to set
+//! up a downscaled or test system without the need to add AAB and AIB
+//! modules” (§2.1, footnote: “S-Link is a FIFO-like CERN internal
+//! standard for point-to-point links”). The model carries 32-bit data
+//! words plus a control-word flag at a configurable link rate, enough to
+//! feed detector-style event streams into the ACB's LVDS port.
+
+use atlantis_simcore::{Bandwidth, SimDuration};
+
+/// One S-Link word: 32 bits of data plus the data/control flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SLinkWord {
+    /// Payload.
+    pub data: u32,
+    /// True for control words (begin/end of event markers etc.).
+    pub control: bool,
+}
+
+impl SLinkWord {
+    /// A data word.
+    pub fn data(data: u32) -> Self {
+        SLinkWord {
+            data,
+            control: false,
+        }
+    }
+
+    /// A control word.
+    pub fn control(data: u32) -> Self {
+        SLinkWord {
+            data,
+            control: true,
+        }
+    }
+}
+
+/// Begin-of-event control marker (conventional value).
+pub const BOE: u32 = 0xB0E0_0000;
+/// End-of-event control marker.
+pub const EOE: u32 = 0xE0E0_0000;
+
+/// A simplex S-Link port with a fixed link rate.
+#[derive(Debug, Clone)]
+pub struct SLinkPort {
+    rate: Bandwidth,
+    words_sent: u64,
+}
+
+impl SLinkPort {
+    /// A port at the given link rate. The common ODIN-style links of the
+    /// era ran at 160 MB/s; [`SLinkPort::default_link`] uses that.
+    pub fn new(rate: Bandwidth) -> Self {
+        SLinkPort {
+            rate,
+            words_sent: 0,
+        }
+    }
+
+    /// A 160 MB/s link.
+    pub fn default_link() -> Self {
+        SLinkPort::new(Bandwidth::from_mb_per_sec(160))
+    }
+
+    /// The link rate.
+    pub fn rate(&self) -> Bandwidth {
+        self.rate
+    }
+
+    /// Time to move `n` 32-bit words across the link.
+    pub fn transfer_time(&self, n: u64) -> SimDuration {
+        self.rate.transfer_time(n * 4)
+    }
+
+    /// Frame an event payload in begin/end control words.
+    pub fn frame_event(&mut self, payload: &[u32]) -> Vec<SLinkWord> {
+        let mut out = Vec::with_capacity(payload.len() + 2);
+        out.push(SLinkWord::control(BOE));
+        out.extend(payload.iter().map(|&d| SLinkWord::data(d)));
+        out.push(SLinkWord::control(EOE));
+        self.words_sent += out.len() as u64;
+        out
+    }
+
+    /// Parse a framed stream back into event payloads; words outside
+    /// BOE/EOE frames are discarded (link idle fill).
+    pub fn parse_events(stream: &[SLinkWord]) -> Vec<Vec<u32>> {
+        let mut events = Vec::new();
+        let mut current: Option<Vec<u32>> = None;
+        for w in stream {
+            match (w.control, w.data) {
+                (true, BOE) => current = Some(Vec::new()),
+                (true, EOE) => {
+                    if let Some(ev) = current.take() {
+                        events.push(ev);
+                    }
+                }
+                (true, _) => {}
+                (false, d) => {
+                    if let Some(ev) = &mut current {
+                        ev.push(d);
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    /// Words sent so far (including framing).
+    pub fn words_sent(&self) -> u64 {
+        self.words_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_and_parse_round_trip() {
+        let mut port = SLinkPort::default_link();
+        let ev1 = vec![1u32, 2, 3];
+        let ev2 = vec![9u32];
+        let mut stream = port.frame_event(&ev1);
+        stream.push(SLinkWord::data(0xDEAD)); // inter-event garbage
+        stream.extend(port.frame_event(&ev2));
+        let parsed = SLinkPort::parse_events(&stream);
+        assert_eq!(parsed, vec![ev1, ev2]);
+        assert_eq!(port.words_sent(), 3 + 2 + 1 + 2);
+    }
+
+    #[test]
+    fn truncated_event_is_dropped() {
+        let stream = [
+            SLinkWord::control(BOE),
+            SLinkWord::data(1),
+            // no EOE
+        ];
+        assert!(SLinkPort::parse_events(&stream).is_empty());
+    }
+
+    #[test]
+    fn transfer_time_at_160mbs() {
+        let port = SLinkPort::default_link();
+        // 40 M words × 4 B = 160 MB ⇒ 1 s.
+        assert_eq!(port.transfer_time(40_000_000), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn empty_event_frames() {
+        let mut port = SLinkPort::default_link();
+        let stream = port.frame_event(&[]);
+        assert_eq!(SLinkPort::parse_events(&stream), vec![Vec::<u32>::new()]);
+    }
+}

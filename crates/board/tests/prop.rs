@@ -1,0 +1,116 @@
+//! Property tests for the board models: S-Link framing is lossless, AIB
+//! channels are order-preserving bounded queues, and the ACB's mezzanine
+//! slot accounting never double-books a connector.
+
+#![allow(clippy::needless_range_loop)]
+
+use atlantis_board::{Acb, Aib, SLinkPort};
+use atlantis_mem::{MemoryModule, WideWord};
+use atlantis_simcore::Frequency;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of events framed on S-Link parses back identically,
+    /// even with idle garbage between frames.
+    #[test]
+    fn slink_framing_round_trips(events in proptest::collection::vec(proptest::collection::vec(any::<u32>(), 0..50), 0..10),
+                                 garbage in proptest::collection::vec(any::<u32>(), 0..5)) {
+        let mut port = SLinkPort::default_link();
+        let mut stream = Vec::new();
+        for ev in &events {
+            stream.extend(port.frame_event(ev));
+            for &g in &garbage {
+                // Idle data words outside frames must be ignored.
+                stream.push(atlantis_board::s_link::SLinkWord::data(g));
+            }
+        }
+        let parsed = SLinkPort::parse_events(&stream);
+        prop_assert_eq!(parsed, events);
+    }
+
+    /// AIB channels preserve word order through both buffer stages under
+    /// arbitrary offer/pump/drain interleavings, and never lose a word
+    /// they accepted.
+    #[test]
+    fn aib_channel_is_order_preserving(ops in proptest::collection::vec((0u8..3, 1usize..50), 1..100)) {
+        let mut aib = Aib::new();
+        let ch = aib.channel_mut(0);
+        let mut next = 0u64;
+        let mut accepted = Vec::new();
+        let mut drained = Vec::new();
+        for (op, n) in ops {
+            match op {
+                0 => {
+                    for _ in 0..n {
+                        if ch.offer(WideWord::from_lanes(36, vec![next])) {
+                            accepted.push(next);
+                        }
+                        next += 1;
+                    }
+                }
+                1 => {
+                    ch.pump(n);
+                }
+                _ => {
+                    for w in ch.drain(n) {
+                        drained.push(w.lanes()[0]);
+                    }
+                }
+            }
+        }
+        ch.pump(usize::MAX / 2);
+        for w in ch.drain(usize::MAX / 2) {
+            drained.push(w.lanes()[0]);
+        }
+        prop_assert_eq!(drained, accepted, "everything accepted comes out in order");
+    }
+
+    /// Mezzanine slot allocation: whatever module mix is attached, no
+    /// slot is double-booked and capacities sum correctly.
+    #[test]
+    fn acb_slot_accounting(choices in proptest::collection::vec((0usize..8, 0u8..3), 1..12)) {
+        let mut acb = Acb::new();
+        let f40 = Frequency::from_mhz(40);
+        let mut occupied = [false; 8];
+        let mut expected_capacity = 0u64;
+        for (slot, kind) in choices {
+            let module = match kind {
+                0 => MemoryModule::trt(f40),
+                1 => MemoryModule::generic(f40),
+                _ => MemoryModule::render(),
+            };
+            let needs = module.slots() as usize;
+            let cap = module.capacity_bytes();
+            let fits = slot + needs <= 8 && (slot..slot + needs).all(|s| !occupied[s]);
+            match acb.attach_module(slot, module) {
+                Ok(_) => {
+                    prop_assert!(fits, "accepted a conflicting module at {slot}");
+                    for s in slot..slot + needs {
+                        occupied[s] = true;
+                    }
+                    expected_capacity += cap;
+                }
+                Err(_) => prop_assert!(!fits, "rejected a valid placement at {slot}"),
+            }
+        }
+        prop_assert_eq!(acb.memory_capacity(), expected_capacity);
+    }
+
+    /// Neighbour-link transfers scale linearly in size and reject
+    /// non-adjacent pairs, for all index combinations.
+    #[test]
+    fn acb_link_rules(a in 0usize..4, b in 0usize..4, kb in 1u64..512) {
+        let acb = Acb::new();
+        let res = acb.link_transfer(a, b, kb * 1024);
+        if Acb::adjacent(a, b) {
+            let t = res.unwrap();
+            let t2 = acb.link_transfer(a, b, kb * 2048).unwrap();
+            let ratio = t2.as_picos() as f64 / t.as_picos() as f64;
+            prop_assert!((ratio - 2.0).abs() < 0.01, "linear in size: {ratio}");
+        } else {
+            prop_assert!(res.is_err());
+        }
+    }
+}

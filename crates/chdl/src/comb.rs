@@ -1,0 +1,360 @@
+//! Higher-level combinational building blocks.
+//!
+//! These are the kind of reusable generators the CHDL class library
+//! provided: parameterised structures produced by ordinary host code.
+
+use crate::netlist::Design;
+use crate::signal::{bits_for, Signal};
+
+impl Design {
+    /// Compare against a constant (1-bit result).
+    pub fn eq_const(&mut self, a: Signal, value: u64) -> Signal {
+        let c = self.lit(value, a.width());
+        self.eq(a, c)
+    }
+
+    /// `a + constant` at the width of `a`.
+    pub fn add_const(&mut self, a: Signal, value: u64) -> Signal {
+        let c = self.lit(value, a.width());
+        self.add(a, c)
+    }
+
+    /// Increment by one.
+    pub fn inc(&mut self, a: Signal) -> Signal {
+        self.add_const(a, 1)
+    }
+
+    /// Population count of `a`, wide enough to hold `a.width()`.
+    ///
+    /// Built as a balanced adder tree — the structure an FPGA implementation
+    /// would use for histogram increment fan-in.
+    pub fn popcount(&mut self, a: Signal) -> Signal {
+        let out_w = bits_for(a.width() as u64 + 1);
+        let mut layer: Vec<Signal> = (0..a.width())
+            .map(|i| {
+                let b = self.bit(a, i);
+                self.zext(b, out_w)
+            })
+            .collect();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            let mut it = layer.chunks(2);
+            for pair in &mut it {
+                match pair {
+                    [x, y] => next.push(self.add(*x, *y)),
+                    [x] => next.push(*x),
+                    _ => unreachable!(),
+                }
+            }
+            layer = next;
+        }
+        layer.pop().unwrap_or_else(|| self.lit(0, out_w))
+    }
+
+    /// N-way multiplexer: selects `options[sel]`. All options must share a
+    /// width; `sel` must be wide enough to index them. Out-of-range select
+    /// values return the last option (mux-tree semantics).
+    pub fn select(&mut self, sel: Signal, options: &[Signal]) -> Signal {
+        assert!(!options.is_empty(), "select with no options");
+        assert!(
+            (1u64 << sel.width().min(63)) >= options.len() as u64,
+            "select narrower than the option count"
+        );
+        self.select_tree(sel, options)
+    }
+
+    fn select_tree(&mut self, sel: Signal, options: &[Signal]) -> Signal {
+        if options.len() == 1 {
+            return options[0];
+        }
+        // Split on the highest bit that distinguishes indices in this range;
+        // both halves then recurse on the remaining lower bits.
+        let top_bit = bits_for(options.len() as u64) - 1;
+        let split = 1usize << top_bit;
+        debug_assert!(split < options.len());
+        let s = self.bit(sel, top_bit);
+        let lo = self.select_tree(sel, &options[..split]);
+        let hi = self.select_tree(sel, &options[split..]);
+        self.mux(s, hi, lo)
+    }
+
+    /// One-hot decoder: output bit `i` is 1 iff `a == i`. `n` ≤ 64.
+    pub fn decode(&mut self, a: Signal, n: usize) -> Signal {
+        assert!((1..=64).contains(&n), "decode width out of range");
+        let bits: Vec<Signal> = (0..n as u64).rev().map(|i| self.eq_const(a, i)).collect();
+        self.cat(&bits)
+    }
+
+    /// Priority encoder over the bits of `a` (lowest set bit wins).
+    /// Returns `(index, valid)`.
+    pub fn priority_encode(&mut self, a: Signal) -> (Signal, Signal) {
+        let idx_w = bits_for(a.width() as u64);
+        let mut index = self.lit(0, idx_w);
+        // Walk from the highest bit down so the lowest set bit ends up
+        // overriding in the mux chain.
+        for i in (0..a.width()).rev() {
+            let b = self.bit(a, i);
+            let candidate = self.lit(i as u64, idx_w);
+            index = self.mux(b, candidate, index);
+        }
+        let valid = self.reduce_or(a);
+        (index, valid)
+    }
+
+    /// Unsigned min of two equal-width values.
+    pub fn min(&mut self, a: Signal, b: Signal) -> Signal {
+        let sel = self.lt(a, b);
+        self.mux(sel, a, b)
+    }
+
+    /// Unsigned max of two equal-width values.
+    pub fn max(&mut self, a: Signal, b: Signal) -> Signal {
+        let sel = self.lt(a, b);
+        self.mux(sel, b, a)
+    }
+
+    /// Saturating addition: on overflow the result clamps to all-ones.
+    pub fn add_sat(&mut self, a: Signal, b: Signal) -> Signal {
+        let sum = self.add(a, b);
+        let ovf = self.lt(sum, a); // wrapped ⇒ sum < a
+        let all_ones = self.lit(crate::signal::mask(a.width()), a.width());
+        self.mux(ovf, all_ones, sum)
+    }
+
+    /// Absolute difference |a − b| of two unsigned values.
+    pub fn abs_diff(&mut self, a: Signal, b: Signal) -> Signal {
+        let ab = self.sub(a, b);
+        let ba = self.sub(b, a);
+        let sel = self.lt(a, b);
+        self.mux(sel, ba, ab)
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&mut self, a: Signal) -> Signal {
+        let zero = self.lit(0, a.width());
+        self.sub(zero, a)
+    }
+
+    /// Two's-complement absolute value.
+    pub fn abs(&mut self, a: Signal) -> Signal {
+        let sign = self.bit(a, a.width() - 1);
+        let n = self.neg(a);
+        self.mux(sign, n, a)
+    }
+
+    /// Signed less-than over two's-complement operands: flip the sign
+    /// bits and compare unsigned (the classic trick).
+    pub fn lt_signed(&mut self, a: Signal, b: Signal) -> Signal {
+        let w = a.width();
+        assert_eq!(w, b.width(), "width mismatch in lt_signed");
+        let top = self.lit(1u64 << (w - 1).min(63), w);
+        let ax = self.xor(a, top);
+        let bx = self.xor(b, top);
+        self.lt(ax, bx)
+    }
+
+    /// Signed greater-or-equal.
+    pub fn ge_signed(&mut self, a: Signal, b: Signal) -> Signal {
+        let lt = self.lt_signed(a, b);
+        self.not(lt)
+    }
+
+    /// Sign-extend to `width` bits.
+    pub fn sext(&mut self, a: Signal, width: u8) -> Signal {
+        assert!(width >= a.width(), "sext would truncate");
+        if width == a.width() {
+            return a;
+        }
+        let sign = self.bit(a, a.width() - 1);
+        let ones = self.lit(crate::signal::mask(width - a.width()), width - a.width());
+        let zeros = self.lit(0, width - a.width());
+        let ext = self.mux(sign, ones, zeros);
+        self.concat(ext, a)
+    }
+
+    /// Sum of a slice of equal-width signals as a balanced tree, extended
+    /// to `out_width` bits so the total cannot wrap.
+    pub fn sum_tree(&mut self, terms: &[Signal], out_width: u8) -> Signal {
+        assert!(!terms.is_empty(), "sum of no terms");
+        let mut layer: Vec<Signal> = terms.iter().map(|&t| self.zext(t, out_width)).collect();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                match pair {
+                    [x, y] => next.push(self.add(*x, *y)),
+                    [x] => next.push(*x),
+                    _ => unreachable!(),
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Sim;
+
+    #[test]
+    fn popcount_matches_count_ones() {
+        let mut d = Design::new("t");
+        let a = d.input("a", 16);
+        let pc = d.popcount(a);
+        d.expose_output("pc", pc);
+        let mut sim = Sim::new(&d);
+        for v in [0u64, 1, 0xFFFF, 0xAAAA, 0x8001, 1234] {
+            sim.set("a", v);
+            assert_eq!(sim.get("pc"), v.count_ones() as u64, "popcount({v:#x})");
+        }
+    }
+
+    #[test]
+    fn select_picks_option() {
+        let mut d = Design::new("t");
+        let sel = d.input("sel", 3);
+        let opts: Vec<_> = (0..5).map(|i| d.lit(i * 10, 8)).collect();
+        let out = d.select(sel, &opts);
+        d.expose_output("out", out);
+        let mut sim = Sim::new(&d);
+        for i in 0..5u64 {
+            sim.set("sel", i);
+            assert_eq!(sim.get("out"), i * 10, "select {i}");
+        }
+    }
+
+    #[test]
+    fn decode_is_one_hot() {
+        let mut d = Design::new("t");
+        let a = d.input("a", 3);
+        let oh = d.decode(a, 8);
+        d.expose_output("oh", oh);
+        let mut sim = Sim::new(&d);
+        for i in 0..8u64 {
+            sim.set("a", i);
+            assert_eq!(sim.get("oh"), 1 << i);
+        }
+    }
+
+    #[test]
+    fn priority_encoder_finds_lowest_bit() {
+        let mut d = Design::new("t");
+        let a = d.input("a", 8);
+        let (idx, valid) = d.priority_encode(a);
+        d.expose_output("idx", idx);
+        d.expose_output("valid", valid);
+        let mut sim = Sim::new(&d);
+        sim.set("a", 0b1010_1000);
+        assert_eq!(sim.get("idx"), 3);
+        assert_eq!(sim.get("valid"), 1);
+        sim.set("a", 0);
+        assert_eq!(sim.get("valid"), 0);
+    }
+
+    #[test]
+    fn min_max_absdiff() {
+        let mut d = Design::new("t");
+        let a = d.input("a", 8);
+        let b = d.input("b", 8);
+        let mn = d.min(a, b);
+        let mx = d.max(a, b);
+        let ad = d.abs_diff(a, b);
+        d.expose_output("mn", mn);
+        d.expose_output("mx", mx);
+        d.expose_output("ad", ad);
+        let mut sim = Sim::new(&d);
+        sim.set("a", 13);
+        sim.set("b", 200);
+        assert_eq!(sim.get("mn"), 13);
+        assert_eq!(sim.get("mx"), 200);
+        assert_eq!(sim.get("ad"), 187);
+        sim.set("a", 201);
+        assert_eq!(sim.get("ad"), 1);
+    }
+
+    #[test]
+    fn add_sat_clamps() {
+        let mut d = Design::new("t");
+        let a = d.input("a", 8);
+        let b = d.input("b", 8);
+        let s = d.add_sat(a, b);
+        d.expose_output("s", s);
+        let mut sim = Sim::new(&d);
+        sim.set("a", 250);
+        sim.set("b", 10);
+        assert_eq!(sim.get("s"), 255);
+        sim.set("b", 5);
+        assert_eq!(sim.get("s"), 255);
+        sim.set("b", 4);
+        assert_eq!(sim.get("s"), 254);
+    }
+
+    #[test]
+    fn signed_helpers_match_i64_semantics() {
+        let mut d = Design::new("t");
+        let a = d.input("a", 8);
+        let b = d.input("b", 8);
+        let lt = d.lt_signed(a, b);
+        let ge = d.ge_signed(a, b);
+        let ab = d.abs(a);
+        let ng = d.neg(a);
+        d.expose_output("lt", lt);
+        d.expose_output("ge", ge);
+        d.expose_output("abs", ab);
+        d.expose_output("neg", ng);
+        let mut sim = Sim::new(&d);
+        for (av, bv) in [
+            (5i8, -3i8),
+            (-5, 3),
+            (-1, -2),
+            (127, -128),
+            (0, 0),
+            (-128, -128),
+        ] {
+            sim.set("a", av as u8 as u64);
+            sim.set("b", bv as u8 as u64);
+            assert_eq!(sim.get("lt"), u64::from(av < bv), "{av} < {bv}");
+            assert_eq!(sim.get("ge"), u64::from(av >= bv));
+            assert_eq!(
+                sim.get("abs"),
+                (av as i64).wrapping_abs() as u8 as u64,
+                "|{av}|"
+            );
+            assert_eq!(sim.get("neg"), (av as i64).wrapping_neg() as u8 as u64);
+        }
+    }
+
+    #[test]
+    fn sext_preserves_value() {
+        let mut d = Design::new("t");
+        let a = d.input("a", 8);
+        let wide = d.sext(a, 16);
+        d.expose_output("w", wide);
+        let mut sim = Sim::new(&d);
+        for v in [-100i8, -1, 0, 1, 100] {
+            sim.set("a", v as u8 as u64);
+            assert_eq!(sim.get("w"), v as i16 as u16 as u64, "sext({v})");
+        }
+    }
+
+    #[test]
+    fn sum_tree_sums() {
+        let mut d = Design::new("t");
+        let terms: Vec<_> = (1..=10).map(|i| d.lit(i, 8)).collect();
+        let s = d.sum_tree(&terms, 16);
+        d.expose_output("s", s);
+        let mut sim = Sim::new(&d);
+        assert_eq!(sim.get("s"), 55);
+    }
+
+    #[test]
+    fn sum_tree_does_not_wrap() {
+        let mut d = Design::new("t");
+        let terms: Vec<_> = (0..8).map(|_| d.lit(255, 8)).collect();
+        let s = d.sum_tree(&terms, 12);
+        d.expose_output("s", s);
+        let mut sim = Sim::new(&d);
+        assert_eq!(sim.get("s"), 255 * 8);
+    }
+}

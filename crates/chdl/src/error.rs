@@ -1,0 +1,42 @@
+//! Error types for design construction and elaboration.
+
+use std::fmt;
+
+/// Errors raised while elaborating or simulating a CHDL design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChdlError {
+    /// The combinational part of the design contains a cycle. The payload
+    /// names (some of) the nodes on the cycle to aid debugging.
+    CombinationalLoop {
+        /// Human-readable descriptions of nodes participating in the loop.
+        nodes: Vec<String>,
+    },
+    /// A register slot created with [`Design::reg_slot`](crate::Design::reg_slot)
+    /// was never driven before simulation.
+    UndrivenRegister {
+        /// The register's declared name.
+        name: String,
+    },
+    /// Two design objects were mixed up: a signal from one design was used
+    /// in another, or a simulator was asked about a foreign signal.
+    ForeignSignal,
+    /// No input/output/label with the given name exists.
+    UnknownName(String),
+}
+
+impl fmt::Display for ChdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChdlError::CombinationalLoop { nodes } => {
+                write!(f, "combinational loop through: {}", nodes.join(" -> "))
+            }
+            ChdlError::UndrivenRegister { name } => {
+                write!(f, "register slot '{name}' was never driven")
+            }
+            ChdlError::ForeignSignal => write!(f, "signal belongs to a different design"),
+            ChdlError::UnknownName(name) => write!(f, "no signal named '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for ChdlError {}

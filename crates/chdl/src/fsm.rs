@@ -1,0 +1,242 @@
+//! State-machine entry, the second CHDL description form (paper §2.5:
+//! “a hardware description based on C++ classes for entering structural
+//! designs *and state machine definitions*”).
+//!
+//! An [`FsmBuilder`] collects states and guarded transitions, then compiles
+//! them into ordinary netlist structure: a state register plus a mux chain
+//! for the next-state function. Earlier-declared transitions take priority
+//! when several guards are true in the same cycle.
+
+use crate::netlist::Design;
+use crate::signal::{bits_for, Signal};
+
+/// Handle to a declared state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateId(usize);
+
+/// Builder for a finite state machine.
+#[derive(Debug)]
+pub struct FsmBuilder {
+    name: String,
+    states: Vec<String>,
+    transitions: Vec<(StateId, Signal, StateId)>,
+}
+
+/// A compiled state machine.
+#[derive(Debug)]
+pub struct Fsm {
+    /// The encoded state register (width `bits_for(#states)`).
+    pub state: Signal,
+    in_state: Vec<Signal>,
+    state_names: Vec<String>,
+}
+
+impl FsmBuilder {
+    /// Start a state machine. The first declared state is the reset state.
+    pub fn new(name: impl Into<String>) -> Self {
+        FsmBuilder {
+            name: name.into(),
+            states: Vec::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Declare a state.
+    pub fn state(&mut self, name: impl Into<String>) -> StateId {
+        let id = StateId(self.states.len());
+        self.states.push(name.into());
+        id
+    }
+
+    /// Declare a guarded transition. When the machine is in `from` and
+    /// `cond` is 1 at a clock edge, it moves to `to`. Transitions declared
+    /// earlier win when several guards hold simultaneously.
+    pub fn transition(&mut self, from: StateId, cond: Signal, to: StateId) {
+        assert_eq!(cond.width(), 1, "transition guard must be 1 bit");
+        assert!(from.0 < self.states.len() && to.0 < self.states.len());
+        self.transitions.push((from, cond, to));
+    }
+
+    /// An unconditional transition (taken every cycle spent in `from`,
+    /// unless a higher-priority guarded transition fires).
+    pub fn always(&mut self, d: &mut Design, from: StateId, to: StateId) {
+        let one = d.high();
+        self.transitions.push((from, one, to));
+    }
+
+    /// Compile into netlist structure.
+    pub fn build(self, d: &mut Design) -> Fsm {
+        assert!(!self.states.is_empty(), "FSM '{}' has no states", self.name);
+        let width = bits_for(self.states.len() as u64);
+        d.push_scope(format!("fsm.{}", self.name));
+        let slot = d.reg_slot(format!("{}.state", self.name), width, 0);
+        let q = slot.q;
+
+        let in_state: Vec<Signal> = (0..self.states.len())
+            .map(|i| d.eq_const(q, i as u64))
+            .collect();
+
+        // Later muxes in the chain override earlier ones, so iterate the
+        // transition list in declaration order and let the *first*
+        // declared transition be applied last.
+        let mut next = q;
+        for &(from, cond, to) in self.transitions.iter().rev() {
+            let take = d.and(in_state[from.0], cond);
+            let target = d.lit(to.0 as u64, width);
+            next = d.mux(take, target, next);
+        }
+        d.drive_reg(slot, next);
+        d.pop_scope();
+
+        Fsm {
+            state: q,
+            in_state,
+            state_names: self.states,
+        }
+    }
+}
+
+impl Fsm {
+    /// A 1-bit signal that is high while the machine is in `s`.
+    pub fn in_state(&self, s: StateId) -> Signal {
+        self.in_state[s.0]
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.in_state.len()
+    }
+
+    /// The declared name of a state (for debugging and traces).
+    pub fn state_name(&self, index: u64) -> &str {
+        &self.state_names[index as usize]
+    }
+
+    /// A Moore output: `values[s]` while in state `s`.
+    pub fn moore_output(&self, d: &mut Design, values: &[u64], width: u8) -> Signal {
+        assert_eq!(values.len(), self.in_state.len(), "one value per state");
+        let options: Vec<Signal> = values.iter().map(|&v| d.lit(v, width)).collect();
+        d.select(self.state, &options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Sim;
+
+    /// A classic request/grant handshake FSM.
+    fn handshake() -> (Design, StateId, StateId, StateId) {
+        let mut d = Design::new("hs");
+        let req = d.input("req", 1);
+        let done = d.input("done", 1);
+        let mut b = FsmBuilder::new("hs");
+        let idle = b.state("idle");
+        let busy = b.state("busy");
+        let ack = b.state("ack");
+        b.transition(idle, req, busy);
+        b.transition(busy, done, ack);
+        b.always(&mut d, ack, idle);
+        let fsm = b.build(&mut d);
+        d.expose_output("state", fsm.state);
+        d.expose_output("is_busy", fsm.in_state(busy));
+        (d, idle, busy, ack)
+    }
+
+    #[test]
+    fn fsm_walks_through_states() {
+        let (d, _, _, _) = handshake();
+        let mut sim = Sim::new(&d);
+        assert_eq!(sim.get("state"), 0, "reset state is the first declared");
+        sim.set("req", 1);
+        sim.step();
+        assert_eq!(sim.get("state"), 1);
+        assert_eq!(sim.get("is_busy"), 1);
+        sim.set("req", 0);
+        sim.run(3);
+        assert_eq!(sim.get("state"), 1, "waits for done");
+        sim.set("done", 1);
+        sim.step();
+        assert_eq!(sim.get("state"), 2);
+        sim.step();
+        assert_eq!(sim.get("state"), 0, "unconditional return to idle");
+    }
+
+    #[test]
+    fn earlier_transition_wins() {
+        let mut d = Design::new("p");
+        let go = d.input("go", 1);
+        let mut b = FsmBuilder::new("p");
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        let s2 = b.state("s2");
+        // Both guards are the same signal; the first declared must win.
+        b.transition(s0, go, s1);
+        b.transition(s0, go, s2);
+        let fsm = b.build(&mut d);
+        d.expose_output("state", fsm.state);
+        let mut sim = Sim::new(&d);
+        sim.set("go", 1);
+        sim.step();
+        assert_eq!(
+            sim.get("state"),
+            1,
+            "first declared transition has priority"
+        );
+    }
+
+    #[test]
+    fn stays_put_without_matching_transition() {
+        let mut d = Design::new("p");
+        let go = d.input("go", 1);
+        let mut b = FsmBuilder::new("p");
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.transition(s0, go, s1);
+        let fsm = b.build(&mut d);
+        d.expose_output("state", fsm.state);
+        let mut sim = Sim::new(&d);
+        sim.set("go", 0);
+        sim.run(5);
+        assert_eq!(sim.get("state"), 0);
+    }
+
+    #[test]
+    fn moore_output_follows_state() {
+        let mut d = Design::new("p");
+        let go = d.input("go", 1);
+        let mut b = FsmBuilder::new("p");
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        let s2 = b.state("s2");
+        b.transition(s0, go, s1);
+        b.transition(s1, go, s2);
+        b.transition(s2, go, s0);
+        let fsm = b.build(&mut d);
+        let out = fsm.moore_output(&mut d, &[0xA, 0xB, 0xC], 4);
+        d.expose_output("out", out);
+        let mut sim = Sim::new(&d);
+        sim.set("go", 1);
+        assert_eq!(sim.get("out"), 0xA);
+        sim.step();
+        assert_eq!(sim.get("out"), 0xB);
+        sim.step();
+        assert_eq!(sim.get("out"), 0xC);
+        sim.step();
+        assert_eq!(sim.get("out"), 0xA);
+    }
+
+    #[test]
+    fn state_metadata() {
+        let mut d = Design::new("p");
+        let mut b = FsmBuilder::new("p");
+        let s0 = b.state("alpha");
+        let s1 = b.state("beta");
+        b.always(&mut d, s0, s1);
+        b.always(&mut d, s1, s0);
+        let fsm = b.build(&mut d);
+        assert_eq!(fsm.state_count(), 2);
+        assert_eq!(fsm.state_name(0), "alpha");
+        assert_eq!(fsm.state_name(1), "beta");
+    }
+}

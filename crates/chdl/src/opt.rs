@@ -1,0 +1,542 @@
+//! Netlist optimization: constant folding, identity simplification and
+//! dead-logic elimination.
+//!
+//! CHDL designs are *generated* by host code, so they routinely contain
+//! logic a human would never write: multiplications by literal 1, muxes
+//! with constant selects (from generics resolved at elaboration time),
+//! and whole subtrees whose outputs nothing consumes. The real flow left
+//! that clean-up to the vendor mapper; this pass does it at the netlist
+//! level so that [`stats`](crate::Design::stats) — and therefore the
+//! fitter — see the logic a mapper would actually implement.
+//!
+//! The pass is *semantics-preserving by construction* (each rewrite is a
+//! local identity) and verified by equivalence tests that co-simulate the
+//! original and optimized netlists on shared stimuli.
+
+use crate::netlist::{BinOp, Design, Node, UnOp};
+use crate::signal::mask;
+
+/// Statistics of one optimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptReport {
+    /// Combinational nodes removed (folded, aliased or dead).
+    pub nodes_removed: usize,
+    /// Constants created by folding.
+    pub constants_folded: usize,
+    /// Memories dropped (no live read or write port).
+    pub memories_removed: usize,
+}
+
+impl Design {
+    /// Produce an optimized copy of this design. All inputs, exposed
+    /// outputs, registers reachable from them, memories with live ports
+    /// and **labels** are preserved (labels keep their probe targets, so
+    /// debugging probes never silently vanish).
+    pub fn optimized(&self) -> (Design, OptReport) {
+        let n = self.nodes.len();
+        let mut report = OptReport::default();
+
+        // ---- pass 1: forward value analysis ---------------------------
+        // For each node: Some(constant) when its value is a compile-time
+        // constant, and an alias target when it is a copy of another node.
+        let mut constant: Vec<Option<u64>> = vec![None; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let resolve = |alias: &[u32], mut i: u32| -> u32 {
+            while alias[i as usize] != i {
+                i = alias[i as usize];
+            }
+            i
+        };
+        for i in 0..n {
+            let node = &self.nodes[i];
+            let c = |idx: u32, constant: &[Option<u64>], alias: &[u32]| {
+                constant[resolve(alias, idx) as usize]
+            };
+            match node {
+                Node::Const { value, .. } => constant[i] = Some(*value),
+                Node::Unop { op, a, width } => {
+                    if let Some(av) = c(*a, &constant, &alias) {
+                        let aw = self.node_width_of(*a);
+                        let v = match op {
+                            UnOp::Not => !av & mask(*width),
+                            UnOp::ReduceAnd => u64::from(av == mask(aw)),
+                            UnOp::ReduceOr => u64::from(av != 0),
+                            UnOp::ReduceXor => u64::from(av.count_ones() & 1 == 1),
+                        };
+                        constant[i] = Some(v);
+                    }
+                }
+                Node::Binop { op, a, b, width } => {
+                    let av = c(*a, &constant, &alias);
+                    let bv = c(*b, &constant, &alias);
+                    let m = mask(*width);
+                    let aw = self.node_width_of(*a);
+                    match (av, bv) {
+                        (Some(x), Some(y)) => {
+                            let v = match op {
+                                BinOp::And => x & y,
+                                BinOp::Or => x | y,
+                                BinOp::Xor => x ^ y,
+                                BinOp::Add => x.wrapping_add(y) & m,
+                                BinOp::Sub => x.wrapping_sub(y) & m,
+                                BinOp::Mul => x.wrapping_mul(y) & m,
+                                BinOp::Eq => u64::from(x == y),
+                                BinOp::Ne => u64::from(x != y),
+                                BinOp::Lt => u64::from(x < y),
+                                BinOp::Le => u64::from(x <= y),
+                                BinOp::Shl => {
+                                    if y >= aw as u64 {
+                                        0
+                                    } else {
+                                        (x << y) & m
+                                    }
+                                }
+                                BinOp::Shr => {
+                                    if y >= aw as u64 {
+                                        0
+                                    } else {
+                                        x >> y
+                                    }
+                                }
+                            };
+                            constant[i] = Some(v);
+                        }
+                        // Identity rewrites producing aliases.
+                        (Some(0), None) if matches!(op, BinOp::Or | BinOp::Xor | BinOp::Add) => {
+                            alias[i] = resolve(&alias, *b);
+                        }
+                        (None, Some(0))
+                            if matches!(
+                                op,
+                                BinOp::Or
+                                    | BinOp::Xor
+                                    | BinOp::Add
+                                    | BinOp::Sub
+                                    | BinOp::Shl
+                                    | BinOp::Shr
+                            ) =>
+                        {
+                            alias[i] = resolve(&alias, *a);
+                        }
+                        (Some(0), None) if matches!(op, BinOp::And | BinOp::Mul) => {
+                            constant[i] = Some(0);
+                        }
+                        (None, Some(0)) if matches!(op, BinOp::And | BinOp::Mul) => {
+                            constant[i] = Some(0);
+                        }
+                        (None, Some(1)) if matches!(op, BinOp::Mul) => {
+                            alias[i] = resolve(&alias, *a);
+                        }
+                        (Some(1), None) if matches!(op, BinOp::Mul) => {
+                            alias[i] = resolve(&alias, *b);
+                        }
+                        (None, Some(k)) if matches!(op, BinOp::And) && k == m => {
+                            alias[i] = resolve(&alias, *a);
+                        }
+                        (Some(k), None) if matches!(op, BinOp::And) && k == m => {
+                            alias[i] = resolve(&alias, *b);
+                        }
+                        _ => {}
+                    }
+                }
+                Node::Mux { sel, t, f, .. } => {
+                    match c(*sel, &constant, &alias) {
+                        Some(0) => {
+                            if let Some(v) = c(*f, &constant, &alias) {
+                                constant[i] = Some(v);
+                            } else {
+                                alias[i] = resolve(&alias, *f);
+                            }
+                        }
+                        Some(_) => {
+                            if let Some(v) = c(*t, &constant, &alias) {
+                                constant[i] = Some(v);
+                            } else {
+                                alias[i] = resolve(&alias, *t);
+                            }
+                        }
+                        None => {
+                            // mux(s, x, x) → x.
+                            let rt = resolve(&alias, *t);
+                            let rf = resolve(&alias, *f);
+                            if rt == rf {
+                                alias[i] = rt;
+                            }
+                        }
+                    }
+                }
+                Node::Slice { a, lo, width } => {
+                    if let Some(av) = c(*a, &constant, &alias) {
+                        constant[i] = Some((av >> lo) & mask(*width));
+                    } else if *lo == 0 && *width == self.node_width_of(*a) {
+                        alias[i] = resolve(&alias, *a); // full-width slice
+                    }
+                }
+                Node::Concat { hi, lo, .. } => {
+                    if let (Some(h), Some(l)) =
+                        (c(*hi, &constant, &alias), c(*lo, &constant, &alias))
+                    {
+                        let lw = self.node_width_of(*lo);
+                        constant[i] = Some((h << lw) | l);
+                    }
+                }
+                Node::Input { .. } | Node::Reg { .. } | Node::ReadPort { .. } => {}
+            }
+        }
+
+        // ---- pass 2: liveness -----------------------------------------
+        // Roots: inputs (interface), outputs, labels, write ports, and —
+        // transitively — everything live nodes reference.
+        let mut live = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mark = |idx: u32, live: &mut Vec<bool>, stack: &mut Vec<u32>| {
+            let r = resolve(&alias, idx);
+            if !live[r as usize] {
+                live[r as usize] = true;
+                stack.push(r);
+            }
+        };
+        for (i, node) in self.nodes.iter().enumerate() {
+            if matches!(node, Node::Input { .. }) {
+                live[i] = true;
+            }
+        }
+        for o in &self.outputs {
+            mark(o.src, &mut live, &mut stack);
+        }
+        for sig in self.names.values() {
+            mark(sig.node, &mut live, &mut stack);
+        }
+        for wp in &self.write_ports {
+            mark(wp.addr, &mut live, &mut stack);
+            mark(wp.data, &mut live, &mut stack);
+            mark(wp.we, &mut live, &mut stack);
+        }
+        while let Some(idx) = stack.pop() {
+            if constant[idx as usize].is_some() {
+                continue; // will become a constant; operands not needed
+            }
+            for dep in self.node_operands(idx) {
+                mark(dep, &mut live, &mut stack);
+            }
+        }
+
+        // Memories: live if any live read port or any write port touches
+        // them.
+        let mut mem_live = vec![false; self.mems.len()];
+        for wp in &self.write_ports {
+            mem_live[wp.mem as usize] = true;
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if live[i] {
+                if let Node::ReadPort { mem, .. } = node {
+                    mem_live[*mem as usize] = true;
+                }
+            }
+        }
+
+        // ---- pass 3: rebuild ------------------------------------------
+        let mut out = Design::new(format!("{}_opt", self.name()));
+        let mut mem_map = vec![u32::MAX; self.mems.len()];
+        for (j, m) in self.mems.iter().enumerate() {
+            if mem_live[j] {
+                mem_map[j] = out.raw_push_memory(m.clone());
+            } else {
+                report.memories_removed += 1;
+            }
+        }
+        let mut node_map = vec![u32::MAX; n];
+        for i in 0..n {
+            let r = resolve(&alias, i as u32) as usize;
+            if r != i {
+                continue; // aliased away; mapped after its target exists
+            }
+            if !live[i] {
+                report.nodes_removed += 1;
+                continue;
+            }
+            if let Some(v) = constant[i] {
+                if !matches!(self.nodes[i], Node::Const { .. }) {
+                    report.constants_folded += 1;
+                    report.nodes_removed += 1;
+                }
+                let w = self.node_width_of(i as u32);
+                node_map[i] = out.raw_push_node(Node::Const { value: v, width: w });
+                continue;
+            }
+            let remap = |idx: u32, node_map: &[u32], alias: &[u32]| -> u32 {
+                let r = resolve(alias, idx);
+                let m = node_map[r as usize];
+                debug_assert_ne!(m, u32::MAX, "live node depends on a removed node");
+                m
+            };
+            let new_node = match &self.nodes[i] {
+                Node::Input { name, width } => Node::Input {
+                    name: name.clone(),
+                    width: *width,
+                },
+                Node::Const { value, width } => Node::Const {
+                    value: *value,
+                    width: *width,
+                },
+                Node::Unop { op, a, width } => Node::Unop {
+                    op: *op,
+                    a: remap(*a, &node_map, &alias),
+                    width: *width,
+                },
+                Node::Binop { op, a, b, width } => Node::Binop {
+                    op: *op,
+                    a: remap(*a, &node_map, &alias),
+                    b: remap(*b, &node_map, &alias),
+                    width: *width,
+                },
+                Node::Mux { sel, t, f, width } => Node::Mux {
+                    sel: remap(*sel, &node_map, &alias),
+                    t: remap(*t, &node_map, &alias),
+                    f: remap(*f, &node_map, &alias),
+                    width: *width,
+                },
+                Node::Slice { a, lo, width } => Node::Slice {
+                    a: remap(*a, &node_map, &alias),
+                    lo: *lo,
+                    width: *width,
+                },
+                Node::Concat { hi, lo, width } => Node::Concat {
+                    hi: remap(*hi, &node_map, &alias),
+                    lo: remap(*lo, &node_map, &alias),
+                    width: *width,
+                },
+                Node::Reg {
+                    name,
+                    d,
+                    en,
+                    clr,
+                    init,
+                    width,
+                } => Node::Reg {
+                    name: name.clone(),
+                    d: *d, // patched in the fix-up pass (may be forward)
+                    en: *en,
+                    clr: *clr,
+                    init: *init,
+                    width: *width,
+                },
+                Node::ReadPort {
+                    mem,
+                    addr,
+                    sync,
+                    width,
+                } => Node::ReadPort {
+                    mem: mem_map[*mem as usize],
+                    addr: remap(*addr, &node_map, &alias),
+                    sync: *sync,
+                    width: *width,
+                },
+            };
+            node_map[i] = out.raw_push_node(new_node);
+        }
+        // Alias entries map to their (now created) targets.
+        for i in 0..n {
+            let r = resolve(&alias, i as u32) as usize;
+            if r != i {
+                node_map[i] = node_map[r];
+            }
+        }
+        // Fix up register control/data references (may be forward refs).
+        out.raw_fixup_regs(|idx| {
+            let r = resolve(&alias, idx);
+            node_map[r as usize]
+        });
+        // Write ports, outputs, names.
+        for wp in &self.write_ports {
+            if mem_map[wp.mem as usize] == u32::MAX {
+                continue;
+            }
+            out.raw_push_write_port(
+                mem_map[wp.mem as usize],
+                node_map[resolve(&alias, wp.addr) as usize],
+                node_map[resolve(&alias, wp.data) as usize],
+                node_map[resolve(&alias, wp.we) as usize],
+            );
+        }
+        out.raw_copy_interface(self, |idx| node_map[resolve(&alias, idx) as usize]);
+        (out, report)
+    }
+
+    fn node_width_of(&self, idx: u32) -> u8 {
+        crate::netlist::node_width(&self.nodes[idx as usize])
+    }
+
+    fn node_operands(&self, idx: u32) -> Vec<u32> {
+        match &self.nodes[idx as usize] {
+            Node::Input { .. } | Node::Const { .. } => vec![],
+            Node::Unop { a, .. } | Node::Slice { a, .. } => vec![*a],
+            Node::Binop { a, b, .. } => vec![*a, *b],
+            Node::Mux { sel, t, f, .. } => vec![*sel, *t, *f],
+            Node::Concat { hi, lo, .. } => vec![*hi, *lo],
+            Node::ReadPort { addr, .. } => vec![*addr],
+            Node::Reg { d, en, clr, .. } => {
+                let mut v = vec![*d];
+                if let Some(e) = en {
+                    v.push(*e);
+                }
+                if let Some(c) = clr {
+                    v.push(*c);
+                }
+                v
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Sim;
+    use atlantis_simcore::rng::WorkloadRng;
+
+    /// Co-simulate a design and its optimized form on random stimuli.
+    fn assert_equivalent(d: &Design, cycles: u64, seed: u64) {
+        let (opt, _) = d.optimized();
+        let mut s1 = Sim::new(d);
+        let mut s2 = Sim::new(&opt);
+        let inputs = d.inputs();
+        let outputs = d.output_ports();
+        let mut rng = WorkloadRng::seed_from_u64(seed);
+        for cycle in 0..cycles {
+            for (name, width) in &inputs {
+                let v = rng.below(1u64 << (*width as u64).min(63));
+                s1.set(name, v);
+                s2.set(name, v);
+            }
+            for (name, _) in &outputs {
+                assert_eq!(s1.get(name), s2.get(name), "output '{name}' cycle {cycle}");
+            }
+            s1.step();
+            s2.step();
+        }
+    }
+
+    #[test]
+    fn constant_subtrees_fold() {
+        let mut d = Design::new("t");
+        let x = d.input("x", 8);
+        let a = d.lit(3, 8);
+        let b = d.lit(4, 8);
+        let k = d.mul(a, b); // 12, foldable
+        let y = d.add(x, k);
+        d.expose_output("y", y);
+        let (opt, report) = d.optimized();
+        assert!(report.constants_folded >= 1);
+        assert!(
+            opt.stats().gates < d.stats().gates,
+            "the 8-bit multiplier vanished"
+        );
+        assert_equivalent(&d, 10, 1);
+    }
+
+    #[test]
+    fn identities_alias_away() {
+        let mut d = Design::new("t");
+        let x = d.input("x", 16);
+        let zero = d.lit(0, 16);
+        let one = d.lit(1, 16);
+        let a = d.add(x, zero); // x
+        let b = d.mul(a, one); // x
+        let c = d.or(zero, b); // x
+        let ones = d.lit(0xFFFF, 16);
+        let e = d.and(c, ones); // x
+        d.expose_output("y", e);
+        let (opt, _) = d.optimized();
+        assert_eq!(opt.stats().gates, 0, "everything reduced to wiring");
+        assert_equivalent(&d, 10, 2);
+    }
+
+    #[test]
+    fn constant_mux_selects_collapse() {
+        let mut d = Design::new("t");
+        let x = d.input("x", 8);
+        let y = d.input("y", 8);
+        let always = d.high();
+        let m1 = d.mux(always, x, y); // x
+        let never = d.low();
+        let m2 = d.mux(never, x, y); // y
+        let sel = d.input("s", 1);
+        let same = d.mux(sel, m1, m1); // mux of identical arms → m1
+        let s = d.add(m1, m2);
+        let s2 = d.add(s, same);
+        d.expose_output("z", s2);
+        let (opt, _) = d.optimized();
+        assert!(opt.stats().gates < d.stats().gates);
+        assert_equivalent(&d, 10, 3);
+    }
+
+    #[test]
+    fn dead_logic_is_removed_but_labels_survive() {
+        let mut d = Design::new("t");
+        let x = d.input("x", 8);
+        let y = d.input("y", 8);
+        let used = d.add(x, y);
+        let dead = d.mul(x, y); // never consumed
+        let _dead2 = d.sub(dead, y);
+        let probed = d.xor(x, y);
+        d.label("probe", probed);
+        d.expose_output("out", used);
+        let (opt, report) = d.optimized();
+        assert!(report.nodes_removed >= 2, "{report:?}");
+        // The probe must still be readable.
+        let mut sim = Sim::new(&opt);
+        sim.set("x", 5);
+        sim.set("y", 3);
+        assert_eq!(sim.get("probe"), 6);
+        assert_equivalent(&d, 10, 4);
+    }
+
+    #[test]
+    fn unused_memories_are_dropped() {
+        let mut d = Design::new("t");
+        let x = d.input("x", 8);
+        d.memory("never_touched", 256, 32);
+        let m = d.memory("read_only", 16, 8);
+        let addr = d.trunc(x, 4);
+        let rd = d.read_async(m, addr);
+        d.expose_output("rd", rd);
+        let (opt, report) = d.optimized();
+        assert_eq!(report.memories_removed, 1);
+        assert_eq!(opt.stats().ram_bits, 16 * 8);
+        assert_equivalent(&d, 10, 5);
+    }
+
+    #[test]
+    fn registers_and_feedback_survive() {
+        let mut d = Design::new("t");
+        let en = d.input("en", 1);
+        let c = d.counter("c", 8, en, None);
+        let one = d.lit(1, 8);
+        let useless = d.mul(c.value, one); // alias of the counter
+        d.expose_output("v", useless);
+        assert_equivalent(&d, 30, 6);
+        let (opt, _) = d.optimized();
+        assert_eq!(opt.stats().flip_flops, 8);
+    }
+
+    #[test]
+    fn real_designs_shrink_and_stay_equivalent() {
+        // The elaborated accumulator family used across the repo.
+        let mut d = Design::new("t");
+        let x = d.input("x", 16);
+        let zero = d.lit(0, 16);
+        let mut acc = zero;
+        for i in 0..6u64 {
+            let k = d.lit(i % 3, 16); // some coefficients are 0 and 1
+            let term = d.mul(x, k);
+            acc = d.add(acc, term);
+        }
+        let r = d.reg("r", acc);
+        d.expose_output("y", r);
+        let before = d.stats().gates;
+        let (opt, report) = d.optimized();
+        assert!(opt.stats().gates < before, "{report:?}");
+        assert_equivalent(&d, 20, 7);
+    }
+}

@@ -1,0 +1,228 @@
+//! Sequential building blocks: counters, shift registers, pipelines.
+
+use crate::netlist::Design;
+use crate::signal::Signal;
+
+/// The outputs of a [`Design::counter`].
+#[derive(Debug, Clone, Copy)]
+pub struct Counter {
+    /// Current count value.
+    pub value: Signal,
+    /// High for the cycle in which the counter wraps (or hits its limit).
+    pub wrap: Signal,
+}
+
+impl Design {
+    /// A free-running modulo-2ᵂ counter with enable and synchronous clear.
+    pub fn counter(
+        &mut self,
+        name: impl Into<String>,
+        width: u8,
+        en: Signal,
+        clr: Option<Signal>,
+    ) -> Counter {
+        let name = name.into();
+        let slot = self.reg_slot(name, width, 0);
+        let q = slot.q;
+        let next = self.inc(q);
+        self.set_reg_controls(&slot, Some(en), clr);
+        self.drive_reg(slot, next);
+        let all_ones = self.lit(crate::signal::mask(width), width);
+        let at_max = self.eq(q, all_ones);
+        let wrap = self.and(at_max, en);
+        Counter { value: q, wrap }
+    }
+
+    /// A counter that counts `0 .. limit-1` and wraps to zero; `wrap`
+    /// pulses in the cycle the counter would reach `limit`.
+    pub fn counter_mod(
+        &mut self,
+        name: impl Into<String>,
+        width: u8,
+        limit: u64,
+        en: Signal,
+    ) -> Counter {
+        assert!(limit >= 1, "counter_mod limit must be >= 1");
+        let name = name.into();
+        let slot = self.reg_slot(name, width, 0);
+        let q = slot.q;
+        let at_limit = self.eq_const(q, limit - 1);
+        let zero = self.lit(0, width);
+        let inc = self.inc(q);
+        let next = self.mux(at_limit, zero, inc);
+        self.set_reg_controls(&slot, Some(en), None);
+        self.drive_reg(slot, next);
+        let wrap = self.and(at_limit, en);
+        Counter { value: q, wrap }
+    }
+
+    /// An `n`-stage register pipeline (delay line); returns the outputs of
+    /// every stage, `result[0]` being one cycle behind `input`.
+    pub fn pipeline(&mut self, name: impl Into<String>, input: Signal, n: usize) -> Vec<Signal> {
+        let name = name.into();
+        let mut stages = Vec::with_capacity(n);
+        let mut cur = input;
+        for i in 0..n {
+            cur = self.reg(format!("{name}[{i}]"), cur);
+            stages.push(cur);
+        }
+        stages
+    }
+
+    /// A serial-in shift register of `n` one-bit stages, shifting towards
+    /// the most significant bit. Returns the parallel value.
+    pub fn shift_register(
+        &mut self,
+        name: impl Into<String>,
+        serial_in: Signal,
+        n: u8,
+        en: Signal,
+    ) -> Signal {
+        assert_eq!(serial_in.width(), 1, "serial input must be 1 bit");
+        let name = name.into();
+        let slot = self.reg_slot(name, n, 0);
+        let q = slot.q;
+        let next = if n == 1 {
+            serial_in
+        } else {
+            let upper = self.slice(q, 0, n - 1);
+            self.concat(upper, serial_in)
+        };
+        self.set_reg_controls(&slot, Some(en), None);
+        self.drive_reg(slot, next);
+        q
+    }
+
+    /// An edge detector: output pulses for one cycle when `a` rises.
+    pub fn rising_edge(&mut self, name: impl Into<String>, a: Signal) -> Signal {
+        assert_eq!(a.width(), 1, "edge detect needs a 1-bit signal");
+        let prev = self.reg(name, a);
+        let n = self.not(prev);
+        self.and(a, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Sim;
+
+    #[test]
+    fn counter_counts_and_wraps() {
+        let mut d = Design::new("t");
+        let en = d.input("en", 1);
+        let c = d.counter("c", 3, en, None);
+        d.expose_output("v", c.value);
+        d.expose_output("w", c.wrap);
+        let mut sim = Sim::new(&d);
+        sim.set("en", 1);
+        for i in 0..7 {
+            assert_eq!(sim.get("v"), i);
+            assert_eq!(sim.get("w"), 0);
+            sim.step();
+        }
+        assert_eq!(sim.get("v"), 7);
+        assert_eq!(sim.get("w"), 1, "wrap asserted at max with enable");
+        sim.step();
+        assert_eq!(sim.get("v"), 0);
+    }
+
+    #[test]
+    fn counter_holds_without_enable() {
+        let mut d = Design::new("t");
+        let en = d.input("en", 1);
+        let c = d.counter("c", 4, en, None);
+        d.expose_output("v", c.value);
+        let mut sim = Sim::new(&d);
+        sim.set("en", 1);
+        sim.run(5);
+        sim.set("en", 0);
+        sim.run(5);
+        assert_eq!(sim.get("v"), 5);
+    }
+
+    #[test]
+    fn counter_clear() {
+        let mut d = Design::new("t");
+        let en = d.input("en", 1);
+        let clr = d.input("clr", 1);
+        let c = d.counter("c", 4, en, Some(clr));
+        d.expose_output("v", c.value);
+        let mut sim = Sim::new(&d);
+        sim.set("en", 1);
+        sim.run(9);
+        sim.set("clr", 1);
+        sim.step();
+        assert_eq!(sim.get("v"), 0);
+    }
+
+    #[test]
+    fn counter_mod_wraps_at_limit() {
+        let mut d = Design::new("t");
+        let en = d.input("en", 1);
+        let c = d.counter_mod("c", 4, 10, en);
+        d.expose_output("v", c.value);
+        d.expose_output("w", c.wrap);
+        let mut sim = Sim::new(&d);
+        sim.set("en", 1);
+        for i in 0..10 {
+            assert_eq!(sim.get("v"), i);
+            assert_eq!(sim.get("w"), u64::from(i == 9));
+            sim.step();
+        }
+        assert_eq!(sim.get("v"), 0, "wrapped to zero, not 10");
+    }
+
+    #[test]
+    fn pipeline_delays() {
+        let mut d = Design::new("t");
+        let x = d.input("x", 8);
+        let stages = d.pipeline("p", x, 3);
+        d.expose_output("out", stages[2]);
+        let mut sim = Sim::new(&d);
+        let inputs = [1u64, 2, 3, 4, 5, 6];
+        let mut seen = Vec::new();
+        for &v in &inputs {
+            sim.set("x", v);
+            seen.push(sim.get("out"));
+            sim.step();
+        }
+        assert_eq!(seen, [0, 0, 0, 1, 2, 3], "3-cycle latency");
+    }
+
+    #[test]
+    fn shift_register_shifts() {
+        let mut d = Design::new("t");
+        let s = d.input("s", 1);
+        let en = d.input("en", 1);
+        let q = d.shift_register("sr", s, 4, en);
+        d.expose_output("q", q);
+        let mut sim = Sim::new(&d);
+        sim.set("en", 1);
+        for bit in [1u64, 0, 1, 1] {
+            sim.set("s", bit);
+            sim.step();
+        }
+        // Bits shift toward the MSB; the first bit in is now at the top:
+        // in order 1,0,1,1 ⇒ q = 0b1011.
+        assert_eq!(sim.get("q"), 0b1011);
+    }
+
+    #[test]
+    fn rising_edge_pulses_once() {
+        let mut d = Design::new("t");
+        let a = d.input("a", 1);
+        let e = d.rising_edge("ed", a);
+        d.expose_output("e", e);
+        let mut sim = Sim::new(&d);
+        sim.set("a", 0);
+        sim.step();
+        sim.set("a", 1);
+        assert_eq!(sim.get("e"), 1, "pulse on the rise");
+        sim.step();
+        assert_eq!(sim.get("e"), 0, "only one cycle");
+        sim.step();
+        sim.set("a", 0);
+        assert_eq!(sim.get("e"), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Signal handles and bit-width arithmetic.
+
+/// A handle to one net in a [`Design`](crate::Design).
+///
+/// Signals are cheap copyable references into the netlist; all structure
+/// lives in the `Design`. A signal carries its width (1–64 bits) so that
+/// builder methods can check operand compatibility without a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signal {
+    pub(crate) node: u32,
+    pub(crate) width: u8,
+}
+
+impl Signal {
+    /// The bit width of this signal (1–64).
+    pub fn width(self) -> u8 {
+        self.width
+    }
+
+    /// The internal node index (stable for the lifetime of the design).
+    pub fn node_index(self) -> u32 {
+        self.node
+    }
+}
+
+/// The maximum signal width supported by the word-level simulator.
+pub const MAX_WIDTH: u8 = 64;
+
+/// The value mask for a `width`-bit signal.
+///
+/// ```
+/// # use atlantis_chdl::signal::mask;
+/// assert_eq!(mask(1), 0b1);
+/// assert_eq!(mask(8), 0xFF);
+/// assert_eq!(mask(64), u64::MAX);
+/// ```
+pub fn mask(width: u8) -> u64 {
+    debug_assert!((1..=MAX_WIDTH).contains(&width), "bad width {width}");
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Number of bits needed to represent values `0..n` (at least 1).
+///
+/// ```
+/// # use atlantis_chdl::signal::bits_for;
+/// assert_eq!(bits_for(1), 1);
+/// assert_eq!(bits_for(2), 1);
+/// assert_eq!(bits_for(3), 2);
+/// assert_eq!(bits_for(256), 8);
+/// assert_eq!(bits_for(257), 9);
+/// ```
+pub fn bits_for(n: u64) -> u8 {
+    if n <= 2 {
+        1
+    } else {
+        (64 - (n - 1).leading_zeros()) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_edges() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(2), 3);
+        assert_eq!(mask(63), u64::MAX >> 1);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn bits_for_powers_of_two() {
+        for w in 1..=63u8 {
+            assert_eq!(bits_for(1u64 << w), w, "2^{w} values need {w} bits");
+            assert_eq!(bits_for((1u64 << w) + 1), w + 1);
+        }
+    }
+
+    #[test]
+    fn bits_for_degenerate() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+    }
+}

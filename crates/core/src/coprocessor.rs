@@ -1,0 +1,252 @@
+//! Hardware task switching on a coprocessor FPGA.
+//!
+//! §2: “In particular the partial reconfiguration is of great interest
+//! for co-processing applications involving hardware task switches.”
+//! A [`Coprocessor`] owns one FPGA and a named library of fitted
+//! designs. `switch_to` loads a task: the first load is a full
+//! configuration; subsequent switches use partial reconfiguration and pay
+//! only for the frames that differ — the measurable benefit this module's
+//! statistics expose.
+
+use atlantis_chdl::Design;
+use atlantis_fabric::{fit, Device, FittedDesign};
+use atlantis_fabric::{ConfigError, FitError, Fpga};
+use atlantis_simcore::SimDuration;
+use std::collections::HashMap;
+
+/// Cumulative task-switch statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskStats {
+    /// Full configurations performed.
+    pub full_loads: u64,
+    /// Partial-reconfiguration switches performed.
+    pub partial_switches: u64,
+    /// Total configuration frames written.
+    pub frames_written: u64,
+    /// Total virtual time spent reconfiguring.
+    pub reconfig_time: SimDuration,
+}
+
+/// Errors from the coprocessor API.
+#[derive(Debug)]
+pub enum TaskError {
+    /// No task with that name in the library.
+    UnknownTask(String),
+    /// The design does not fit the device.
+    Fit(FitError),
+    /// The configuration port rejected the operation.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::UnknownTask(n) => write!(f, "unknown task '{n}'"),
+            TaskError::Fit(e) => write!(f, "fit: {e}"),
+            TaskError::Config(e) => write!(f, "config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// One FPGA plus its task library.
+#[derive(Debug)]
+pub struct Coprocessor {
+    fpga: Fpga,
+    library: HashMap<String, FittedDesign>,
+    current: Option<String>,
+    stats: TaskStats,
+}
+
+impl Coprocessor {
+    /// A coprocessor on a fresh FPGA of the given device.
+    pub fn new(device: Device) -> Self {
+        Coprocessor {
+            fpga: Fpga::new(device),
+            library: HashMap::new(),
+            current: None,
+            stats: TaskStats::default(),
+        }
+    }
+
+    /// Fit a design and register it under a task name.
+    pub fn register(&mut self, name: impl Into<String>, design: &Design) -> Result<(), TaskError> {
+        let fitted = fit(design, self.fpga.device()).map_err(TaskError::Fit)?;
+        self.library.insert(name.into(), fitted);
+        Ok(())
+    }
+
+    /// Registered task names (sorted).
+    pub fn tasks(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.library.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// The task currently loaded, if any.
+    pub fn current_task(&self) -> Option<&str> {
+        self.current.as_deref()
+    }
+
+    /// Switch the FPGA to a task. First load configures fully; later
+    /// switches use partial reconfiguration. Switching to the already
+    /// loaded task is free. Returns the virtual time consumed.
+    pub fn switch_to(&mut self, name: &str) -> Result<SimDuration, TaskError> {
+        if self.current.as_deref() == Some(name) {
+            return Ok(SimDuration::ZERO);
+        }
+        let fitted = self
+            .library
+            .get(name)
+            .ok_or_else(|| TaskError::UnknownTask(name.to_string()))?
+            .clone();
+        let t = if self.fpga.is_configured() && self.fpga.device().partial_reconfig {
+            let (frames, t) = self
+                .fpga
+                .partial_reconfigure(&fitted)
+                .map_err(TaskError::Config)?;
+            self.stats.partial_switches += 1;
+            self.stats.frames_written += frames as u64;
+            t
+        } else {
+            let t = self.fpga.configure(&fitted).map_err(TaskError::Config)?;
+            self.stats.full_loads += 1;
+            self.stats.frames_written += self.fpga.device().config_frames as u64;
+            t
+        };
+        self.stats.reconfig_time += t;
+        self.current = Some(name.to_string());
+        Ok(t)
+    }
+
+    /// The underlying FPGA (drive the loaded design through its `Sim`).
+    pub fn fpga_mut(&mut self) -> &mut Fpga {
+        &mut self.fpga
+    }
+
+    /// Switch statistics.
+    pub fn stats(&self) -> TaskStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two related tasks sharing most structure, plus an unrelated one.
+    fn task_design(name: &str, taps: &[u64]) -> Design {
+        let mut d = Design::new(name);
+        let x = d.input("x", 16);
+        let mut acc = d.lit(0, 16);
+        for (i, &t) in taps.iter().enumerate() {
+            let k = d.lit(t, 16);
+            let m = d.mul(x, k);
+            let r = d.reg(format!("t{i}"), m);
+            acc = d.add(acc, r);
+        }
+        d.expose_output("y", acc);
+        d
+    }
+
+    fn coproc() -> Coprocessor {
+        let mut c = Coprocessor::new(Device::orca_3t125());
+        c.register("fir_a", &task_design("fir_a", &[1, 2, 3, 4]))
+            .unwrap();
+        c.register("fir_b", &task_design("fir_b", &[1, 2, 3, 5]))
+            .unwrap();
+        c.register("fir_long", &task_design("fir_long", &[9; 12]))
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn first_load_is_full_then_partial() {
+        let mut c = coproc();
+        let t_full = c.switch_to("fir_a").unwrap();
+        assert_eq!(c.stats().full_loads, 1);
+        let t_partial = c.switch_to("fir_b").unwrap();
+        assert_eq!(c.stats().partial_switches, 1);
+        assert!(
+            t_partial < t_full / 4,
+            "task switch {t_partial} must be much cheaper than full load {t_full}"
+        );
+        assert_eq!(c.current_task(), Some("fir_b"));
+    }
+
+    #[test]
+    fn switch_to_current_is_free() {
+        let mut c = coproc();
+        c.switch_to("fir_a").unwrap();
+        let t = c.switch_to("fir_a").unwrap();
+        assert_eq!(t, SimDuration::ZERO);
+        assert_eq!(c.stats().partial_switches, 0);
+    }
+
+    #[test]
+    fn similar_tasks_switch_faster_than_dissimilar() {
+        let mut c1 = coproc();
+        c1.switch_to("fir_a").unwrap();
+        let t_similar = c1.switch_to("fir_b").unwrap();
+        let mut c2 = coproc();
+        c2.switch_to("fir_a").unwrap();
+        let t_different = c2.switch_to("fir_long").unwrap();
+        assert!(
+            t_similar < t_different,
+            "one-coefficient change {t_similar} vs new structure {t_different}"
+        );
+    }
+
+    #[test]
+    fn loaded_task_is_runnable() {
+        let mut c = coproc();
+        c.switch_to("fir_a").unwrap();
+        let sim = c.fpga_mut().sim_mut().unwrap();
+        sim.set("x", 10);
+        sim.step();
+        // taps 1,2,3,4 each × 10, all registered once: y = 100.
+        assert_eq!(sim.get("y"), 100);
+    }
+
+    #[test]
+    fn unknown_task_errors() {
+        let mut c = coproc();
+        assert!(matches!(
+            c.switch_to("nope"),
+            Err(TaskError::UnknownTask(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_design_rejected_at_registration() {
+        let mut c = Coprocessor::new(Device::xc4013e());
+        let mut d = Design::new("big");
+        let x = d.input("x", 64);
+        let mut acc = x;
+        for i in 0..8 {
+            let k = d.lit(i + 1, 64);
+            acc = d.mul(acc, k);
+        }
+        d.expose_output("y", acc);
+        assert!(matches!(c.register("big", &d), Err(TaskError::Fit(_))));
+    }
+
+    #[test]
+    fn tasks_listing_sorted() {
+        let c = coproc();
+        assert_eq!(c.tasks(), vec!["fir_a", "fir_b", "fir_long"]);
+    }
+
+    #[test]
+    fn stats_accumulate_over_a_switch_sequence() {
+        let mut c = coproc();
+        for name in ["fir_a", "fir_b", "fir_a", "fir_long", "fir_a"] {
+            c.switch_to(name).unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(s.full_loads, 1);
+        assert_eq!(s.partial_switches, 4);
+        assert!(s.reconfig_time > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,34 @@
+//! # `atlantis-core` — full-system assembly
+//!
+//! This crate puts the boards into the crate (pun intended, §2): a
+//! CompactPCI chassis with the host CPU in one slot, ACBs and AIBs in the
+//! others, the AAB private bus behind them, and one microenable-style
+//! driver instance per FPGA board. On top of the raw system it provides
+//! the two control-plane services the paper highlights:
+//!
+//! * [`Coprocessor`] — the hardware task-switching API: a library of
+//!   fitted designs per FPGA, loaded with full configuration on first
+//!   use and **partial reconfiguration** on switches (§2: “the partial
+//!   reconfiguration is of great interest for co-processing applications
+//!   involving hardware task switches”),
+//! * [`audit`] — a static resource audit that cross-checks every
+//!   headline figure of §2 against the models (744k gates per ACB, 422
+//!   I/O signals per FPGA, 1 GB/s per slot, 4×264 MB/s AIB channels …).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod coprocessor;
+pub mod system;
+
+pub use audit::{audit_system, AuditRow};
+pub use coprocessor::{Coprocessor, TaskStats};
+pub use system::{AtlantisSystem, SystemBuilder};
+
+/// Commonly used re-exports.
+pub mod prelude {
+    pub use crate::audit::audit_system;
+    pub use crate::coprocessor::Coprocessor;
+    pub use crate::system::{AtlantisSystem, SystemBuilder};
+}

@@ -1,0 +1,285 @@
+//! The assembled ATLANTIS system.
+//!
+//! §2.4: “The host computer to be used with ATLANTIS is an industrial
+//! version of a standard x86 PC — a CompactPCI computer that plugs into
+//! one of the AAB slots.” The host reaches every board through its PLX
+//! bridge over CompactPCI; board-to-board data flows over the AAB
+//! private bus.
+
+use atlantis_backplane::{Aab, AabError, BackplaneKind, ConnectionId};
+use atlantis_board::{Acb, Aib, CpuClass, HostCpu};
+use atlantis_pci::Driver;
+use atlantis_simcore::{Frequency, SimDuration, SimTime};
+
+/// What occupies a crate slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// The host CPU module.
+    Host,
+    /// A computing board.
+    Acb(usize),
+    /// An I/O board.
+    Aib(usize),
+}
+
+/// Builder for an [`AtlantisSystem`].
+#[derive(Debug)]
+pub struct SystemBuilder {
+    cpu: CpuClass,
+    backplane: BackplaneKind,
+    acbs: usize,
+    aibs: usize,
+    main_clock: Frequency,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SystemBuilder {
+    /// A builder for the minimal published system: a Celeron-450 host and
+    /// the passive pipelined test backplane.
+    pub fn new() -> Self {
+        SystemBuilder {
+            cpu: CpuClass::Celeron450,
+            backplane: BackplaneKind::PassivePipelined,
+            acbs: 0,
+            aibs: 0,
+            main_clock: Frequency::from_mhz(66),
+        }
+    }
+
+    /// Choose the host CPU.
+    pub fn host(mut self, cpu: CpuClass) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Choose the backplane kind.
+    pub fn backplane(mut self, kind: BackplaneKind) -> Self {
+        self.backplane = kind;
+        self
+    }
+
+    /// Add `n` computing boards.
+    pub fn with_acbs(mut self, n: usize) -> Self {
+        self.acbs = n;
+        self
+    }
+
+    /// Add `n` I/O boards.
+    pub fn with_aibs(mut self, n: usize) -> Self {
+        self.aibs = n;
+        self
+    }
+
+    /// Assemble the system. Slot 0 is the host; ACBs then AIBs follow.
+    pub fn build(self) -> AtlantisSystem {
+        let slots = 1 + self.acbs + self.aibs;
+        let aab = Aab::new(self.backplane, slots.max(2));
+        let mut slot_map = vec![SlotKind::Host];
+        let mut acbs = Vec::with_capacity(self.acbs);
+        for i in 0..self.acbs {
+            let mut acb = Acb::new();
+            acb.clocks_mut().attach_main(self.main_clock);
+            acbs.push(Driver::open(acb));
+            slot_map.push(SlotKind::Acb(i));
+        }
+        let mut aibs = Vec::with_capacity(self.aibs);
+        for i in 0..self.aibs {
+            let mut aib = Aib::new();
+            aib.clocks_mut().attach_main(self.main_clock);
+            aibs.push(aib);
+            slot_map.push(SlotKind::Aib(i));
+        }
+        AtlantisSystem {
+            host: HostCpu::new(self.cpu),
+            aab,
+            acbs,
+            aibs,
+            slot_map,
+            now: SimTime::ZERO,
+        }
+    }
+}
+
+/// A powered-up ATLANTIS crate.
+#[derive(Debug)]
+pub struct AtlantisSystem {
+    /// The host CPU.
+    pub host: HostCpu,
+    /// The active backplane.
+    pub aab: Aab,
+    acbs: Vec<Driver<Acb>>,
+    aibs: Vec<Aib>,
+    slot_map: Vec<SlotKind>,
+    now: SimTime,
+}
+
+impl AtlantisSystem {
+    /// Start building a system.
+    pub fn builder() -> SystemBuilder {
+        SystemBuilder::new()
+    }
+
+    /// What sits in each slot, in slot order.
+    pub fn slots(&self) -> &[SlotKind] {
+        &self.slot_map
+    }
+
+    /// Number of computing boards.
+    pub fn acb_count(&self) -> usize {
+        self.acbs.len()
+    }
+
+    /// Number of I/O boards.
+    pub fn aib_count(&self) -> usize {
+        self.aibs.len()
+    }
+
+    /// The driver handle (and through it the board) of ACB `i`.
+    pub fn acb(&mut self, i: usize) -> &mut Driver<Acb> {
+        &mut self.acbs[i]
+    }
+
+    /// I/O board `i`.
+    pub fn aib(&mut self, i: usize) -> &mut Aib {
+        &mut self.aibs[i]
+    }
+
+    /// The crate slot of ACB `i`.
+    pub fn acb_slot(&self, i: usize) -> usize {
+        self.slot_map
+            .iter()
+            .position(|&s| s == SlotKind::Acb(i))
+            .expect("ACB present")
+    }
+
+    /// The crate slot of AIB `i`.
+    pub fn aib_slot(&self, i: usize) -> usize {
+        self.slot_map
+            .iter()
+            .position(|&s| s == SlotKind::Aib(i))
+            .expect("AIB present")
+    }
+
+    /// Configure a private-bus connection between an AIB and an ACB
+    /// (“the task of the ATLANTIS I/O units is to connect the ATLANTIS
+    /// system to its real-world environments via the private backplane
+    /// bus”).
+    pub fn connect_aib_to_acb(
+        &mut self,
+        aib: usize,
+        acb: usize,
+        channels: usize,
+    ) -> Result<ConnectionId, AabError> {
+        let a = self.aib_slot(aib);
+        let b = self.acb_slot(acb);
+        self.aab.connect(a, b, channels)
+    }
+
+    /// Current virtual time of the system clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance the system clock (callers account their own durations).
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now += d;
+    }
+
+    /// Stream `bytes` over a backplane connection starting at the current
+    /// system time; advances the clock to the transfer's completion.
+    pub fn backplane_transfer(
+        &mut self,
+        conn: ConnectionId,
+        bytes: u64,
+    ) -> Result<SimDuration, AabError> {
+        let (start, done) = self.aab.transfer(conn, self.now, bytes)?;
+        let _ = start;
+        let elapsed = done.since(self.now);
+        self.now = done;
+        Ok(elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_system() -> AtlantisSystem {
+        AtlantisSystem::builder()
+            .host(CpuClass::Celeron450)
+            .backplane(BackplaneKind::Configurable)
+            .with_acbs(2)
+            .with_aibs(1)
+            .build()
+    }
+
+    #[test]
+    fn slots_are_laid_out_host_first() {
+        let sys = small_system();
+        assert_eq!(
+            sys.slots(),
+            &[
+                SlotKind::Host,
+                SlotKind::Acb(0),
+                SlotKind::Acb(1),
+                SlotKind::Aib(0)
+            ]
+        );
+        assert_eq!(sys.acb_count(), 2);
+        assert_eq!(sys.aib_count(), 1);
+    }
+
+    #[test]
+    fn boards_have_the_main_clock() {
+        let mut sys = small_system();
+        assert!(sys.acb(0).target().clocks().has_main());
+    }
+
+    #[test]
+    fn aib_to_acb_connection_and_transfer() {
+        let mut sys = small_system();
+        let conn = sys.connect_aib_to_acb(0, 0, 4).unwrap();
+        let t = sys.backplane_transfer(conn, 1 << 20).unwrap();
+        // 1 MiB at ~1 GB/s ≈ 1 ms.
+        let ms = t.as_millis_f64();
+        assert!((0.9..=1.1).contains(&ms), "{t}");
+        assert!(sys.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn two_pairs_use_independent_channels() {
+        let mut sys = AtlantisSystem::builder()
+            .backplane(BackplaneKind::Configurable)
+            .with_acbs(2)
+            .with_aibs(2)
+            .build();
+        sys.connect_aib_to_acb(0, 0, 4).unwrap();
+        sys.connect_aib_to_acb(1, 1, 4).unwrap();
+        // §2.3: “an integrated bandwidth of 2 GB/s will result”.
+        let agg = sys.aab.aggregate_bandwidth().as_mb_per_sec();
+        assert!((agg - 2112.0).abs() < 1.0, "{agg}");
+    }
+
+    #[test]
+    fn dma_to_an_installed_acb_works() {
+        let mut sys = small_system();
+        let data = vec![0xA5u8; 4096];
+        let t = sys.acb(0).dma_write(0, &data);
+        assert!(t > SimDuration::ZERO);
+        let (back, _) = sys.acb(0).dma_read(0, 4096);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn host_cpu_class_is_configurable() {
+        let sys = AtlantisSystem::builder()
+            .host(CpuClass::PentiumMmx200)
+            .build();
+        assert_eq!(sys.host.class(), CpuClass::PentiumMmx200);
+    }
+}

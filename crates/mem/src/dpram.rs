@@ -1,0 +1,148 @@
+//! Asynchronous dual-ported RAM.
+//!
+//! DP-RAM is one of the two FPGA features the paper calls out as important
+//! for the concept (§2: “support for read-back/test and asynchronous dual
+//! ported memory”), and it implements the first buffering stage of every
+//! AIB I/O channel (§2.2). Two independent ports access the same array in
+//! the same cycle; simultaneous writes to one address are a (counted)
+//! conflict resolved in favour of port A, as the parts' data sheets
+//! specify for their arbitration-free modes.
+
+use crate::wide::{lanes_for, WideWord};
+
+/// Which port performed an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Port {
+    /// Port A (typically the external I/O side).
+    A,
+    /// Port B (typically the FPGA side).
+    B,
+}
+
+/// A dual-ported RAM of `words` × `width` bits.
+#[derive(Debug, Clone)]
+pub struct DpRam {
+    words: usize,
+    width: u32,
+    lanes: usize,
+    data: Vec<u64>,
+    conflicts: u64,
+}
+
+impl DpRam {
+    /// A zero-initialised array.
+    pub fn new(words: usize, width: u32) -> Self {
+        assert!(words > 0 && width > 0);
+        let lanes = lanes_for(width);
+        DpRam {
+            words,
+            width,
+            lanes,
+            data: vec![0; words * lanes],
+            conflicts: 0,
+        }
+    }
+
+    /// The 32k × 36 channel buffer used on the AIB (§2.2).
+    pub fn aib_channel_buffer() -> Self {
+        DpRam::new(32 * 1024, 36)
+    }
+
+    /// Words in the array.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Read through either port.
+    pub fn read(&self, _port: Port, addr: usize) -> WideWord {
+        assert!(addr < self.words, "DP-RAM read address out of range");
+        let base = addr * self.lanes;
+        WideWord::from_lanes(self.width, self.data[base..base + self.lanes].to_vec())
+    }
+
+    /// Write through either port.
+    pub fn write(&mut self, _port: Port, addr: usize, word: &WideWord) {
+        assert!(addr < self.words, "DP-RAM write address out of range");
+        assert_eq!(word.width(), self.width, "word width mismatch");
+        let base = addr * self.lanes;
+        self.data[base..base + self.lanes].copy_from_slice(word.lanes());
+    }
+
+    /// A simultaneous same-cycle write from both ports. When the addresses
+    /// collide, port A wins and the conflict counter increments.
+    pub fn write_both(
+        &mut self,
+        addr_a: usize,
+        word_a: &WideWord,
+        addr_b: usize,
+        word_b: &WideWord,
+    ) {
+        if addr_a == addr_b {
+            self.conflicts += 1;
+            self.write(Port::B, addr_b, word_b);
+            self.write(Port::A, addr_a, word_a); // port A wins
+        } else {
+            self.write(Port::A, addr_a, word_a);
+            self.write(Port::B, addr_b, word_b);
+        }
+    }
+
+    /// Same-address write conflicts observed so far.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word36(v: u64) -> WideWord {
+        WideWord::from_lanes(36, vec![v])
+    }
+
+    #[test]
+    fn aib_buffer_dimensions() {
+        let d = DpRam::aib_channel_buffer();
+        assert_eq!(d.words(), 32 * 1024);
+        assert_eq!(d.width(), 36);
+    }
+
+    #[test]
+    fn ports_share_storage() {
+        let mut d = DpRam::new(16, 36);
+        d.write(Port::A, 3, &word36(0xABC));
+        assert_eq!(d.read(Port::B, 3), word36(0xABC), "B sees A's write");
+        d.write(Port::B, 3, &word36(0x123));
+        assert_eq!(d.read(Port::A, 3), word36(0x123), "A sees B's write");
+    }
+
+    #[test]
+    fn simultaneous_writes_different_addresses() {
+        let mut d = DpRam::new(16, 36);
+        d.write_both(1, &word36(11), 2, &word36(22));
+        assert_eq!(d.read(Port::A, 1), word36(11));
+        assert_eq!(d.read(Port::A, 2), word36(22));
+        assert_eq!(d.conflicts(), 0);
+    }
+
+    #[test]
+    fn conflicting_writes_port_a_wins() {
+        let mut d = DpRam::new(16, 36);
+        d.write_both(5, &word36(0xAAA), 5, &word36(0xBBB));
+        assert_eq!(d.read(Port::B, 5), word36(0xAAA));
+        assert_eq!(d.conflicts(), 1);
+    }
+
+    #[test]
+    fn word_36_bits_masked() {
+        let mut d = DpRam::new(4, 36);
+        d.write(Port::A, 0, &WideWord::from_lanes(36, vec![u64::MAX]));
+        assert_eq!(d.read(Port::A, 0).lanes()[0], (1u64 << 36) - 1);
+    }
+}

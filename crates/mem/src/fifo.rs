@@ -1,0 +1,185 @@
+//! Behavioural hardware FIFO with occupancy tracking.
+//!
+//! Each AIB I/O channel buffers in two stages (§2.2): a 32k × 36 FIFO
+//! directly at the I/O port (dual-ported memory) and a 1M × 36 general
+//! purpose SSRAM buffer behind it. This FIFO model is used by the channel
+//! and backplane simulators; the gate-level FIFO generator lives in
+//! `atlantis-chdl`.
+
+use crate::wide::WideWord;
+use std::collections::VecDeque;
+
+/// A bounded FIFO of wide words with drop-and-count overflow semantics.
+#[derive(Debug, Clone)]
+pub struct HwFifo {
+    depth: usize,
+    width: u32,
+    queue: VecDeque<WideWord>,
+    high_water: usize,
+    overflows: u64,
+    underflows: u64,
+    total_pushed: u64,
+}
+
+impl HwFifo {
+    /// An empty FIFO of `depth` entries of `width` bits.
+    pub fn new(depth: usize, width: u32) -> Self {
+        assert!(depth > 0 && width > 0);
+        HwFifo {
+            depth,
+            width,
+            queue: VecDeque::with_capacity(depth.min(1 << 16)),
+            high_water: 0,
+            overflows: 0,
+            underflows: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// The 32k × 36 first-stage AIB channel FIFO (§2.2).
+    pub fn aib_stage1() -> Self {
+        HwFifo::new(32 * 1024, 36)
+    }
+
+    /// The 1M × 36 second-stage AIB channel buffer (§2.2).
+    pub fn aib_stage2() -> Self {
+        HwFifo::new(1024 * 1024, 36)
+    }
+
+    /// Configured depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// True when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() == self.depth
+    }
+
+    /// Enqueue; a push against a full FIFO is dropped and counted.
+    /// Returns whether the word was accepted.
+    pub fn push(&mut self, word: WideWord) -> bool {
+        assert_eq!(word.width(), self.width, "word width mismatch");
+        if self.is_full() {
+            self.overflows += 1;
+            return false;
+        }
+        self.queue.push_back(word);
+        self.total_pushed += 1;
+        self.high_water = self.high_water.max(self.queue.len());
+        true
+    }
+
+    /// Dequeue; a pop from an empty FIFO is counted as an underflow.
+    pub fn pop(&mut self) -> Option<WideWord> {
+        match self.queue.pop_front() {
+            Some(w) => Some(w),
+            None => {
+                self.underflows += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek at the head without removing it.
+    pub fn front(&self) -> Option<&WideWord> {
+        self.queue.front()
+    }
+
+    /// Highest occupancy ever reached (for buffer-sizing studies).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Dropped pushes.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Pops from empty.
+    pub fn underflows(&self) -> u64 {
+        self.underflows
+    }
+
+    /// Total accepted pushes.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(v: u64) -> WideWord {
+        WideWord::from_lanes(36, vec![v])
+    }
+
+    #[test]
+    fn order_preserved() {
+        let mut f = HwFifo::new(4, 36);
+        for i in 0..3 {
+            assert!(f.push(w(i)));
+        }
+        assert_eq!(f.pop(), Some(w(0)));
+        assert_eq!(f.pop(), Some(w(1)));
+        assert_eq!(f.pop(), Some(w(2)));
+        assert_eq!(f.pop(), None);
+        assert_eq!(f.underflows(), 1);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut f = HwFifo::new(2, 36);
+        assert!(f.push(w(1)));
+        assert!(f.push(w(2)));
+        assert!(!f.push(w(3)));
+        assert_eq!(f.overflows(), 1);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.pop(), Some(w(1)), "dropped word never entered");
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut f = HwFifo::new(8, 36);
+        for i in 0..5 {
+            f.push(w(i));
+        }
+        for _ in 0..5 {
+            f.pop();
+        }
+        f.push(w(9));
+        assert_eq!(f.high_water(), 5);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn aib_stage_dimensions() {
+        assert_eq!(HwFifo::aib_stage1().depth(), 32 * 1024);
+        assert_eq!(HwFifo::aib_stage2().depth(), 1024 * 1024);
+        assert_eq!(HwFifo::aib_stage1().width(), 36);
+    }
+
+    #[test]
+    fn front_does_not_consume() {
+        let mut f = HwFifo::new(2, 36);
+        f.push(w(7));
+        assert_eq!(f.front(), Some(&w(7)));
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # `atlantis-mem` — the configurable ATLANTIS memory system
+//!
+//! “Another highlight is the configurable memory system which complements
+//! the flexibility of the FPGAs” (paper §1). Each FPGA on the computing
+//! board exposes a 206-line memory interconnect built from two high-density
+//! 124-pin mezzanine connectors, and different memory daughter-modules are
+//! plugged per application (§2.1):
+//!
+//! * the **HEP TRT trigger** uses a single bank of 512k × 176-bit
+//!   synchronous SRAM per module (≈ 11 MB each, ~44 MB per ACB),
+//! * the **3-D renderer** uses one triple-width module with 512 MB of
+//!   SDRAM organised as 8 simultaneously accessible banks,
+//! * **2-D image processing** uses a generic module with 9 MB of
+//!   synchronous SRAM in 2 banks of 512k × 72 bits.
+//!
+//! This crate provides cycle-approximate behavioural models of the
+//! underlying parts — [`Ssram`], [`Sdram`], [`DpRam`], [`HwFifo`] — and the
+//! three mezzanine [`MemoryModule`] products built from them. Words wider
+//! than 64 bits are handled as little-endian *lanes* of `u64` (see
+//! [`wide`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dpram;
+pub mod fifo;
+pub mod module;
+pub mod sdram;
+pub mod ssram;
+pub mod wide;
+
+pub use dpram::DpRam;
+pub use fifo::HwFifo;
+pub use module::{MemoryModule, ModuleKind};
+pub use sdram::{Sdram, SdramTiming};
+pub use ssram::Ssram;
+pub use wide::WideWord;

@@ -1,0 +1,263 @@
+//! The mezzanine memory-module products of §2.1.
+//!
+//! “Depending on the application, memory modules with different
+//! architectures can be used to optimize system performance”:
+//!
+//! | product | organisation | use |
+//! |---|---|---|
+//! | [`MemoryModule::trt`] | 1 bank of 512k × 176-bit SSRAM | HEP TRT trigger |
+//! | [`MemoryModule::render`] | 512 MB SDRAM, 8 banks, triple width | 3-D volume rendering |
+//! | [`MemoryModule::generic`] | 2 banks of 512k × 72-bit SSRAM (9 MB) | 2-D image processing |
+//!
+//! Each ACB FPGA offers two mezzanine connectors; a standard module takes
+//! one connector pair (one *slot* here), the render module is “of triple
+//! width” and occupies three.
+
+use crate::sdram::Sdram;
+use crate::ssram::Ssram;
+use crate::wide::WideWord;
+use atlantis_simcore::{Frequency, SimDuration};
+
+/// Which product a module is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModuleKind {
+    /// 512k × 176-bit single-bank SSRAM (TRT trigger).
+    TrtSsram,
+    /// 512 MB SDRAM in 8 banks, triple width (volume rendering).
+    RenderSdram,
+    /// 2 × 512k × 72-bit SSRAM (generic / 2-D image processing).
+    GenericSsram,
+}
+
+#[derive(Debug, Clone)]
+enum Backing {
+    Ssram(Vec<Ssram>),
+    Sdram(Box<Sdram>),
+}
+
+/// One mezzanine memory module plugged onto an ACB FPGA.
+#[derive(Debug, Clone)]
+pub struct MemoryModule {
+    kind: ModuleKind,
+    slots: u8,
+    backing: Backing,
+}
+
+impl MemoryModule {
+    /// The TRT-trigger module: a single bank of 512k × 176-bit synchronous
+    /// SRAM, clocked at the design speed (40 MHz in the measurements).
+    pub fn trt(clock: Frequency) -> Self {
+        MemoryModule {
+            kind: ModuleKind::TrtSsram,
+            slots: 1,
+            backing: Backing::Ssram(vec![Ssram::new(512 * 1024, 176, clock)]),
+        }
+    }
+
+    /// The volume-rendering module: 512 MB of SDRAM in 8 simultaneously
+    /// accessible banks, triple mezzanine width.
+    pub fn render() -> Self {
+        MemoryModule {
+            kind: ModuleKind::RenderSdram,
+            slots: 3,
+            backing: Backing::Sdram(Box::new(Sdram::render_module_device())),
+        }
+    }
+
+    /// The generic module: 9 MB of SSRAM in 2 banks of 512k × 72 bits.
+    pub fn generic(clock: Frequency) -> Self {
+        MemoryModule {
+            kind: ModuleKind::GenericSsram,
+            slots: 1,
+            backing: Backing::Ssram(vec![
+                Ssram::new(512 * 1024, 72, clock),
+                Ssram::new(512 * 1024, 72, clock),
+            ]),
+        }
+    }
+
+    /// Which product this is.
+    pub fn kind(&self) -> ModuleKind {
+        self.kind
+    }
+
+    /// Mezzanine slots occupied (1, or 3 for the triple-width module).
+    pub fn slots(&self) -> u8 {
+        self.slots
+    }
+
+    /// Number of independently accessible banks.
+    pub fn banks(&self) -> usize {
+        match &self.backing {
+            Backing::Ssram(banks) => banks.len(),
+            Backing::Sdram(d) => d.banks(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        match &self.backing {
+            Backing::Ssram(banks) => banks.iter().map(Ssram::capacity_bytes).sum(),
+            Backing::Sdram(d) => d.capacity_bytes(),
+        }
+    }
+
+    /// Bits transferred per access cycle with all banks active: the
+    /// paper's headline “RAM access width”.
+    pub fn access_width_bits(&self) -> u32 {
+        match &self.backing {
+            Backing::Ssram(banks) => banks.iter().map(Ssram::width).sum(),
+            // 8 banks × 64-bit words move per controller cycle at peak.
+            Backing::Sdram(d) => (d.banks() * 64) as u32,
+        }
+    }
+
+    /// Time to stream `n` full-width words (SSRAM-backed modules).
+    /// Panics for the SDRAM module — use [`MemoryModule::sdram_mut`] and
+    /// its scheduler instead.
+    pub fn stream_time(&self, n: u64) -> SimDuration {
+        match &self.backing {
+            Backing::Ssram(banks) => banks[0].stream_time(n),
+            Backing::Sdram(_) => panic!("stream_time is defined for SSRAM modules"),
+        }
+    }
+
+    /// SSRAM bank access (panics for the SDRAM module).
+    pub fn ssram_bank_mut(&mut self, bank: usize) -> &mut Ssram {
+        match &mut self.backing {
+            Backing::Ssram(banks) => &mut banks[bank],
+            Backing::Sdram(_) => panic!("not an SSRAM module"),
+        }
+    }
+
+    /// The SDRAM device of the render module (panics otherwise).
+    pub fn sdram_mut(&mut self) -> &mut Sdram {
+        match &mut self.backing {
+            Backing::Sdram(d) => d,
+            Backing::Ssram(_) => panic!("not an SDRAM module"),
+        }
+    }
+
+    /// Read a full-width word; for multi-bank SSRAM modules the word is
+    /// the concatenation of all banks at the same address.
+    pub fn read_wide(&mut self, addr: usize) -> WideWord {
+        match &mut self.backing {
+            Backing::Ssram(banks) => {
+                let total: u32 = banks.iter().map(Ssram::width).sum();
+                let mut out = WideWord::zero(total);
+                let mut off = 0u32;
+                let widths: Vec<u32> = banks.iter().map(Ssram::width).collect();
+                for (bank, bw) in banks.iter_mut().zip(widths) {
+                    let w = bank.read(addr);
+                    for i in 0..bw {
+                        if w.bit(i) {
+                            out.set_bit(off + i, true);
+                        }
+                    }
+                    off += bw;
+                }
+                out
+            }
+            Backing::Sdram(_) => panic!("use the SDRAM scheduler for the render module"),
+        }
+    }
+
+    /// Write a full-width word (see [`MemoryModule::read_wide`]).
+    pub fn write_wide(&mut self, addr: usize, word: &WideWord) {
+        match &mut self.backing {
+            Backing::Ssram(banks) => {
+                let total: u32 = banks.iter().map(Ssram::width).sum();
+                assert_eq!(word.width(), total, "word width mismatch");
+                let mut off = 0u32;
+                let widths: Vec<u32> = banks.iter().map(Ssram::width).collect();
+                for (bank, bw) in banks.iter_mut().zip(widths) {
+                    let mut part = WideWord::zero(bw);
+                    for i in 0..bw {
+                        if word.bit(off + i) {
+                            part.set_bit(i, true);
+                        }
+                    }
+                    bank.write(addr, &part);
+                    off += bw;
+                }
+            }
+            Backing::Sdram(_) => panic!("use the SDRAM scheduler for the render module"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trt_module_matches_paper() {
+        let m = MemoryModule::trt(Frequency::from_mhz(40));
+        assert_eq!(m.kind(), ModuleKind::TrtSsram);
+        assert_eq!(m.access_width_bits(), 176);
+        assert_eq!(m.slots(), 1);
+        // Four modules per ACB ≈ the paper's 44 MB.
+        let four = 4 * m.capacity_bytes();
+        assert!((44 << 20..=48 << 20).contains(&four), "{four}");
+        // 4 modules × 176 bits = 704 simultaneous LUT lanes (“706 straws”
+        // in the paper's rounding).
+        assert_eq!(4 * m.access_width_bits(), 704);
+    }
+
+    #[test]
+    fn render_module_matches_paper() {
+        let m = MemoryModule::render();
+        assert_eq!(m.kind(), ModuleKind::RenderSdram);
+        assert_eq!(m.capacity_bytes(), 512 << 20);
+        assert_eq!(m.banks(), 8);
+        assert_eq!(m.slots(), 3, "triple width");
+    }
+
+    #[test]
+    fn generic_module_matches_paper() {
+        let m = MemoryModule::generic(Frequency::from_mhz(40));
+        assert_eq!(m.kind(), ModuleKind::GenericSsram);
+        assert_eq!(m.banks(), 2);
+        assert_eq!(m.access_width_bits(), 144, "2 × 72 bits");
+        // 2 × 512k × 72 bits = 9 MB (paper's figure).
+        assert_eq!(m.capacity_bytes(), 2 * 512 * 1024 * 72 / 8);
+        assert_eq!(m.capacity_bytes() / (1 << 20), 9);
+    }
+
+    #[test]
+    fn wide_read_write_round_trip_across_banks() {
+        let mut m = MemoryModule::generic(Frequency::from_mhz(40));
+        let mut w = WideWord::zero(144);
+        w.set_bit(0, true); // bank 0, bit 0
+        w.set_bit(71, true); // bank 0, top bit
+        w.set_bit(72, true); // bank 1, bit 0
+        w.set_bit(143, true); // bank 1, top bit
+        m.write_wide(10, &w);
+        assert_eq!(m.read_wide(10), w);
+        assert!(m.read_wide(9).is_zero());
+    }
+
+    #[test]
+    fn trt_wide_round_trip() {
+        let mut m = MemoryModule::trt(Frequency::from_mhz(40));
+        let mut w = WideWord::zero(176);
+        w.set_bit(100, true);
+        m.write_wide(0, &w);
+        assert_eq!(m.read_wide(0), w);
+    }
+
+    #[test]
+    #[should_panic(expected = "SDRAM")]
+    fn render_module_has_no_wide_path() {
+        let mut m = MemoryModule::render();
+        m.read_wide(0);
+    }
+
+    #[test]
+    fn render_module_sdram_accessible() {
+        let mut m = MemoryModule::render();
+        m.sdram_mut().access(0, Some(42));
+        let (v, _) = m.sdram_mut().access(0, None);
+        assert_eq!(v, 42);
+    }
+}

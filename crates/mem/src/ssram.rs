@@ -1,0 +1,190 @@
+//! Synchronous SRAM (pipelined, single-cycle random access).
+//!
+//! The TRT and generic mezzanine modules are built from synchronous SRAM:
+//! after a fixed pipeline latency, one full-width word moves per clock
+//! cycle regardless of the address pattern — the property that makes the
+//! LUT histogramming algorithm stream at memory width (§3.1).
+
+use crate::wide::{lanes_for, WideWord};
+use atlantis_simcore::{Frequency, SimDuration};
+
+/// A synchronous SRAM bank of `words` × `width` bits.
+#[derive(Debug, Clone)]
+pub struct Ssram {
+    words: usize,
+    width: u32,
+    clock: Frequency,
+    /// Pipeline latency in cycles from address to data (2 for the
+    /// late-90s pipelined parts used here).
+    latency: u32,
+    data: Vec<u64>,
+    lanes: usize,
+    reads: u64,
+    writes: u64,
+}
+
+impl Ssram {
+    /// A zero-initialised bank.
+    pub fn new(words: usize, width: u32, clock: Frequency) -> Self {
+        assert!(words > 0 && width > 0);
+        let lanes = lanes_for(width);
+        Ssram {
+            words,
+            width,
+            clock,
+            latency: 2,
+            data: vec![0; words * lanes],
+            lanes,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Words in the bank.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Capacity in bytes (width rounded to whole bits, as data sheets do).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.words as u64 * self.width as u64 / 8
+    }
+
+    /// The governing clock.
+    pub fn clock(&self) -> Frequency {
+        self.clock
+    }
+
+    /// Read one word.
+    pub fn read(&mut self, addr: usize) -> WideWord {
+        assert!(
+            addr < self.words,
+            "SSRAM read address {addr} out of {}",
+            self.words
+        );
+        self.reads += 1;
+        let base = addr * self.lanes;
+        WideWord::from_lanes(self.width, self.data[base..base + self.lanes].to_vec())
+    }
+
+    /// Write one word.
+    pub fn write(&mut self, addr: usize, word: &WideWord) {
+        assert!(
+            addr < self.words,
+            "SSRAM write address {addr} out of {}",
+            self.words
+        );
+        assert_eq!(word.width(), self.width, "word width mismatch");
+        self.writes += 1;
+        let base = addr * self.lanes;
+        self.data[base..base + self.lanes].copy_from_slice(word.lanes());
+    }
+
+    /// Bulk-load contents starting at word 0 (configuration-time fill of
+    /// pattern LUTs; does not count as runtime accesses).
+    pub fn load(&mut self, words: &[WideWord]) {
+        assert!(words.len() <= self.words, "load exceeds capacity");
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(w.width(), self.width);
+            let base = i * self.lanes;
+            self.data[base..base + self.lanes].copy_from_slice(w.lanes());
+        }
+    }
+
+    /// Time for a streaming access of `n` words: pipeline fill plus one
+    /// word per cycle.
+    pub fn stream_time(&self, n: u64) -> SimDuration {
+        if n == 0 {
+            return SimDuration::ZERO;
+        }
+        self.clock.cycles(self.latency as u64 + n)
+    }
+
+    /// Time for `n` isolated random accesses (no pipelining between them).
+    pub fn random_access_time(&self, n: u64) -> SimDuration {
+        self.clock.cycles(n * (self.latency as u64 + 1))
+    }
+
+    /// Peak streaming bandwidth in bytes/second.
+    pub fn peak_bandwidth_bytes(&self) -> u64 {
+        self.clock.as_hz() * self.width as u64 / 8
+    }
+
+    /// `(reads, writes)` performed so far.
+    pub fn access_counts(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trt_bank() -> Ssram {
+        // §2.1: one bank of 512k × 176-bit SSRAM per TRT module.
+        Ssram::new(512 * 1024, 176, Frequency::from_mhz(40))
+    }
+
+    #[test]
+    fn capacity_of_trt_bank() {
+        let m = trt_bank();
+        // 512k × 176 bits = 11.5 MB; four modules ≈ the paper's “44 MB”.
+        assert_eq!(m.capacity_bytes(), 512 * 1024 * 176 / 8);
+        assert!((4 * m.capacity_bytes()) / 1_000_000 >= 44);
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = Ssram::new(64, 176, Frequency::from_mhz(40));
+        let mut w = WideWord::zero(176);
+        w.set_bit(0, true);
+        w.set_bit(175, true);
+        m.write(5, &w);
+        assert_eq!(m.read(5), w);
+        assert_eq!(m.read(4), WideWord::zero(176));
+        assert_eq!(m.access_counts(), (2, 1));
+    }
+
+    #[test]
+    fn load_fills_from_zero() {
+        let mut m = Ssram::new(8, 72, Frequency::from_mhz(40));
+        let mut a = WideWord::zero(72);
+        a.set_bit(70, true);
+        m.load(&[a.clone(), WideWord::zero(72)]);
+        assert_eq!(m.read(0), a);
+    }
+
+    #[test]
+    fn stream_time_is_pipelined() {
+        let m = trt_bank();
+        // 1000 words at 40 MHz: 2 fill cycles + 1000 ⇒ 25.05 µs.
+        let t = m.stream_time(1000);
+        assert_eq!(t, Frequency::from_mhz(40).cycles(1002));
+        assert_eq!(m.stream_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn random_access_is_slower_than_streaming() {
+        let m = trt_bank();
+        assert!(m.random_access_time(1000) > m.stream_time(1000));
+    }
+
+    #[test]
+    fn peak_bandwidth_at_40mhz_176bit() {
+        let m = trt_bank();
+        // 40 MHz × 22 bytes = 880 MB/s per module.
+        assert_eq!(m.peak_bandwidth_bytes(), 880_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn oob_read_panics() {
+        let mut m = Ssram::new(4, 8, Frequency::from_mhz(40));
+        m.read(4);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the memory models: storage must behave like
+//! idealized maps regardless of access pattern, and timing must respect
+//! the devices' structural laws.
+
+use atlantis_mem::{DpRam, HwFifo, MemoryModule, Sdram, SdramTiming, Ssram, WideWord};
+use atlantis_simcore::Frequency;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn word(width: u32, bits: &[u32]) -> WideWord {
+    let mut w = WideWord::zero(width);
+    for &b in bits {
+        w.set_bit(b % width, true);
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SSRAM behaves like an array for arbitrary write/read sequences.
+    #[test]
+    fn ssram_is_an_array(ops in proptest::collection::vec((0usize..256, proptest::collection::vec(0u32..176, 0..6)), 1..100)) {
+        let mut m = Ssram::new(256, 176, Frequency::from_mhz(40));
+        let mut model: HashMap<usize, WideWord> = HashMap::new();
+        for (addr, bits) in ops {
+            let w = word(176, &bits);
+            m.write(addr, &w);
+            model.insert(addr, w);
+        }
+        for (addr, expect) in model {
+            prop_assert_eq!(m.read(addr), expect);
+        }
+    }
+
+    /// SDRAM data is untouched by the timing machinery, whatever the
+    /// bank/row access pattern.
+    #[test]
+    fn sdram_is_an_array(ops in proptest::collection::vec((0usize..2048, any::<u64>()), 1..200)) {
+        let mut d = Sdram::new(4, 16, 32, 64, Frequency::from_mhz(100), SdramTiming::pc100());
+        let mut model: HashMap<usize, u64> = HashMap::new();
+        for (addr, v) in ops {
+            d.access(addr, Some(v));
+            model.insert(addr, v);
+        }
+        for (addr, expect) in model {
+            let (got, _) = d.access(addr, None);
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    /// For a burst of accesses to *distinct rows*, spreading them across
+    /// banks never loses to forcing them through one bank (the activation
+    /// latency overlaps only across banks). Distinctness matters: a
+    /// repeated row in one bank becomes a row *hit* and can legitimately
+    /// beat two cross-bank misses.
+    #[test]
+    fn sdram_bank_parallelism_never_hurts(seed_rows in proptest::collection::vec(0usize..8, 2..16)) {
+        // Derive distinct rows from the seed.
+        let rows: Vec<usize> = seed_rows.iter().enumerate().map(|(i, &r)| (r * 16 + i) % 64).collect();
+        let spread: Vec<usize> = rows.iter().enumerate().map(|(i, &r)| r * 32 * 4 + (i % 4) * 32).collect();
+        let single: Vec<usize> = rows.iter().map(|&r| r * 32 * 4).collect();
+        let mut d1 = Sdram::new(4, 64, 32, 64, Frequency::from_mhz(100), SdramTiming::pc100());
+        let mut d2 = Sdram::new(4, 64, 32, 64, Frequency::from_mhz(100), SdramTiming::pc100());
+        let (_, t_spread) = d1.read_burst(&spread);
+        let (_, t_single) = d2.read_burst(&single);
+        prop_assert!(t_spread <= t_single, "{t_spread} vs {t_single} for rows {rows:?}");
+    }
+
+    /// DP-RAM: the last write wins, regardless of port.
+    #[test]
+    fn dpram_last_write_wins(ops in proptest::collection::vec((0usize..64, any::<bool>(), proptest::collection::vec(0u32..36, 0..4)), 1..100)) {
+        let mut m = DpRam::new(64, 36);
+        let mut model: HashMap<usize, WideWord> = HashMap::new();
+        for (addr, port_a, bits) in ops {
+            let w = word(36, &bits);
+            let port = if port_a { atlantis_mem::dpram::Port::A } else { atlantis_mem::dpram::Port::B };
+            m.write(port, addr, &w);
+            model.insert(addr, w);
+        }
+        for (addr, expect) in model {
+            prop_assert_eq!(m.read(atlantis_mem::dpram::Port::A, addr), expect);
+        }
+    }
+
+    /// The behavioural FIFO is exactly a bounded queue.
+    #[test]
+    fn hwfifo_is_a_bounded_queue(ops in proptest::collection::vec((any::<bool>(), any::<u64>()), 1..300)) {
+        let mut f = HwFifo::new(16, 36);
+        let mut model = std::collections::VecDeque::new();
+        for (push, v) in ops {
+            if push {
+                let w = WideWord::from_lanes(36, vec![v & ((1 << 36) - 1)]);
+                let accepted = f.push(w.clone());
+                prop_assert_eq!(accepted, model.len() < 16);
+                if accepted {
+                    model.push_back(w);
+                }
+            } else {
+                prop_assert_eq!(f.pop(), model.pop_front());
+            }
+            prop_assert_eq!(f.len(), model.len());
+            prop_assert_eq!(f.is_full(), model.len() == 16);
+        }
+    }
+
+    /// Wide module reads return exactly what was written, across banks.
+    #[test]
+    fn generic_module_round_trips(writes in proptest::collection::vec((0usize..512, proptest::collection::vec(0u32..144, 0..8)), 1..50)) {
+        let mut m = MemoryModule::generic(Frequency::from_mhz(40));
+        let mut model: HashMap<usize, WideWord> = HashMap::new();
+        for (addr, bits) in writes {
+            let w = word(144, &bits);
+            m.write_wide(addr, &w);
+            model.insert(addr, w);
+        }
+        for (addr, expect) in model {
+            prop_assert_eq!(m.read_wide(addr), expect);
+        }
+    }
+
+    /// WideWord extract is consistent with bit reads at any offset.
+    #[test]
+    fn wideword_extract_consistent(bits in proptest::collection::vec(0u32..176, 0..20), lo in 0u32..170, width in 1u32..64) {
+        prop_assume!(lo + width <= 176);
+        let w = word(176, &bits);
+        let field = w.extract(lo, width);
+        for i in 0..width {
+            prop_assert_eq!((field >> i) & 1 == 1, w.bit(lo + i));
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Cycle-level timing model of the 33 MHz / 32-bit CompactPCI bus.
+//!
+//! PCI moves one 32-bit word per clock inside a burst, but every
+//! transaction pays arbitration and an address phase, targets insert wait
+//! states, and **reads** additionally pay the target's initial latency
+//! (the PLX9080 must fetch local-bus data into its FIFO before it can
+//! complete the first data phase, and long reads are split by target
+//! disconnects). These effects produce exactly the measured behaviour of
+//! Table 1: throughput that climbs with block size and saturates below
+//! the 132 MB/s theoretical peak — at ≈125 MB/s for writes and lower for
+//! reads.
+
+use atlantis_simcore::{Bandwidth, Frequency, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Static parameters of a PCI bus segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PciBusConfig {
+    /// Bus clock (33 MHz for CompactPCI as used here).
+    pub clock_hz: u64,
+    /// Data width in bytes per data phase (4 for 32-bit PCI).
+    pub width_bytes: u32,
+    /// Cycles to win arbitration before each transaction.
+    pub arbitration_cycles: u32,
+    /// Address-phase cycles per transaction.
+    pub address_cycles: u32,
+    /// Maximum burst length in data phases before the target disconnects
+    /// and the master must re-arbitrate (latency-timer effect).
+    pub max_burst_words: u32,
+    /// Wait states inserted by the target per `wait_every` data phases
+    /// on writes (posted-write FIFO back-pressure).
+    pub write_wait_every: u32,
+    /// Initial target latency on reads, per burst (FIFO prefetch).
+    pub read_initial_latency: u32,
+    /// Wait states inserted per `wait_every` data phases on reads.
+    pub read_wait_every: u32,
+    /// Turnaround cycles between transactions.
+    pub turnaround_cycles: u32,
+}
+
+impl Default for PciBusConfig {
+    fn default() -> Self {
+        Self::compact_pci()
+    }
+}
+
+impl PciBusConfig {
+    /// The CompactPCI segment of the ATLANTIS crate, calibrated so that
+    /// large-block DMA saturates at the paper's “125 MB/s max” for writes
+    /// and noticeably lower for reads.
+    pub fn compact_pci() -> Self {
+        PciBusConfig {
+            clock_hz: 33_000_000,
+            width_bytes: 4,
+            arbitration_cycles: 2,
+            address_cycles: 1,
+            max_burst_words: 256, // 1 kB bursts before re-arbitration
+            write_wait_every: 21, // ≈ 4.7% write wait-state overhead
+            read_initial_latency: 16,
+            read_wait_every: 8, // reads pay FIFO refill stalls
+            turnaround_cycles: 2,
+        }
+    }
+
+    /// The bus clock as a [`Frequency`].
+    pub fn clock(&self) -> Frequency {
+        Frequency::from_hz(self.clock_hz)
+    }
+
+    /// Theoretical peak bandwidth (no protocol overhead).
+    pub fn peak_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(self.clock_hz * self.width_bytes as u64)
+    }
+}
+
+/// Direction of a bus transfer, from the bus master's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BusDir {
+    /// Master drives data to the target (memory write).
+    Write,
+    /// Master fetches data from the target (memory read).
+    Read,
+}
+
+/// The shared PCI bus with cumulative usage accounting.
+#[derive(Debug, Clone)]
+pub struct PciBus {
+    config: PciBusConfig,
+    busy_time: SimDuration,
+    transactions: u64,
+    bytes_moved: u64,
+}
+
+impl PciBus {
+    /// A bus with the given parameters.
+    pub fn new(config: PciBusConfig) -> Self {
+        PciBus {
+            config,
+            busy_time: SimDuration::ZERO,
+            transactions: 0,
+            bytes_moved: 0,
+        }
+    }
+
+    /// The bus parameters.
+    pub fn config(&self) -> &PciBusConfig {
+        &self.config
+    }
+
+    /// Cycles needed for one burst of `words` data phases.
+    fn burst_cycles(&self, words: u64, dir: BusDir) -> u64 {
+        let c = &self.config;
+        let overhead = (c.arbitration_cycles + c.address_cycles + c.turnaround_cycles) as u64;
+        let (initial, wait_every) = match dir {
+            BusDir::Write => (0u64, c.write_wait_every as u64),
+            BusDir::Read => (c.read_initial_latency as u64, c.read_wait_every as u64),
+        };
+        let waits = words.checked_div(wait_every).unwrap_or(0);
+        overhead + initial + words + waits
+    }
+
+    /// Move `bytes` across the bus as a sequence of maximal bursts and
+    /// return the time consumed. Also accrues usage statistics.
+    pub fn transfer(&mut self, bytes: u64, dir: BusDir) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        let c = self.config;
+        let total_words = bytes.div_ceil(c.width_bytes as u64);
+        let full_bursts = total_words / c.max_burst_words as u64;
+        let tail_words = total_words % c.max_burst_words as u64;
+        let mut cycles = full_bursts * self.burst_cycles(c.max_burst_words as u64, dir);
+        if tail_words > 0 {
+            cycles += self.burst_cycles(tail_words, dir);
+        }
+        let t = self.config.clock().cycles(cycles);
+        self.busy_time += t;
+        self.transactions += full_bursts + u64::from(tail_words > 0);
+        self.bytes_moved += bytes;
+        t
+    }
+
+    /// A single-word register access (configuration or mailbox I/O).
+    pub fn single_word(&mut self, dir: BusDir) -> SimDuration {
+        self.transfer(self.config.width_bytes as u64, dir)
+    }
+
+    /// Total time the bus has been busy.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// `(transactions, bytes)` moved so far.
+    pub fn usage(&self) -> (u64, u64) {
+        (self.transactions, self.bytes_moved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_bandwidth_is_132mbs() {
+        let c = PciBusConfig::compact_pci();
+        assert_eq!(c.peak_bandwidth().as_bytes_per_sec(), 132_000_000);
+    }
+
+    #[test]
+    fn zero_transfer_is_free() {
+        let mut bus = PciBus::new(PciBusConfig::compact_pci());
+        assert_eq!(bus.transfer(0, BusDir::Write), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn large_writes_saturate_near_125() {
+        let mut bus = PciBus::new(PciBusConfig::compact_pci());
+        let bytes = 4 << 20;
+        let t = bus.transfer(bytes, BusDir::Write);
+        let rate = Bandwidth::measured(bytes, t) / 1e6;
+        assert!(
+            (120.0..=127.0).contains(&rate),
+            "write saturation {rate:.1} MB/s"
+        );
+    }
+
+    #[test]
+    fn reads_are_slower_than_writes() {
+        let mut bus = PciBus::new(PciBusConfig::compact_pci());
+        let bytes = 1 << 20;
+        let tw = bus.transfer(bytes, BusDir::Write);
+        let tr = bus.transfer(bytes, BusDir::Read);
+        assert!(tr > tw, "read {tr} must exceed write {tw}");
+        let read_rate = Bandwidth::measured(bytes, tr) / 1e6;
+        assert!(
+            (90.0..=115.0).contains(&read_rate),
+            "read saturation {read_rate:.1}"
+        );
+    }
+
+    #[test]
+    fn throughput_grows_up_to_the_burst_size() {
+        // Below one maximal burst (1 kB), per-transaction overhead is
+        // amortised over fewer words, so throughput strictly grows …
+        let mut bus = PciBus::new(PciBusConfig::compact_pci());
+        let mut last = 0.0;
+        for bytes in [16u64, 64, 256, 1024] {
+            let t = bus.transfer(bytes, BusDir::Write);
+            let rate = Bandwidth::measured(bytes, t);
+            assert!(rate > last, "throughput must grow: {bytes} B gave {rate}");
+            last = rate;
+        }
+        // … and beyond it the *bus* is already saturated; the block-size
+        // dependence of Table 1 comes from the driver's software overhead.
+        let t_big = bus.transfer(1 << 20, BusDir::Write);
+        let big = Bandwidth::measured(1 << 20, t_big);
+        assert!(
+            (big - last).abs() / last < 0.01,
+            "saturated: {big} vs {last}"
+        );
+    }
+
+    #[test]
+    fn small_transfers_dominated_by_overhead() {
+        let mut bus = PciBus::new(PciBusConfig::compact_pci());
+        let t = bus.single_word(BusDir::Write);
+        // 2 arb + 1 addr + 2 turnaround + 1 data = 6 cycles at 33 MHz.
+        assert_eq!(t, PciBusConfig::compact_pci().clock().cycles(6));
+    }
+
+    #[test]
+    fn usage_accounting() {
+        let mut bus = PciBus::new(PciBusConfig::compact_pci());
+        bus.transfer(2048, BusDir::Write); // exactly two 256-word bursts
+        let (tx, bytes) = bus.usage();
+        assert_eq!(tx, 2);
+        assert_eq!(bytes, 2048);
+        assert!(bus.busy_time() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn partial_words_round_up() {
+        let mut bus = PciBus::new(PciBusConfig::compact_pci());
+        let t1 = bus.transfer(1, BusDir::Write);
+        let t4 = bus.transfer(4, BusDir::Write);
+        assert_eq!(t1, t4, "sub-word transfers occupy a full data phase");
+    }
+}

@@ -1,0 +1,36 @@
+//! # `atlantis-pci` — the CompactPCI subsystem
+//!
+//! “CompactPCI provides the basic communication mechanism” (paper §1).
+//! Both board types interface to the host through a **PLX 9080** bridge —
+//! deliberately the same chip as the earlier `microenable` coprocessor, so
+//! that “virtually all basic software (WinNT driver, test tools, etc.) are
+//! immediately available for ATLANTIS” (§2). The host-visible data rate is
+//! 125 MB/s maximum (§2.1) and §3.4 measures the DMA read/write throughput
+//! as a function of block size (Table 1).
+//!
+//! The crate models the three layers:
+//!
+//! * [`bus`] — the 33 MHz / 32-bit (Compact)PCI bus: arbitration, address
+//!   phase, burst data phases, wait states, target latency for reads,
+//! * [`plx9080`] — the bridge: mailbox/doorbell registers and two
+//!   descriptor-driven DMA channels,
+//! * [`driver`] — a `microenable`-compatible host driver facade: open the
+//!   board, configure the FPGA, post DMA reads/writes, exchange mailbox
+//!   words.
+//!
+//! All operations return [`SimDuration`](atlantis_simcore::SimDuration)
+//! costs derived from bus cycles, so Table 1 falls out of the model rather
+//! than being hard-coded.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod dma;
+pub mod driver;
+pub mod plx9080;
+
+pub use bus::{PciBus, PciBusConfig};
+pub use dma::{DmaDescriptor, DmaDirection, DmaEngine};
+pub use driver::{Driver, LocalBusTarget, LocalMemory};
+pub use plx9080::Plx9080;

@@ -1,0 +1,150 @@
+//! The PLX 9080 PCI bridge register model.
+//!
+//! Both the ACB and the AIB “use a PLX9080 as PCI interface. This chip is
+//! compatible to the one used with the microenable FPGA coprocessor” (§2).
+//! The model covers the host-visible features the ATLANTIS software stack
+//! uses: eight mailbox registers, the two doorbell registers, and two DMA
+//! channels. Register offsets follow the real part's runtime register map.
+
+use crate::dma::DmaEngine;
+use std::collections::BTreeMap;
+
+/// Runtime-register offsets of the PLX 9080 (subset).
+pub mod regs {
+    /// First mailbox register; MBOX1..7 follow at 4-byte strides.
+    pub const MBOX0: u64 = 0x40;
+    /// PCI-to-local doorbell.
+    pub const P2L_DOORBELL: u64 = 0x60;
+    /// Local-to-PCI doorbell.
+    pub const L2P_DOORBELL: u64 = 0x64;
+    /// Interrupt control/status.
+    pub const INTCSR: u64 = 0x68;
+    /// DMA channel 0 mode register (CH1 at +0x14).
+    pub const DMAMODE0: u64 = 0x80;
+    /// DMA command/status (both channels).
+    pub const DMACSR: u64 = 0xA8;
+}
+
+/// The bridge: register file plus two DMA channels.
+#[derive(Debug, Default)]
+pub struct Plx9080 {
+    registers: BTreeMap<u64, u32>,
+    /// DMA channel 0.
+    pub dma0: DmaEngine,
+    /// DMA channel 1.
+    pub dma1: DmaEngine,
+    doorbell_to_local: u32,
+    doorbell_to_pci: u32,
+}
+
+impl Plx9080 {
+    /// A bridge in reset state.
+    pub fn new() -> Self {
+        Plx9080::default()
+    }
+
+    /// Host write to a runtime register.
+    pub fn write_reg(&mut self, offset: u64, value: u32) {
+        match offset {
+            regs::P2L_DOORBELL => {
+                // Writing 1-bits *sets* doorbell bits towards the local side.
+                self.doorbell_to_local |= value;
+            }
+            regs::L2P_DOORBELL => {
+                // Writing 1-bits *clears* pending local-to-PCI doorbells.
+                self.doorbell_to_pci &= !value;
+            }
+            _ => {
+                self.registers.insert(offset, value);
+            }
+        }
+    }
+
+    /// Host read of a runtime register.
+    pub fn read_reg(&self, offset: u64) -> u32 {
+        match offset {
+            regs::P2L_DOORBELL => self.doorbell_to_local,
+            regs::L2P_DOORBELL => self.doorbell_to_pci,
+            _ => self.registers.get(&offset).copied().unwrap_or(0),
+        }
+    }
+
+    /// Write mailbox `n` (0–7).
+    pub fn write_mailbox(&mut self, n: usize, value: u32) {
+        assert!(n < 8, "mailbox index out of range");
+        self.write_reg(regs::MBOX0 + 4 * n as u64, value);
+    }
+
+    /// Read mailbox `n` (0–7).
+    pub fn read_mailbox(&self, n: usize) -> u32 {
+        assert!(n < 8, "mailbox index out of range");
+        self.read_reg(regs::MBOX0 + 4 * n as u64)
+    }
+
+    /// The local side (FPGA logic) rings a doorbell towards the host.
+    pub fn ring_to_pci(&mut self, bits: u32) {
+        self.doorbell_to_pci |= bits;
+    }
+
+    /// The local side consumes doorbell bits set by the host.
+    pub fn take_local_doorbell(&mut self) -> u32 {
+        std::mem::take(&mut self.doorbell_to_local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mailboxes_are_independent() {
+        let mut plx = Plx9080::new();
+        for n in 0..8 {
+            plx.write_mailbox(n, (n as u32 + 1) * 0x111);
+        }
+        for n in 0..8 {
+            assert_eq!(plx.read_mailbox(n), (n as u32 + 1) * 0x111);
+        }
+    }
+
+    #[test]
+    fn unwritten_registers_read_zero() {
+        let plx = Plx9080::new();
+        assert_eq!(plx.read_reg(regs::INTCSR), 0);
+        assert_eq!(plx.read_mailbox(3), 0);
+    }
+
+    #[test]
+    fn doorbell_to_local_sets_and_drains() {
+        let mut plx = Plx9080::new();
+        plx.write_reg(regs::P2L_DOORBELL, 0b0101);
+        plx.write_reg(regs::P2L_DOORBELL, 0b0010);
+        assert_eq!(
+            plx.read_reg(regs::P2L_DOORBELL),
+            0b0111,
+            "set-bits accumulate"
+        );
+        assert_eq!(plx.take_local_doorbell(), 0b0111);
+        assert_eq!(
+            plx.read_reg(regs::P2L_DOORBELL),
+            0,
+            "drained by the local side"
+        );
+    }
+
+    #[test]
+    fn doorbell_to_pci_write_one_to_clear() {
+        let mut plx = Plx9080::new();
+        plx.ring_to_pci(0b1100);
+        assert_eq!(plx.read_reg(regs::L2P_DOORBELL), 0b1100);
+        plx.write_reg(regs::L2P_DOORBELL, 0b0100);
+        assert_eq!(plx.read_reg(regs::L2P_DOORBELL), 0b1000, "W1C semantics");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mailbox_bounds_checked() {
+        let plx = Plx9080::new();
+        plx.read_mailbox(8);
+    }
+}

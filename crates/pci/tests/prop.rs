@@ -1,0 +1,80 @@
+//! Property tests for the PCI/DMA subsystem: data integrity for arbitrary
+//! payloads and addresses, and timing laws that Table 1 rests on.
+
+use atlantis_pci::{DmaDirection, Driver, LocalMemory};
+use proptest::prelude::*;
+
+const LOCAL_SIZE: usize = 1 << 20;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever we DMA in, we DMA back out, at any alignment.
+    #[test]
+    fn dma_round_trip_any_payload(
+        data in proptest::collection::vec(any::<u8>(), 1..8192),
+        addr in 0u64..((LOCAL_SIZE / 2) as u64),
+    ) {
+        let mut drv = Driver::open(LocalMemory::new(LOCAL_SIZE));
+        drv.dma_write(addr, &data);
+        let (back, _) = drv.dma_read(addr, data.len());
+        prop_assert_eq!(back, data);
+    }
+
+    /// Transfer time grows monotonically with size in both directions.
+    #[test]
+    fn time_monotone_in_size(a in 1usize..200_000, b in 1usize..200_000) {
+        prop_assume!(a != b);
+        let (small, large) = (a.min(b), a.max(b));
+        let mut d1 = Driver::open(LocalMemory::new(LOCAL_SIZE));
+        let mut d2 = Driver::open(LocalMemory::new(LOCAL_SIZE));
+        let t_small = d1.dma_write(0, &vec![0u8; small]);
+        let t_large = d2.dma_write(0, &vec![0u8; large]);
+        prop_assert!(t_large >= t_small, "{} for {large} < {} for {small}", t_large, t_small);
+    }
+
+    /// Reads (posted PCI writes) never lose to writes (PCI master reads)
+    /// at equal size.
+    #[test]
+    fn reads_never_slower_than_writes(len in 64usize..300_000) {
+        let mut d1 = Driver::open(LocalMemory::new(LOCAL_SIZE));
+        let mut d2 = Driver::open(LocalMemory::new(LOCAL_SIZE));
+        let (_, t_read) = d1.dma_read(0, len);
+        let t_write = d2.dma_write(0, &vec![0u8; len]);
+        prop_assert!(t_read <= t_write);
+    }
+
+    /// The driver's elapsed clock equals the sum of the operation times.
+    #[test]
+    fn elapsed_is_the_sum_of_operations(ops in proptest::collection::vec(1usize..4096, 1..10)) {
+        let mut drv = Driver::open(LocalMemory::new(LOCAL_SIZE));
+        let mut sum = atlantis_simcore::SimDuration::ZERO;
+        for len in ops {
+            sum += drv.dma_write(0, &vec![0u8; len]);
+            sum += drv.dma_read(0, len).1;
+        }
+        prop_assert_eq!(drv.elapsed(), sum);
+    }
+
+    /// PIO and DMA see the same local memory.
+    #[test]
+    fn pio_and_dma_are_coherent(words in proptest::collection::vec(any::<u32>(), 1..64)) {
+        let mut drv = Driver::open(LocalMemory::new(LOCAL_SIZE));
+        for (i, &w) in words.iter().enumerate() {
+            drv.pio_write_u32(i as u64 * 4, w);
+        }
+        let (bytes, _) = drv.dma_read(0, words.len() * 4);
+        for (i, &w) in words.iter().enumerate() {
+            let got = u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().unwrap());
+            prop_assert_eq!(got, w);
+        }
+    }
+
+    /// Throughput never exceeds the 132 MB/s theoretical bus peak.
+    #[test]
+    fn never_beats_the_bus(len in 1024usize..500_000) {
+        let mut drv = Driver::open(LocalMemory::new(LOCAL_SIZE));
+        let rate = drv.measure_throughput(len, DmaDirection::BoardToHost);
+        prop_assert!(rate < 132.0, "{rate}");
+    }
+}

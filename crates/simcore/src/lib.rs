@@ -1,0 +1,31 @@
+//! Foundation types shared by every ATLANTIS simulator crate.
+//!
+//! The ATLANTIS reproduction models 2000-era hardware (FPGAs, PCI, SDRAM,
+//! a private backplane) whose published performance numbers are functions of
+//! clock frequencies, bus widths and latencies. All of those models advance
+//! **virtual time** — picosecond-resolution [`SimTime`] — deterministically,
+//! independent of the speed of the host machine. This crate provides the
+//! arithmetic for doing so safely:
+//!
+//! * [`SimTime`] / [`SimDuration`] — picosecond virtual clock values,
+//! * [`Frequency`] — clock rates with exact period/cycle conversion,
+//! * [`Bandwidth`] — byte-rate arithmetic for buses and links,
+//! * [`rng`] — seeded, reproducible random number generation for workloads,
+//! * [`stats`] — small summary-statistics helpers used by the bench harness,
+//! * [`event`] — a minimal discrete-event queue for bus arbitration models.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use time::{Bandwidth, Frequency, SimDuration, SimTime};
+
+/// Commonly used re-exports.
+pub mod prelude {
+    pub use crate::time::{Bandwidth, Frequency, SimDuration, SimTime};
+}

@@ -1,0 +1,51 @@
+//! The online trigger chain under load — the FOPI-style deployment the
+//! paper's outlook announces (§4), at the 100 kHz repetition rate §3.1
+//! quotes.
+//!
+//! Run with: `cargo run --release --example daq_trigger`
+
+use atlantis::apps::daq::{max_lossless_rate, simulate, TriggerChainConfig};
+use atlantis::simcore::SimDuration;
+
+fn main() {
+    let config = TriggerChainConfig::level2_trigger();
+    println!("trigger chain configuration:");
+    println!(
+        "  event size:       {} words (region-of-interest hit list)",
+        config.event_words
+    );
+    println!("  S-Link channels:  {}", config.channels);
+    println!(
+        "  pattern bank:     {} patterns, {} pass(es)",
+        config.trt.n_patterns,
+        config.trt.passes()
+    );
+    println!("  per-event service: {}", config.service_time());
+    println!(
+        "  ACB capacity:     {:.1} kHz\n",
+        config.theoretical_max_rate() / 1000.0
+    );
+
+    println!(
+        "{:>12} {:>14} {:>10} {:>10} {:>16}",
+        "rate (kHz)", "processed", "drop %", "busy %", "max buffer"
+    );
+    for khz in [50u32, 90, 100, 110, 130, 160] {
+        let stats = simulate(&config, khz as f64 * 1000.0, SimDuration::from_secs(1));
+        println!(
+            "{:>12} {:>14} {:>9.2}% {:>9.1}% {:>10} words",
+            khz,
+            stats.processed,
+            stats.loss_fraction() * 100.0,
+            stats.busy_fraction * 100.0,
+            stats.max_buffer_words
+        );
+    }
+
+    let knee = max_lossless_rate(&config, SimDuration::from_secs(1));
+    println!(
+        "\nlossless operating point: {:.1} kHz — the §3.1 “repetition rate of up \
+         to 100 kHz” class",
+        knee / 1000.0
+    );
+}

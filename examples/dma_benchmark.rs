@@ -1,0 +1,24 @@
+//! Reproduce Table 1 interactively: DMA read/write throughput over
+//! CompactPCI as a function of block size.
+//!
+//! Run with: `cargo run --example dma_benchmark`
+
+use atlantis::board::Acb;
+use atlantis::pci::{DmaDirection, Driver};
+
+fn main() {
+    println!("ATLANTIS DMA performance (microenable driver, design speed 40 MHz)\n");
+    println!(
+        "{:>16} {:>20} {:>20}",
+        "Block size (kB)", "DMA Read (MB/s)", "DMA Write (MB/s)"
+    );
+    for kb in [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
+        let mut read_drv = Driver::open(Acb::new());
+        let mut write_drv = Driver::open(Acb::new());
+        let r = read_drv.measure_throughput(kb * 1024, DmaDirection::BoardToHost);
+        let w = write_drv.measure_throughput(kb * 1024, DmaDirection::HostToBoard);
+        println!("{kb:>16} {r:>20.1} {w:>20.1}");
+    }
+    println!("\n(reads are posted PCI writes by the PLX9080 and saturate at the");
+    println!(" paper's 125 MB/s; writes are PCI master reads and run slower)");
+}

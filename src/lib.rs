@@ -1,0 +1,70 @@
+//! # ATLANTIS — a hybrid FPGA/RISC re-configurable system, in simulation
+//!
+//! This crate is the umbrella façade for the ATLANTIS workspace, a
+//! software reproduction of the CompactPCI FPGA-processor machine described
+//! in *“ATLANTIS — A Hybrid FPGA/RISC Based Re-configurable System”*
+//! (Universität Mannheim, IPPS 2000).
+//!
+//! The original machine was custom hardware: a 2×2 matrix of Lucent ORCA
+//! FPGAs per computing board (ACB), Virtex-based I/O boards (AIB), a private
+//! 1 GB/s backplane (AAB), a PLX9080 PCI bridge, and the CHDL C++ hardware
+//! description environment. Every one of those components is re-implemented
+//! here as a deterministic, cycle-approximate simulator, so that the paper’s
+//! development workflow and all of its published measurements can be
+//! exercised on a stock machine.
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`chdl`] | CHDL re-implementation: embedded HDL + cycle simulator |
+//! | [`fabric`] | FPGA device models, bitstreams, (partial) reconfiguration |
+//! | [`mem`] | SSRAM / SDRAM / DP-RAM / FIFO models and mezzanine modules |
+//! | [`pci`] | CompactPCI bus, PLX9080 bridge, DMA engine, host driver |
+//! | [`backplane`] | AAB private-bus model with configurable granularity |
+//! | [`board`] | ACB / AIB / host-CPU models and clock tree |
+//! | [`apps`] | TRT trigger, volume rendering, 2-D imaging, N-body |
+//! | [`atlantis_core`] | Full-system assembly and coprocessor API |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use atlantis::prelude::*;
+//!
+//! // Build a small CHDL design: an 8-bit accumulator.
+//! let mut d = Design::new("accumulator");
+//! let x = d.input("x", 8);
+//! let acc = d.reg_feedback("acc", 8, |d, acc| d.add(acc, x));
+//! d.expose_output("sum", acc);
+//!
+//! // Fit it onto a simulated ORCA 3T125 and run it.
+//! let fitted = fit(&d, &Device::orca_3t125()).expect("fits easily");
+//! let mut sim = Sim::new(&d);
+//! for v in [1u64, 2, 3, 4] {
+//!     sim.set("x", v);
+//!     sim.step();
+//! }
+//! assert_eq!(sim.get("sum"), 10);
+//! assert!(fitted.report().gates > 0);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use atlantis_apps as apps;
+pub use atlantis_backplane as backplane;
+pub use atlantis_board as board;
+pub use atlantis_chdl as chdl;
+pub use atlantis_core as core;
+pub use atlantis_fabric as fabric;
+pub use atlantis_mem as mem;
+pub use atlantis_pci as pci;
+pub use atlantis_simcore as simcore;
+
+/// Convenient re-exports of the most commonly used types across the
+/// ATLANTIS workspace.
+pub mod prelude {
+    pub use atlantis_chdl::prelude::*;
+    pub use atlantis_core::prelude::*;
+    pub use atlantis_fabric::prelude::*;
+    pub use atlantis_simcore::prelude::*;
+}

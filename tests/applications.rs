@@ -1,0 +1,148 @@
+//! Application-level integration: the hybrid co-processing story of §2 —
+//! one FPGA, multiple real application designs, hardware task switches
+//! between them, with functional verification after every switch.
+
+use atlantis::apps::image2d::{Image2d, Kernel3};
+use atlantis::apps::trt::CpuHistogrammer;
+use atlantis::apps::trt::{EventGenerator, PatternBank, TrtGeometry, TrtSequencer};
+use atlantis::board::{CpuClass, HostCpu};
+use atlantis::core::Coprocessor;
+use atlantis::prelude::*;
+use atlantis::simcore::rng::WorkloadRng;
+use atlantis::simcore::SimDuration;
+
+/// Build the small-scale TRT sequencer design and the conv engine design,
+/// register both on one coprocessor, and alternate between them.
+#[test]
+fn hardware_task_switch_between_real_applications() {
+    let g = TrtGeometry::small();
+    let mut rng = WorkloadRng::seed_from_u64(42);
+    let bank = PatternBank::generate(g, 48, &mut rng);
+    let event = EventGenerator::new(g).generate(&bank, &mut rng);
+
+    // Expected results from the software references.
+    let expected_hist = bank.reference_histogram(&event.active);
+    let img = Image2d::synthetic(24, 16, &mut rng);
+    let expected_img = img
+        .convolve3(
+            &Kernel3::sharpen(),
+            &mut HostCpu::new(CpuClass::PentiumII300),
+        )
+        .output;
+
+    // Author both designs.
+    let seq = TrtSequencer::new(&bank, 16, 256);
+    let trt_design = seq.design().clone();
+    let conv_design = {
+        let mut engine = atlantis::apps::image2d::ConvolutionEngine::new(24, &Kernel3::sharpen());
+        let _ = &mut engine;
+        engine.design().clone()
+    };
+
+    let mut cop = Coprocessor::new(Device::orca_3t125());
+    cop.register("trt", &trt_design).unwrap();
+    cop.register("conv", &conv_design).unwrap();
+
+    let mut switch_total = SimDuration::ZERO;
+    for round in 0..2 {
+        // --- TRT task -------------------------------------------------
+        switch_total += cop.switch_to("trt").unwrap();
+        {
+            let loaded = cop.fpga_mut().fitted().unwrap().design();
+            let hit_mem = loaded.find_memory("hits").unwrap();
+            let result_mem = loaded.find_memory("results").unwrap();
+            let sim = cop.fpga_mut().sim_mut().unwrap();
+            // Drive the sequencer through the raw Sim interface: load the
+            // hit buffer, pulse start.
+            let words: Vec<u64> = event.hits.iter().map(|&h| h as u64).collect();
+            sim.load_mem(hit_mem, &words);
+            sim.set("n_hits", event.hits.len() as u64);
+            sim.set("threshold", 9);
+            sim.set("start", 1);
+            sim.step();
+            sim.set("start", 0);
+            let mut guard = 0;
+            while sim.get("done") == 0 {
+                sim.step();
+                guard += 1;
+                assert!(guard < 100_000, "sequencer must terminate");
+            }
+            for (p, &expect) in expected_hist.iter().enumerate() {
+                assert_eq!(
+                    sim.peek_mem(result_mem, p) as u32,
+                    expect,
+                    "round {round}: pattern {p} after task switch"
+                );
+            }
+        }
+
+        // --- Convolution task ------------------------------------------
+        switch_total += cop.switch_to("conv").unwrap();
+        {
+            let sim = cop.fpga_mut().sim_mut().unwrap();
+            let (w, h) = (img.width(), img.height());
+            let mut out = Image2d::new(w, h);
+            for y in 0..h {
+                for x in 0..w {
+                    sim.set("pixel", img.get(x, y) as u64);
+                    sim.step();
+                    if x >= 2 && y >= 2 {
+                        out.set(x - 1, y - 1, sim.get("out") as u8);
+                    }
+                }
+            }
+            for y in 2..h - 2 {
+                for x in 2..w - 2 {
+                    assert_eq!(
+                        out.get(x, y),
+                        expected_img.get(x, y),
+                        "round {round}: pixel ({x},{y}) after task switch"
+                    );
+                }
+            }
+        }
+    }
+
+    let stats = cop.stats();
+    assert_eq!(stats.full_loads, 1);
+    assert_eq!(
+        stats.partial_switches, 3,
+        "three switches after the first load"
+    );
+    // Task switching between these (dissimilar) designs still beats four
+    // full configurations.
+    assert!(
+        stats.reconfig_time < Device::orca_3t125().full_config_time() * 3,
+        "total reconfiguration {} stayed below 3 full loads",
+        stats.reconfig_time
+    );
+    let _ = switch_total;
+}
+
+/// The CPU baseline and all three hardware TRT paths agree on physics.
+#[test]
+fn all_four_trt_implementations_agree() {
+    let g = TrtGeometry::small();
+    let mut rng = WorkloadRng::seed_from_u64(77);
+    let bank = PatternBank::generate(g, 32, &mut rng);
+    let event = EventGenerator::new(g).generate(&bank, &mut rng);
+    let threshold = 9;
+
+    // 1. Software reference.
+    let reference = bank.reference_histogram(&event.active);
+    // 2. Op-counted CPU baseline.
+    let cpu = CpuHistogrammer::new(&bank, threshold).run_on_pentium_ii(&event);
+    assert_eq!(cpu.histogram, reference);
+    // 3. Host-paced CHDL datapath.
+    let mut hw = atlantis::apps::trt::FpgaHistogrammer::new(&bank, 16);
+    let (hist_hw, _, _) = hw.run_event(&event.hits, threshold);
+    assert_eq!(hist_hw, reference);
+    // 4. Autonomous FSM sequencer.
+    let mut seq = TrtSequencer::new(&bank, 16, 256);
+    let (hist_seq, _) = seq.run_event(&event.hits, threshold);
+    assert_eq!(hist_seq, reference);
+    // 5. Full-width emulation (the 176-bit production data path).
+    let lut = bank.lut(16);
+    let emu = atlantis::apps::trt::emulate_fpga_histogram(&lut, &event.hits, bank.len());
+    assert_eq!(emu, reference);
+}

@@ -1,0 +1,144 @@
+//! Paper-scale band checks: the headline numbers of §3.4, asserted as
+//! integration tests (the `table*` binaries print the same quantities
+//! with full sweeps).
+
+use atlantis::apps::trt::{
+    AcbTrtConfig, AcbTrtModel, CpuHistogrammer, EventGenerator, PatternBank,
+};
+use atlantis::apps::volume::pipeline::{frame_from_render, PipelineConfig};
+use atlantis::apps::volume::raycast::Projection;
+use atlantis::apps::volume::{
+    Classifier, HeadPhantom, OpacityLevel, RayCaster, ViewDirection, VolumePro,
+};
+use atlantis::board::Acb;
+use atlantis::pci::{DmaDirection, Driver};
+use atlantis::simcore::rng::WorkloadRng;
+use atlantis::simcore::stats::speedup;
+
+#[test]
+fn table1_dma_shape_holds() {
+    let mut last = 0.0;
+    for kb in [1usize, 8, 64, 512] {
+        let mut drv = Driver::open(Acb::new());
+        let rate = drv.measure_throughput(kb * 1024, DmaDirection::BoardToHost);
+        assert!(rate > last, "{kb} kB: {rate}");
+        last = rate;
+    }
+    assert!(
+        (118.0..126.0).contains(&last),
+        "saturation {last:.1} MB/s vs the paper's 125"
+    );
+}
+
+#[test]
+fn trt_headline_numbers() {
+    let measured = AcbTrtConfig::paper_measured();
+    let mut rng = WorkloadRng::seed_from_u64(1999);
+    let bank = PatternBank::generate(measured.geometry, measured.n_patterns, &mut rng);
+    let event = EventGenerator::new(measured.geometry).generate(&bank, &mut rng);
+
+    let cpu = CpuHistogrammer::new(&bank, measured.threshold)
+        .run_on_pentium_ii(&event)
+        .time
+        .as_millis_f64();
+    assert!((28.0..42.0).contains(&cpu), "paper 35 ms, model {cpu:.1}");
+
+    let single = AcbTrtModel::new(measured)
+        .run_event(&event)
+        .total
+        .as_millis_f64();
+    assert!(
+        (17.5..21.5).contains(&single),
+        "paper 19.2 ms, model {single:.1}"
+    );
+
+    let extrapolated = AcbTrtModel::new(AcbTrtConfig::paper_extrapolated())
+        .run_event(&event)
+        .total
+        .as_millis_f64();
+    assert!(
+        (2.3..3.5).contains(&extrapolated),
+        "paper 2.7 ms, model {extrapolated:.2}"
+    );
+
+    let s = speedup(cpu, extrapolated);
+    assert!((9.0..15.0).contains(&s), "paper 13×, model {s:.1}");
+}
+
+/// One full-scale opaque render: fraction near 10–15%, efficiency 90–97%,
+/// and the fast end of the 20–138 Hz range. (Debug builds render at a
+/// reduced 128×64 image; the fractions are resolution-independent.)
+#[test]
+fn volume_rendering_bands_at_paper_scale() {
+    let phantom = HeadPhantom::paper_ct();
+    let caster = RayCaster::new(&phantom, Classifier::new(OpacityLevel::Opaque));
+    let (_, stats) = caster.render(128, 64, ViewDirection::Diagonal, Projection::Parallel);
+    let frac = stats.sample_fraction() * 100.0;
+    assert!(
+        (7.0..17.0).contains(&frac),
+        "paper 10–15%, model {frac:.1}%"
+    );
+
+    let frame = frame_from_render(&PipelineConfig::atlantis_parallel(), &stats);
+    let eff = frame.efficiency * 100.0;
+    assert!((90.0..97.5).contains(&eff), "paper 90–97%, model {eff:.1}%");
+
+    // Quarter-resolution image ⇒ ~¼ of the full-res cycles; scale back.
+    let full_res_rate = frame.frame_rate / 4.0;
+    assert!(
+        (60.0..260.0).contains(&full_res_rate),
+        "paper's fast end is 138 Hz; model ≈{full_res_rate:.0} Hz"
+    );
+}
+
+#[test]
+fn stall_reduction_band() {
+    let phantom = HeadPhantom::with_dims(128, 128, 64);
+    let caster = RayCaster::new(&phantom, Classifier::new(OpacityLevel::SemiTransparent));
+    let (_, stats) = caster.render(128, 64, ViewDirection::AxisZ, Projection::Parallel);
+    let mt = PipelineConfig::atlantis_parallel();
+    let st = mt.single_threaded();
+    let f_mt = frame_from_render(&mt, &stats);
+    let f_st = frame_from_render(&st, &stats);
+    assert!(
+        1.0 - f_st.efficiency > 0.90,
+        "paper: >90% stalls conventional"
+    );
+    assert!(
+        1.0 - f_mt.efficiency < 0.10,
+        "paper: <10% stalls multi-threaded"
+    );
+}
+
+#[test]
+fn volumepro_model_matches_its_spec() {
+    let vp = VolumePro::default();
+    let native = vp.frame_rate((256, 256, 256));
+    assert!(
+        (29.0..30.5).contains(&native),
+        "VolumePro 500: 30 Hz at 256³"
+    );
+    assert!(
+        vp.frame_rate((512, 512, 512)) < 4.0,
+        "single-digit Hz at 512³"
+    );
+}
+
+#[test]
+fn transparent_levels_separate_at_paper_scale() {
+    let phantom = HeadPhantom::paper_ct();
+    let mut fractions = Vec::new();
+    for level in OpacityLevel::all() {
+        let caster = RayCaster::new(&phantom, Classifier::new(level));
+        let (_, stats) = caster.render(128, 64, ViewDirection::AxisZ, Projection::Parallel);
+        fractions.push(stats.sample_fraction());
+    }
+    assert!(
+        fractions[0] < fractions[1] && fractions[1] < fractions[2],
+        "opaque < semi < mostly: {fractions:?}"
+    );
+    assert!(
+        fractions[2] * 100.0 >= 25.0,
+        "paper: 25–40% for transparent levels"
+    );
+}
