@@ -27,7 +27,7 @@ fn family(name: &str, taps: &[u64]) -> Design {
     d
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let dev = Device::orca_3t125();
     let mut c = Checker::new();
 
@@ -124,5 +124,5 @@ fn main() {
         );
     }
     scrub_table.print();
-    c.finish();
+    atlantis_bench::conclude("ablation_reconfig", c)
 }

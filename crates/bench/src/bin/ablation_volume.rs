@@ -12,7 +12,7 @@ use atlantis_apps::volume::raycast::Projection;
 use atlantis_apps::volume::{Classifier, HeadPhantom, OpacityLevel, RayCaster, ViewDirection};
 use atlantis_bench::{f, Checker, Table};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let phantom = HeadPhantom::paper_ct();
     let mut table = Table::new(
         "Ablation: skipping / termination contributions (256×256×128, axial view)",
@@ -86,5 +86,5 @@ fn main() {
         3.0,
         50.0,
     );
-    c.finish();
+    atlantis_bench::conclude("ablation_volume", c)
 }

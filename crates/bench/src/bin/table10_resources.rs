@@ -9,7 +9,7 @@ use atlantis_chdl::Design;
 use atlantis_core::audit_system;
 use atlantis_fabric::{fit, Device};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut c = Checker::new();
 
     let mut table = Table::new(
@@ -76,5 +76,5 @@ fn main() {
     }
     fits.print();
 
-    c.finish();
+    atlantis_bench::conclude("table10_resources", c)
 }

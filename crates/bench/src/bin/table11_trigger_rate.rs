@@ -10,7 +10,7 @@ use atlantis_apps::daq::{max_lossless_rate, simulate, TriggerChainConfig};
 use atlantis_bench::{f, Checker, Table};
 use atlantis_simcore::SimDuration;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let config = TriggerChainConfig::level2_trigger();
     println!(
         "chain: {}-word RoI events, {} channels, {} passes on the ACB, service time {}\n",
@@ -86,5 +86,5 @@ fn main() {
             .windows(2)
             .all(|w| w[1].1.max_buffer_words >= w[0].1.max_buffer_words),
     );
-    c.finish();
+    atlantis_bench::conclude("table11_trigger_rate", c)
 }

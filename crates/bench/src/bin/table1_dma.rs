@@ -9,7 +9,7 @@ use atlantis_bench::{f, Checker, Table};
 use atlantis_board::Acb;
 use atlantis_pci::{DmaDirection, Driver};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut table = Table::new(
         "Table 1: ATLANTIS DMA performance (CPCI, microenable driver, 40 MHz)",
         &["Block size (kB)", "DMA Read (MB/s)", "DMA Write (MB/s)"],
@@ -57,5 +57,5 @@ fn main() {
         "nothing exceeds the 132 MB/s PCI theoretical peak",
         read_rates.iter().chain(&write_rates).all(|&x| x < 132.0),
     );
-    c.finish();
+    atlantis_bench::conclude("table1_dma", c)
 }

@@ -11,7 +11,7 @@ use atlantis_bench::{f, Checker, Table};
 use atlantis_simcore::rng::WorkloadRng;
 use atlantis_simcore::stats::speedup;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let measured = AcbTrtConfig::paper_measured();
     let mut rng = WorkloadRng::seed_from_u64(1999);
     let bank = PatternBank::generate(measured.geometry, measured.n_patterns, &mut rng);
@@ -104,5 +104,5 @@ fn main() {
         "I/O does not scale with modules (it is the coming bottleneck)",
         rows.iter().all(|r| (r.3 - rows[0].3).abs() < 0.05),
     );
-    c.finish();
+    atlantis_bench::conclude("table2_trt", c)
 }

@@ -14,7 +14,7 @@ use atlantis_apps::volume::{Classifier, HeadPhantom, OpacityLevel, RayCaster, Vi
 use atlantis_bench::{f, Checker, Table};
 use rayon::prelude::*;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let phantom = HeadPhantom::paper_ct();
     let mut table = Table::new(
         "E3: sample-point fraction and pipeline efficiency (256×256×128 CT, 3 views × 3 opacity levels)",
@@ -89,5 +89,5 @@ fn main() {
         "opaque renders take the fewest samples",
         avg(&opaque_fracs) < avg(&transparent_fracs),
     );
-    c.finish();
+    atlantis_bench::conclude("table3_volume_efficiency", c)
 }

@@ -11,7 +11,7 @@ use atlantis_apps::volume::raycast::Projection;
 use atlantis_apps::volume::{Classifier, HeadPhantom, OpacityLevel, RayCaster, ViewDirection};
 use atlantis_bench::{f, Checker, Table};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let phantom = HeadPhantom::paper_ct();
     let mut table = Table::new(
         "E4: rendering rates at 25 MHz, 256×128 images (paper: 20 Hz semi-transparent … 138 Hz opaque/parallel; perspective ≈2× slower)",
@@ -107,5 +107,5 @@ fn main() {
         "rates fall with transparency within every view",
         per_view_ordered,
     );
-    c.finish();
+    atlantis_bench::conclude("table4_volume_rates", c)
 }

@@ -9,7 +9,7 @@ use atlantis_apps::volume::raycast::Projection;
 use atlantis_apps::volume::{Classifier, HeadPhantom, OpacityLevel, RayCaster, ViewDirection};
 use atlantis_bench::{f, Checker, Table};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let phantom = HeadPhantom::paper_ct();
     let caster = RayCaster::new(&phantom, Classifier::new(OpacityLevel::SemiTransparent));
     let (_, stats) = caster.render(256, 128, ViewDirection::AxisZ, Projection::Parallel);
@@ -88,5 +88,5 @@ fn main() {
         "stalls collapse once threads cover the pipeline depth",
         stall_by_threads.iter().find(|(t, _)| *t == 12).unwrap().1 < 15.0,
     );
-    c.finish();
+    atlantis_bench::conclude("table5_stalls", c)
 }

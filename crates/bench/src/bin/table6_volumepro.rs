@@ -19,7 +19,7 @@ use atlantis_apps::volume::{
 };
 use atlantis_bench::{f, Checker, Table};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let vp = VolumePro::default();
     let mut table = Table::new(
         "E6: ATLANTIS renderer vs VolumePro on hard-surface data (paper: 10–25× at 512³)",
@@ -73,5 +73,5 @@ fn main() {
         "ATLANTIS stays interactive (>5 Hz) even at 512³",
         s512.2 > 5.0,
     );
-    c.finish();
+    atlantis_bench::conclude("table6_volumepro", c)
 }

@@ -25,7 +25,7 @@ fn naive_cpu_seconds(hits: u64, patterns: u64) -> f64 {
     cpu.integer_work(ops).as_secs_f64()
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut table = Table::new(
         "E7: TRT compute-only speed-up sweep vs Pentium-II/300 (paper §3.1: 10–1000× across HEP algorithms, no I/O)",
         &["patterns", "modules", "passes", "vs packed C++", "vs bit-serial C++", "with I/O"],
@@ -102,5 +102,5 @@ fn main() {
         "the paper's 240…2400-pattern operating range is covered",
         rows.iter().any(|r| r.0 == 240) && rows.iter().any(|r| r.0 == 2400),
     );
-    c.finish();
+    atlantis_bench::conclude("table7_hep_sweep", c)
 }

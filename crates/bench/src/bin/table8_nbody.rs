@@ -12,7 +12,7 @@ use atlantis_bench::{f, Checker, Table};
 use atlantis_board::{CpuClass, HostCpu};
 use atlantis_simcore::rng::WorkloadRng;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut rng = WorkloadRng::seed_from_u64(1997); // GRAPE-4, ApJ 480
     let mut c = Checker::new();
 
@@ -88,5 +88,5 @@ fn main() {
         5.0,
     );
     c.check("end-to-end evaluation beats the CPU", cpu_time > hw_time);
-    c.finish();
+    atlantis_bench::conclude("table8_nbody", c)
 }

@@ -11,7 +11,7 @@ use atlantis_bench::{f, Checker, Table};
 use atlantis_board::Aib;
 use atlantis_simcore::{Bandwidth, SimTime};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut c = Checker::new();
 
     // Measured bandwidth per channel granularity (one full-width
@@ -106,5 +106,5 @@ fn main() {
         "two-stage buffering absorbs 2× bursts losslessly",
         dropped == 0 && accepted == offered,
     );
-    c.finish();
+    atlantis_bench::conclude("table9_backplane", c)
 }

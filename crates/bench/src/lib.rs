@@ -4,11 +4,17 @@
 //! each quantitative claim against the model, and exits non-zero if any
 //! band check fails — so `for t in table*; do cargo run --bin $t; done`
 //! doubles as a regression suite for the reproduction.
+//!
+//! Pass `--json` to any binary to additionally emit a machine-readable
+//! `BENCH_<name>.json` in the working directory: every recorded check with
+//! its measured value and band, plus the pass/fail totals. CI and tooling
+//! consume these instead of scraping stdout.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::process::ExitCode;
 
 /// A printable table.
 #[derive(Debug, Default)]
@@ -63,10 +69,26 @@ impl Table {
     }
 }
 
+/// One recorded check: its name, outcome, and (for band checks) the
+/// measured value and accepted band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckRecord {
+    /// The check's human-readable name.
+    pub name: String,
+    /// Whether the check passed.
+    pub ok: bool,
+    /// The measured value (band checks only).
+    pub value: Option<f64>,
+    /// Lower bound of the accepted band (band checks only).
+    pub lo: Option<f64>,
+    /// Upper bound of the accepted band (band checks only).
+    pub hi: Option<f64>,
+}
+
 /// Collects pass/fail band checks and reports at the end.
 #[derive(Debug, Default)]
 pub struct Checker {
-    checks: Vec<(String, bool)>,
+    checks: Vec<CheckRecord>,
 }
 
 impl Checker {
@@ -79,7 +101,13 @@ impl Checker {
     pub fn check(&mut self, name: impl Into<String>, ok: bool) {
         let name = name.into();
         println!("  [{}] {name}", if ok { "ok" } else { "FAIL" });
-        self.checks.push((name, ok));
+        self.checks.push(CheckRecord {
+            name,
+            ok,
+            value: None,
+            lo: None,
+            hi: None,
+        });
     }
 
     /// Check that `value` lies within `[lo, hi]`.
@@ -90,27 +118,116 @@ impl Checker {
             "  [{}] {name}: {value:.3} (band {lo:.3}..{hi:.3})",
             if ok { "ok" } else { "FAIL" }
         );
-        self.checks.push((name, ok));
+        self.checks.push(CheckRecord {
+            name,
+            ok,
+            value: Some(value),
+            lo: Some(lo),
+            hi: Some(hi),
+        });
     }
 
-    /// Print the summary; exit non-zero when anything failed.
-    pub fn finish(self) {
-        let failed: Vec<&str> = self
+    /// Everything recorded so far.
+    pub fn records(&self) -> &[CheckRecord] {
+        &self.checks
+    }
+
+    /// Print the summary and report the outcome **without exiting**:
+    /// `Ok(())` when every check passed, otherwise `Err` with the names of
+    /// the failed checks. Library/test callers use this; binaries map it
+    /// to an exit code via [`conclude`].
+    pub fn finish_report(self) -> Result<(), Vec<String>> {
+        let failed: Vec<String> = self
             .checks
             .iter()
-            .filter(|(_, ok)| !ok)
-            .map(|(n, _)| n.as_str())
+            .filter(|c| !c.ok)
+            .map(|c| c.name.clone())
             .collect();
         let total = self.checks.len();
         if failed.is_empty() {
             println!("\nall {total} band checks passed ✓");
+            Ok(())
         } else {
             println!(
                 "\n{} of {total} band checks FAILED: {failed:?}",
                 failed.len()
             );
-            std::process::exit(1);
+            Err(failed)
         }
+    }
+
+    /// Serialize all records as a JSON document (hand-rolled — the
+    /// offline build has no `serde_json`).
+    pub fn to_json(&self, bench: &str) -> String {
+        let failed = self.checks.iter().filter(|c| !c.ok).count();
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"bench\": \"{}\",\n  \"total\": {},\n  \"failed\": {},\n  \"checks\": [",
+            json_escape(bench),
+            self.checks.len(),
+            failed
+        );
+        for (i, c) in self.checks.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"name\": \"{}\", \"ok\": {}, \"value\": {}, \"lo\": {}, \"hi\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_escape(&c.name),
+                c.ok,
+                json_num(c.value),
+                json_num(c.lo),
+                json_num(c.hi)
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Finish a benchmark binary: when `--json` was passed on the command
+/// line, write `BENCH_<bench>.json` with every record; then print the
+/// summary and turn the outcome into the process exit code (instead of
+/// calling `process::exit`, so destructors and test harnesses run).
+pub fn conclude(bench: &str, checker: Checker) -> ExitCode {
+    if std::env::args().any(|a| a == "--json") {
+        let path = format!("BENCH_{bench}.json");
+        match std::fs::write(&path, checker.to_json(bench)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    match checker.finish_report() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(_) => ExitCode::FAILURE,
+    }
+}
+
+/// Escape a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an optional float as a JSON value (`null` when absent or
+/// non-finite, which JSON cannot represent).
+fn json_num(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x}"),
+        _ => "null".to_string(),
     }
 }
 
@@ -144,7 +261,38 @@ mod tests {
         let mut c = Checker::new();
         c.check("x", true);
         c.check_band("y", 5.0, 4.0, 6.0);
-        c.finish(); // must not exit
+        assert_eq!(c.records().len(), 2);
+        assert_eq!(c.records()[1].value, Some(5.0));
+        assert!(c.finish_report().is_ok());
+    }
+
+    #[test]
+    fn failed_checks_are_reported_not_exited() {
+        let mut c = Checker::new();
+        c.check("good", true);
+        c.check_band("bad", 9.0, 0.0, 1.0);
+        let failed = c.finish_report().unwrap_err();
+        assert_eq!(failed, vec!["bad".to_string()]);
+    }
+
+    #[test]
+    fn json_export_is_well_formed() {
+        let mut c = Checker::new();
+        c.check("bool \"check\"", true);
+        c.check_band("band", 2.5, 1.0, 3.0);
+        let j = c.to_json("demo");
+        assert!(j.contains("\"bench\": \"demo\""));
+        assert!(j.contains("\"total\": 2"));
+        assert!(j.contains("\"failed\": 0"));
+        assert!(j.contains("bool \\\"check\\\""));
+        assert!(j.contains("\"value\": 2.5"));
+        assert!(j.contains("\"value\": null"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]

@@ -22,6 +22,15 @@ pub enum ChdlError {
     ForeignSignal,
     /// No input/output/label with the given name exists.
     UnknownName(String),
+    /// A host-side backdoor memory access (`try_peek_mem`, `try_poke_mem`,
+    /// `try_load_mem`) addressed a word outside the memory.
+    MemOutOfRange {
+        /// The offending word address (for `try_load_mem`, the memory size
+        /// that the contents overflowed).
+        addr: usize,
+        /// The memory's size in words.
+        words: usize,
+    },
 }
 
 impl fmt::Display for ChdlError {
@@ -35,6 +44,12 @@ impl fmt::Display for ChdlError {
             }
             ChdlError::ForeignSignal => write!(f, "signal belongs to a different design"),
             ChdlError::UnknownName(name) => write!(f, "no signal named '{name}'"),
+            ChdlError::MemOutOfRange { addr, words } => {
+                write!(
+                    f,
+                    "memory access at word {addr} out of range ({words} words)"
+                )
+            }
         }
     }
 }

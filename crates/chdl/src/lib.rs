@@ -50,6 +50,7 @@
 
 pub mod bist;
 pub mod comb;
+pub(crate) mod engine;
 pub mod error;
 pub mod fsm;
 pub mod memory;
@@ -65,7 +66,7 @@ pub mod vcd;
 pub use error::ChdlError;
 pub use netlist::{Design, MemId, NetlistStats, RegSlot};
 pub use signal::Signal;
-pub use sim::Sim;
+pub use sim::{ExecMode, Sim};
 
 /// The commonly used CHDL surface.
 pub mod prelude {
@@ -73,6 +74,6 @@ pub mod prelude {
     pub use crate::memory::FifoPorts;
     pub use crate::netlist::{Design, MemId, NetlistStats, RegSlot};
     pub use crate::signal::Signal;
-    pub use crate::sim::Sim;
+    pub use crate::sim::{ExecMode, Sim};
     pub use crate::trace::Tracer;
 }

@@ -225,11 +225,13 @@ impl Fpga {
     }
 
     /// Step the running design `n` cycles and return the virtual time
-    /// consumed at the current design clock.
+    /// consumed at the current design clock. Uses the simulator's fused
+    /// batch path ([`Sim::run_batch`]); see [`crate::par`] for stepping
+    /// several devices concurrently.
     pub fn run_cycles(&mut self, n: u64) -> Result<SimDuration, ConfigError> {
         let clock_time = self.clock.cycles(n);
         let loaded = self.loaded.as_mut().ok_or(ConfigError::NotConfigured)?;
-        loaded.sim.run(n);
+        loaded.sim.run_batch(n);
         Ok(clock_time)
     }
 

@@ -1,0 +1,340 @@
+//! Offline vendored stand-in for `criterion` 0.5.
+//!
+//! Implements the API subset this workspace's benches use: `Criterion`,
+//! `benchmark_group` (with `sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `finish`), `BenchmarkId`, `Throughput`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! straightforward calibrated-batch timer: warm up to estimate the per-iter
+//! cost, then take several samples and report the median. `--test` runs each
+//! closure once (CI smoke mode); a bare trailing argument filters benchmarks
+//! by substring; other flags (`--bench`, ...) are accepted and ignored.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How many samples to take per benchmark (after warm-up).
+const SAMPLES: usize = 7;
+/// Wall-clock budget per sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(40);
+/// Warm-up budget used to estimate per-iteration cost.
+const WARMUP_BUDGET: Duration = Duration::from_millis(25);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "--quick" => test_mode = true,
+                s if s.starts_with('-') => {} // --bench and friends: ignore
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// True when running in `--test` smoke mode (each body runs once).
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    fn selected(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_one(
+        &mut self,
+        full_name: &str,
+        throughput: Option<&Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if !self.selected(full_name) {
+            return;
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            per_iter_ns: 0.0,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("{full_name:<40} ok (test mode)");
+            return;
+        }
+        let ns = b.per_iter_ns;
+        let mut line = format!("{full_name:<40} time: [{}]", fmt_ns(ns));
+        if let Some(t) = throughput {
+            if ns > 0.0 {
+                line.push_str(&format!("  thrpt: [{}]", t.rate(ns)));
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, None, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Finalize (upstream writes reports here; this stand-in does nothing).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Work-rate annotation for a group; shown next to timings.
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+impl Throughput {
+    fn rate(&self, per_iter_ns: f64) -> String {
+        let per_sec = 1e9 / per_iter_ns;
+        match self {
+            Throughput::Bytes(n) => {
+                let bps = *n as f64 * per_sec;
+                if bps >= 1e9 {
+                    format!("{:.3} GiB/s", bps / (1u64 << 30) as f64)
+                } else {
+                    format!("{:.3} MiB/s", bps / (1u64 << 20) as f64)
+                }
+            }
+            Throughput::Elements(n) => format!("{:.3} Melem/s", *n as f64 * per_sec / 1e6),
+        }
+    }
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("read", kb)` → rendered as `read/<kb>`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter (rendered under the group name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: &str) -> String {
+        match (&self.name.is_empty(), &self.parameter) {
+            (false, Some(p)) => format!("{group}/{}/{p}", self.name),
+            (false, None) => format!("{group}/{}", self.name),
+            (true, Some(p)) => format!("{group}/{p}"),
+            (true, None) => group.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (accepted for API parity; sampling here is
+    /// time-budgeted, so this is a no-op).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a work rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a function within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = id.into().render(&self.name);
+        let t = self.throughput.clone();
+        self.criterion.run_one(&full, t.as_ref(), &mut f);
+        self
+    }
+
+    /// Benchmark a function with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = id.into().render(&self.name);
+        let t = self.throughput.clone();
+        self.criterion
+            .run_one(&full, t.as_ref(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group (upstream renders comparison reports here).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    per_iter_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `f`, calling it in calibrated batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up: estimate per-iteration cost.
+        let mut iters = 1u64;
+        let est_ns = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= WARMUP_BUDGET || iters >= 1 << 30 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters *= 2;
+        };
+        // Samples: median of SAMPLES batches sized to the budget.
+        let batch = ((SAMPLE_BUDGET.as_nanos() as f64 / est_ns.max(1.0)) as u64).max(1);
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.per_iter_ns = samples[samples.len() / 2];
+    }
+
+    /// Median per-iteration time of the last `iter` call, in nanoseconds.
+    pub fn last_per_iter_ns(&self) -> f64 {
+        self.per_iter_ns
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Group benchmark functions into a callable registry.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("read", 64).render("dma"), "dma/read/64");
+        assert_eq!(BenchmarkId::from("seq").render("dma"), "dma/seq");
+        assert_eq!(BenchmarkId::from_parameter(9).render("dma"), "dma/9");
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut b = Bencher {
+            test_mode: true,
+            per_iter_ns: 0.0,
+        };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("µs"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+        assert!(fmt_ns(2.3e9).ends_with('s'));
+    }
+}

@@ -1,0 +1,313 @@
+//! Offline vendored stand-in for the parts of `rand` 0.8 this workspace uses.
+//!
+//! The build environment has no network access and no crates.io cache, so the
+//! workspace vendors a minimal, API-compatible subset of the random-number
+//! traits as a path dependency: [`RngCore`], [`SeedableRng`], and the [`Rng`]
+//! extension trait with `gen`, `gen_range`, `gen_bool`, and `fill`.
+//! Distribution quality matters (the simulator's workload generators assert
+//! statistical moments) but bit-for-bit parity with upstream `rand` does not.
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Build the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build the generator from a `u64`, expanding it with the PCG32
+    /// sequence — **bit-identical to `rand_core` 0.6's default
+    /// `seed_from_u64`**, so generators seeded this way reproduce the
+    /// streams the workspace's seeded tests were written against.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let n = chunk.len();
+            chunk.copy_from_slice(&x.to_le_bytes()[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG's raw output
+/// (the `Standard` distribution in upstream `rand`).
+pub trait StandardSample {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+// Word consumption mirrors rand 0.8's `Standard`: types up to 32 bits draw
+// one `next_u32`; 64-bit types draw one `next_u64`.
+macro_rules! standard_small {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+standard_small!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! standard_large {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_large!(u64, usize, i64, isize);
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Most significant bit of one u32 draw, as in rand 0.8.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Sample one value uniformly from the range. Panics if empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// The uniform integer sampler below reproduces rand 0.8's
+// `UniformInt::sample_single{,_inclusive}` **bit for bit** (widening
+// multiply with rejection zone; types up to 32 bits sample a u32, 64-bit
+// types a u64), so `gen_range` consumes the same words and returns the
+// same values as upstream for any ChaCha stream.
+macro_rules! range_impl {
+    ($($t:ty, $unsigned:ty, $u_large:ty, $wide:ty, $draw:ident);* $(;)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let range = self.end.wrapping_sub(self.start) as $unsigned as $u_large;
+                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    let unsigned_max: $u_large = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = rng.$draw() as $u_large;
+                    let m = (v as $wide) * (range as $wide);
+                    let hi = (m >> <$u_large>::BITS) as $u_large;
+                    let lo = m as $u_large;
+                    if lo <= zone {
+                        return self.start.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "gen_range: empty range");
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    // The full integer domain.
+                    return rng.$draw() as $t;
+                }
+                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    let unsigned_max: $u_large = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = rng.$draw() as $u_large;
+                    let m = (v as $wide) * (range as $wide);
+                    let hi = (m >> <$u_large>::BITS) as $u_large;
+                    let lo = m as $u_large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+range_impl! {
+    u8,    u8,    u32,   u64,  next_u32;
+    u16,   u16,   u32,   u64,  next_u32;
+    u32,   u32,   u32,   u64,  next_u32;
+    u64,   u64,   u64,   u128, next_u64;
+    usize, usize, usize, u128, next_u64;
+    i8,    u8,    u32,   u64,  next_u32;
+    i16,   u16,   u32,   u64,  next_u32;
+    i32,   u32,   u32,   u64,  next_u32;
+    i64,   u64,   u64,   u128, next_u64;
+    isize, usize, usize, u128, next_u64;
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Collections fillable in one call (`Rng::fill`).
+pub trait Fill {
+    /// Fill `self` with random data.
+    fn fill_with<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_with<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl Fill for [u32] {
+    fn fill_with<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for w in self.iter_mut() {
+            *w = rng.next_u32();
+        }
+    }
+}
+
+impl Fill for [u64] {
+    fn fill_with<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for w in self.iter_mut() {
+            *w = rng.next_u64();
+        }
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, Rge: SampleRange<T>>(&mut self, range: Rge) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+
+    /// Fill `dest` (e.g. a byte slice) with random data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T)
+    where
+        Self: Sized,
+    {
+        dest.fill_with(self);
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Commonly imported names, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&b[..n]);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(3u8..=7);
+            assert!((3..=7).contains(&w));
+            let f = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn fill_covers_slice() {
+        let mut rng = Counter(7);
+        let mut buf = [0u8; 37];
+        rng.fill(&mut buf[..]);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_does_not_panic() {
+        let mut rng = Counter(1);
+        let _: u64 = rng.gen_range(0u64..=u64::MAX);
+    }
+}

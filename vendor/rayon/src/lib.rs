@@ -1,0 +1,259 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! Implements the subset this workspace uses with `std::thread::scope`:
+//! `par_iter().map(..).collect()` (order-preserving), `par_iter().for_each(..)`,
+//! `par_iter_mut().for_each(..)`, and `join`. Work is split into one
+//! contiguous chunk per available core; there is no work-stealing pool, but
+//! for the coarse-grained parallelism in this repo (independent FPGA devices,
+//! independent render views) chunk-per-core is the same schedule rayon
+//! converges to.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel call may use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        rb = Some(hb.join().expect("rayon::join worker panicked"));
+        ra
+    });
+    (ra, rb.unwrap())
+}
+
+/// Split `len` items into at most `current_num_threads()` contiguous spans.
+fn spans(len: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().min(len);
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+/// `&collection.par_iter()` — shared parallel iteration over slices.
+pub trait IntoParallelRefIterator<'a> {
+    /// The item type yielded by the iterator.
+    type Item: Sync + 'a;
+    /// Create the parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `&mut collection.par_iter_mut()` — exclusive parallel iteration.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The item type yielded by the iterator.
+    type Item: Send + 'a;
+    /// Create the mutable parallel iterator.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each item through `f` (applied in parallel, order preserved).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let items = self.items;
+        std::thread::scope(|scope| {
+            for (lo, hi) in spans(items.len()) {
+                let f = &f;
+                scope.spawn(move || {
+                    for item in &items[lo..hi] {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there is nothing to iterate.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// The result of `par_iter().map(f)`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParMap<'a, T, F>
+where
+    T: Sync,
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    /// Execute the map in parallel and collect results **in input order**.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let items = self.items;
+        let f = &self.f;
+        let mut chunks: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = spans(items.len())
+                .into_iter()
+                .map(|(lo, hi)| {
+                    scope.spawn(move || items[lo..hi].iter().map(f).collect::<Vec<R>>())
+                })
+                .collect();
+            chunks = handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon map worker panicked"))
+                .collect();
+        });
+        chunks.into_iter().flatten().collect()
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Run `f` on every item in parallel with exclusive access.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let workers = current_num_threads().min(self.items.len().max(1));
+        let chunk = self.items.len().div_ceil(workers);
+        if chunk == 0 {
+            return;
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            for piece in self.items.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for item in piece {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Commonly imported names, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item() {
+        let mut data = vec![1u32; 257];
+        data.par_iter_mut().for_each(|x| *x += 1);
+        assert!(data.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 6 * 7, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let mut e2: Vec<u8> = Vec::new();
+        e2.par_iter_mut().for_each(|_| unreachable!());
+    }
+
+    #[test]
+    fn spans_cover_exactly() {
+        for len in [0usize, 1, 2, 7, 64, 1000] {
+            let s = super::spans(len);
+            let total: usize = s.iter().map(|(lo, hi)| hi - lo).sum();
+            assert_eq!(total, len);
+            for w in s.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize` / `Deserialize` on plain data
+//! types (no code serializes anything yet — `serde_json` is not used).
+//! This stand-in keeps those derives compiling offline: the traits are
+//! markers, and the derive macros (from the vendored `serde_derive`)
+//! emit empty impls. When a real serialization backend is needed, this
+//! crate is the single place to grow the data model.
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// Blanket-ish impls for common composites so derived containers holding
+// them would also satisfy any future generic bounds.
+macro_rules! mark {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+mark!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}

@@ -1,0 +1,41 @@
+//! Offline vendored `serde_derive`: emits marker impls for the vendored
+//! `serde` crate. Works on any non-generic `struct` or `enum` (which is
+//! every derived type in this workspace) by scanning the token stream for
+//! the item name rather than pulling in `syn`/`quote`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the identifier following the `struct` / `enum` / `union` keyword.
+fn item_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tt in input {
+        if let TokenTree::Ident(ident) = tt {
+            let s = ident.to_string();
+            if saw_keyword {
+                return s;
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde_derive (vendored): could not find item name in derive input");
+}
+
+/// Derive the vendored `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("#[automatically_derived] impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Derive the vendored `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("#[automatically_derived] impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
