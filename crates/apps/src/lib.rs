@@ -18,12 +18,17 @@
 //! * [`nbody`] — the astronomy N-body sub-task (§3.3): a fixed-point
 //!   pairwise-force pipeline in the GRAPE tradition, against a
 //!   double-precision CPU direct sum.
+//!
+//! [`jobs`] wraps all four behind one deterministic job-adapter
+//! interface, which is what the `atlantis-runtime` serving layer
+//! schedules across the machine's ACBs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod daq;
 pub mod image2d;
+pub mod jobs;
 pub mod nbody;
 pub mod trt;
 pub mod volume;

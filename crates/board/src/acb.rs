@@ -275,7 +275,29 @@ impl Acb {
     pub fn local_ram_len(&self) -> usize {
         self.local_ram.len()
     }
+
+    /// Job-payload staging slots in the local RAM window. The serving
+    /// runtime DMAs each job's payload into its own fixed-size slot, so
+    /// transfers for consecutive jobs never alias while a result is
+    /// still being read back.
+    pub fn job_slots(&self) -> usize {
+        self.local_ram.len() / JOB_SLOT_BYTES as usize
+    }
+
+    /// Local-bus address of staging slot `slot`, or `None` when the slot
+    /// does not exist in this board's RAM window.
+    pub fn job_slot_addr(&self, slot: usize) -> Option<u64> {
+        if slot < self.job_slots() {
+            Some(slot as u64 * JOB_SLOT_BYTES)
+        } else {
+            None
+        }
+    }
 }
+
+/// Size of one job-payload staging slot in the host-visible local RAM
+/// window (256 kB holds the largest adapter payload with headroom).
+pub const JOB_SLOT_BYTES: u64 = 256 * 1024;
 
 impl LocalBusTarget for Acb {
     fn local_write(&mut self, addr: u64, data: &[u8]) {
@@ -379,6 +401,19 @@ mod tests {
         );
         let err = acb.attach_module(8, MemoryModule::render()).unwrap_err();
         assert_eq!(err, AcbError::BadSlot(8));
+    }
+
+    #[test]
+    fn job_slots_tile_the_local_ram_window() {
+        let acb = Acb::new();
+        // 4 MB window / 256 kB slots = 16 slots.
+        assert_eq!(acb.job_slots(), 16);
+        assert_eq!(acb.job_slot_addr(0), Some(0));
+        assert_eq!(acb.job_slot_addr(15), Some(15 * JOB_SLOT_BYTES));
+        assert_eq!(acb.job_slot_addr(16), None);
+        // Every slot lies fully inside the window.
+        let last = acb.job_slot_addr(acb.job_slots() - 1).unwrap();
+        assert!(last + JOB_SLOT_BYTES <= acb.local_ram_len() as u64);
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub enum TaskError {
     Fit(FitError),
     /// The configuration port rejected the operation.
     Config(ConfigError),
+    /// A pre-fitted design targets a different device than this FPGA.
+    DeviceMismatch {
+        /// Device the design was fitted for.
+        fitted_for: String,
+        /// Device this coprocessor drives.
+        device: String,
+    },
 }
 
 impl std::fmt::Display for TaskError {
@@ -44,6 +51,9 @@ impl std::fmt::Display for TaskError {
             TaskError::UnknownTask(n) => write!(f, "unknown task '{n}'"),
             TaskError::Fit(e) => write!(f, "fit: {e}"),
             TaskError::Config(e) => write!(f, "config: {e}"),
+            TaskError::DeviceMismatch { fitted_for, device } => {
+                write!(f, "design fitted for {fitted_for}, device is {device}")
+            }
         }
     }
 }
@@ -75,6 +85,29 @@ impl Coprocessor {
         let fitted = fit(design, self.fpga.device()).map_err(TaskError::Fit)?;
         self.library.insert(name.into(), fitted);
         Ok(())
+    }
+
+    /// Register an already fitted design — the path a shared bitstream
+    /// cache uses to install one fit result on many coprocessors without
+    /// re-running placement. The fit must target this device.
+    pub fn register_fitted(
+        &mut self,
+        name: impl Into<String>,
+        fitted: FittedDesign,
+    ) -> Result<(), TaskError> {
+        if fitted.device() != self.fpga.device() {
+            return Err(TaskError::DeviceMismatch {
+                fitted_for: fitted.device().name.clone(),
+                device: self.fpga.device().name.clone(),
+            });
+        }
+        self.library.insert(name.into(), fitted);
+        Ok(())
+    }
+
+    /// Whether a task name is already in the library.
+    pub fn has_task(&self, name: &str) -> bool {
+        self.library.contains_key(name)
     }
 
     /// Registered task names (sorted).
@@ -182,6 +215,52 @@ mod tests {
         let t = c.switch_to("fir_a").unwrap();
         assert_eq!(t, SimDuration::ZERO);
         assert_eq!(c.stats().partial_switches, 0);
+    }
+
+    /// Regression for the no-op fast path: re-switching to the loaded
+    /// task must not touch the configuration port at all — no frames
+    /// written, no reconfiguration time, no stats movement, and the
+    /// running design's state survives (a real reconfiguration would
+    /// reset it).
+    #[test]
+    fn switch_to_current_leaves_stats_and_state_untouched() {
+        let mut c = coproc();
+        c.switch_to("fir_a").unwrap();
+        let sim = c.fpga_mut().sim_mut().unwrap();
+        sim.set("x", 7);
+        sim.step();
+        let y_before = sim.get("y");
+        let stats_before = c.stats();
+        for _ in 0..3 {
+            assert_eq!(c.switch_to("fir_a").unwrap(), SimDuration::ZERO);
+        }
+        assert_eq!(c.stats(), stats_before, "no-op switches move no stats");
+        assert_eq!(c.current_task(), Some("fir_a"));
+        assert_eq!(
+            c.fpga_mut().sim_mut().unwrap().get("y"),
+            y_before,
+            "register state survives a no-op switch"
+        );
+    }
+
+    #[test]
+    fn register_fitted_skips_refit_and_checks_the_device() {
+        let d = task_design("fir_a", &[1, 2, 3, 4]);
+        let fitted = fit(&d, &Device::orca_3t125()).unwrap();
+
+        let mut c = Coprocessor::new(Device::orca_3t125());
+        assert!(!c.has_task("fir_a"));
+        c.register_fitted("fir_a", fitted.clone()).unwrap();
+        assert!(c.has_task("fir_a"));
+        c.switch_to("fir_a").unwrap();
+        assert_eq!(c.current_task(), Some("fir_a"));
+
+        // Same bitstream on a different device family is rejected.
+        let mut wrong = Coprocessor::new(Device::virtex_xcv600());
+        assert!(matches!(
+            wrong.register_fitted("fir_a", fitted),
+            Err(TaskError::DeviceMismatch { .. })
+        ));
     }
 
     #[test]

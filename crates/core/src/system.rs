@@ -140,13 +140,36 @@ impl AtlantisSystem {
     }
 
     /// The driver handle (and through it the board) of ACB `i`.
+    ///
+    /// Panics when `i` is out of range; serving-layer code that cannot
+    /// afford a panic uses [`AtlantisSystem::try_acb`].
     pub fn acb(&mut self, i: usize) -> &mut Driver<Acb> {
         &mut self.acbs[i]
     }
 
     /// I/O board `i`.
+    ///
+    /// Panics when `i` is out of range; see [`AtlantisSystem::try_aib`].
     pub fn aib(&mut self, i: usize) -> &mut Aib {
         &mut self.aibs[i]
+    }
+
+    /// Non-panicking access to the driver handle of ACB `i`.
+    pub fn try_acb(&mut self, i: usize) -> Option<&mut Driver<Acb>> {
+        self.acbs.get_mut(i)
+    }
+
+    /// Non-panicking access to I/O board `i`.
+    pub fn try_aib(&mut self, i: usize) -> Option<&mut Aib> {
+        self.aibs.get_mut(i)
+    }
+
+    /// Tear the crate down into its boards: the host CPU, the driver
+    /// handle of every ACB (slot order), and every AIB. The serving
+    /// runtime uses this to hand each computing board to its own worker
+    /// thread — the boards are independent once the crate is opened.
+    pub fn into_boards(self) -> (HostCpu, Vec<Driver<Acb>>, Vec<Aib>) {
+        (self.host, self.acbs, self.aibs)
     }
 
     /// The crate slot of ACB `i`.
@@ -273,6 +296,33 @@ mod tests {
         assert!(t > SimDuration::ZERO);
         let (back, _) = sys.acb(0).dma_read(0, 4096);
         assert_eq!(back, data);
+    }
+
+    #[test]
+    fn try_accessors_return_none_out_of_range() {
+        let mut sys = small_system();
+        assert!(sys.try_acb(0).is_some());
+        assert!(sys.try_acb(1).is_some());
+        assert!(sys.try_acb(2).is_none());
+        assert!(sys.try_aib(0).is_some());
+        assert!(sys.try_aib(1).is_none());
+        // The in-range handle is the same board the panicking accessor
+        // returns: both see the same local RAM.
+        sys.acb(0).pio_write_u32(0x20, 77);
+        let (v, _) = sys.try_acb(0).unwrap().pio_read_u32(0x20);
+        assert_eq!(v, 77);
+    }
+
+    #[test]
+    fn into_boards_yields_every_board_in_slot_order() {
+        let sys = small_system();
+        let (host, acbs, aibs) = sys.into_boards();
+        assert_eq!(host.class(), CpuClass::Celeron450);
+        assert_eq!(acbs.len(), 2);
+        assert_eq!(aibs.len(), 1);
+        for drv in &acbs {
+            assert!(drv.target().clocks().has_main());
+        }
     }
 
     #[test]

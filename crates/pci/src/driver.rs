@@ -98,6 +98,13 @@ impl<T: LocalBusTarget> Driver<T> {
         self.elapsed
     }
 
+    /// Return the virtual time consumed since the last call and reset the
+    /// counter — how a serving layer attributes driver time (DMA, PIO,
+    /// doorbells) to the individual job it just processed.
+    pub fn take_elapsed(&mut self) -> SimDuration {
+        std::mem::take(&mut self.elapsed)
+    }
+
     /// The board behind the bridge.
     pub fn target(&self) -> &T {
         &self.target
@@ -266,6 +273,16 @@ mod tests {
         assert_eq!(back, data);
         assert!(t1 > SimDuration::ZERO && t2 > SimDuration::ZERO);
         assert_eq!(drv.elapsed(), t1 + t2);
+    }
+
+    #[test]
+    fn take_elapsed_attributes_time_per_job() {
+        let mut drv = driver();
+        let t1 = drv.dma_write(0, &[0u8; 4096]);
+        assert_eq!(drv.take_elapsed(), t1);
+        assert_eq!(drv.elapsed(), SimDuration::ZERO);
+        let (_, t2) = drv.dma_read(0, 4096);
+        assert_eq!(drv.take_elapsed(), t2);
     }
 
     #[test]

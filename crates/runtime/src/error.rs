@@ -1,0 +1,56 @@
+//! Errors of the serving runtime.
+
+use atlantis_core::coprocessor::TaskError;
+use std::fmt;
+
+/// Why the runtime refused or failed a request.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The bounded admission queue is full — the caller must back off
+    /// and retry. This is the graceful-degradation path: under overload
+    /// the runtime rejects *new* work instead of growing without bound
+    /// or stalling accepted jobs.
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The runtime is shutting down and accepts no new jobs.
+    ShuttingDown,
+    /// The system handed to [`Runtime::serve`](crate::Runtime::serve)
+    /// has no computing boards.
+    NoDevices,
+    /// A computing board expected at this index is missing.
+    NoSuchDevice(usize),
+    /// The coprocessor rejected a task operation (registration fit,
+    /// reconfiguration).
+    Task(TaskError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Overloaded { capacity } => {
+                write!(f, "admission queue full ({capacity} jobs)")
+            }
+            RuntimeError::ShuttingDown => write!(f, "runtime is shutting down"),
+            RuntimeError::NoDevices => write!(f, "system has no computing boards"),
+            RuntimeError::NoSuchDevice(i) => write!(f, "no ACB at index {i}"),
+            RuntimeError::Task(e) => write!(f, "coprocessor: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Task(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TaskError> for RuntimeError {
+    fn from(e: TaskError) -> Self {
+        RuntimeError::Task(e)
+    }
+}

@@ -1,0 +1,145 @@
+//! The bounded, priority-classed admission queue.
+//!
+//! Capacity is a hard bound: a full queue rejects new submissions with
+//! [`RuntimeError::Overloaded`] instead of growing (no OOM under
+//! overload) or blocking the submitter (no convoy of stuck clients).
+//! Workers block on a condvar while the queue is empty; closing the
+//! queue wakes everyone, and popping keeps returning queued jobs until
+//! the queue has fully drained — an accepted job is never dropped.
+
+use crate::error::RuntimeError;
+use crate::job::{Priority, QueuedJob};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// What a worker's pop returned.
+#[derive(Debug)]
+pub(crate) enum Pop {
+    /// A job to execute.
+    Job(QueuedJob),
+    /// The queue is closed and empty — the worker should exit.
+    Drained,
+}
+
+#[derive(Debug)]
+struct Entry {
+    job: QueuedJob,
+    /// How many times a later same-design job was batched past this one.
+    skips: u32,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    classes: [VecDeque<Entry>; Priority::CLASSES],
+    len: usize,
+    closed: bool,
+}
+
+/// How a worker picks its next job from the queue.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PickConfig {
+    /// Prefer a job for the already-loaded design within this many
+    /// entries of the head of the urgent-most non-empty class.
+    pub scan_depth: usize,
+    /// Stop preferring the loaded design after this many consecutive
+    /// same-design jobs (forces eventual rotation).
+    pub batch_window: usize,
+    /// A job skipped this many times must be taken next regardless of
+    /// the loaded design (starvation bound).
+    pub aging_limit: u32,
+}
+
+#[derive(Debug)]
+pub(crate) struct JobQueue {
+    inner: Mutex<Inner>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner::default()),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued (excluding in-flight work on the devices).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len
+    }
+
+    /// Admit a job, or reject it when the bound is reached.
+    pub fn push(&self, job: QueuedJob) -> Result<(), RuntimeError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(RuntimeError::ShuttingDown);
+        }
+        if inner.len >= self.capacity {
+            return Err(RuntimeError::Overloaded {
+                capacity: self.capacity,
+            });
+        }
+        inner.classes[job.request.priority.index()].push_back(Entry { job, skips: 0 });
+        inner.len += 1;
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Stop admissions; queued jobs still drain.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Block until a job is available (or the queue is closed *and*
+    /// empty). `prefer`, when set and `batch_len` is still inside the
+    /// batch window, picks a nearby job for the already-loaded design —
+    /// the reconfiguration-aware policy. FIFO callers pass `None`.
+    pub fn pop(&self, pick: PickConfig, prefer: Option<&str>, batch_len: usize) -> Pop {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.len > 0 {
+                let entry = Self::take(&mut inner, pick, prefer, batch_len);
+                inner.len -= 1;
+                return Pop::Job(entry.job);
+            }
+            if inner.closed {
+                return Pop::Drained;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Pick from the urgent-most non-empty class (caller guarantees the
+    /// queue is non-empty).
+    fn take(inner: &mut Inner, pick: PickConfig, prefer: Option<&str>, batch_len: usize) -> Entry {
+        let class = inner
+            .classes
+            .iter_mut()
+            .find(|c| !c.is_empty())
+            .expect("pop on a non-empty queue");
+        if let Some(design) = prefer {
+            let head_aged = class.front().is_some_and(|e| e.skips >= pick.aging_limit);
+            if batch_len < pick.batch_window && !head_aged {
+                let j = class
+                    .iter()
+                    .take(pick.scan_depth)
+                    .position(|e| e.job.request.spec.kind.design_name() == design);
+                if let Some(j) = j {
+                    for e in class.iter_mut().take(j) {
+                        e.skips += 1;
+                    }
+                    return class.remove(j).expect("index in range");
+                }
+            }
+        }
+        class.pop_front().expect("class is non-empty")
+    }
+}

@@ -1,0 +1,184 @@
+//! Serving-layer statistics: latency histograms and the runtime-wide
+//! snapshot.
+
+use atlantis_simcore::SimDuration;
+use std::time::Duration;
+
+/// A log₂-bucketed histogram of wall-clock latencies in microseconds.
+/// Fixed memory, lock-friendly, good-enough percentiles (each bucket
+/// spans a factor of two; the reported percentile is the bucket's upper
+/// bound).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples in `[2^i, 2^(i+1))` µs; bucket 0 also
+    /// holds sub-microsecond samples.
+    buckets: [u64; 40],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; 40],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+
+    /// Record one latency.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(self.buckets.len() - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// The largest recorded latency in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Upper bound of the bucket holding the `p`-quantile (`p` in 0..=1),
+    /// in microseconds.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return (1u64 << (i + 1)) as f64;
+            }
+        }
+        self.max_us as f64
+    }
+}
+
+/// A point-in-time snapshot of the whole runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs fully served.
+    pub completed: u64,
+    /// Jobs rejected with `Overloaded`.
+    pub rejected: u64,
+    /// Accepted jobs that failed inside a worker (coprocessor errors —
+    /// zero in any healthy configuration).
+    pub failed: u64,
+    /// Completed jobs per workload kind (indexed like
+    /// [`JobKind::ALL`](atlantis_apps::jobs::JobKind::ALL)).
+    pub per_kind: [u64; 4],
+    /// Full FPGA configurations across all devices.
+    pub full_loads: u64,
+    /// Partial-reconfiguration task switches across all devices.
+    pub partial_switches: u64,
+    /// Configuration frames written across all devices.
+    pub frames_written: u64,
+    /// Virtual time spent reconfiguring, summed over devices.
+    pub reconfig_time: SimDuration,
+    /// Virtual time spent on payload/result DMA, summed over devices.
+    pub dma_time: SimDuration,
+    /// Virtual execution time, summed over devices.
+    pub execute_time: SimDuration,
+    /// The virtual makespan: the busiest device's total virtual time.
+    /// Throughput on the simulated machine is `completed /` this.
+    pub virtual_makespan: SimDuration,
+    /// Bitstream-cache hits.
+    pub cache_hits: u64,
+    /// Bitstream-cache misses (fits actually run).
+    pub cache_misses: u64,
+    /// End-to-end wall latency histogram (submission → completion).
+    pub latency: LatencyHistogram,
+    /// Wall time since the runtime started.
+    pub wall_elapsed: Duration,
+}
+
+impl RuntimeStats {
+    /// Served jobs per second of *virtual* machine time — the number a
+    /// deployment of the real hardware would see, independent of how
+    /// fast the host simulates it.
+    pub fn virtual_jobs_per_sec(&self) -> f64 {
+        let t = self.virtual_makespan.as_secs_f64();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / t
+        }
+    }
+
+    /// Served jobs per second of wall time (host simulation speed).
+    pub fn wall_jobs_per_sec(&self) -> f64 {
+        let t = self.wall_elapsed.as_secs_f64();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / t
+        }
+    }
+
+    /// Hardware task switches (full + partial) per served job — the
+    /// quantity reconfiguration-aware batching minimises.
+    pub fn switches_per_job(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            (self.full_loads + self.partial_switches) as f64 / self.completed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_bracket_the_samples() {
+        let mut h = LatencyHistogram::new();
+        for us in [1u64, 2, 4, 100, 100, 100, 100, 100, 100, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.percentile_us(0.5);
+        assert!((64.0..=256.0).contains(&p50), "p50 {p50}");
+        let p99 = h.percentile_us(0.99);
+        assert!(p99 >= 8192.0, "p99 {p99}");
+        assert!(h.mean_us() > 0.0);
+        assert_eq!(h.max_us(), 10_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile_us(0.5), 0.0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+}

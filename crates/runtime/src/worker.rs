@@ -1,0 +1,220 @@
+//! Per-device worker: one OS thread owning one ACB.
+//!
+//! A worker pops jobs from the shared admission queue and serves each
+//! one end to end on its board: payload DMA in (through the real
+//! PLX9080/PCI model), a hardware task switch when the needed design is
+//! not the one currently loaded (partial reconfiguration via the
+//! coprocessor API), deterministic execution, result DMA out. Every
+//! stage's virtual cost is attributed to the job, so the serving layer
+//! is observable per job and per device.
+
+use crate::cache::BitstreamCache;
+use crate::error::RuntimeError;
+use crate::job::{JobResult, JobTimings, QueuedJob};
+use crate::queue::{JobQueue, PickConfig, Pop};
+use crate::stats::LatencyHistogram;
+use atlantis_apps::jobs::{JobKind, WorkloadContext};
+use atlantis_board::Acb;
+use atlantis_core::coprocessor::TaskStats;
+use atlantis_core::Coprocessor;
+use atlantis_fabric::Device;
+use atlantis_pci::Driver;
+use atlantis_simcore::SimDuration;
+use std::sync::{Arc, Mutex};
+
+/// The scheduling policy workers follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Strict arrival order within each priority class. Every change of
+    /// workload kind pays a reconfiguration.
+    Fifo,
+    /// Prefer jobs for the design already loaded on the device, looking
+    /// a bounded distance into the queue, for at most `batch_window`
+    /// consecutive jobs (and never past a job that has already been
+    /// skipped `aging_limit` times). Amortises configuration cost across
+    /// batches — the paper's hardware-task-switch economics.
+    ReconfigAware {
+        /// Max consecutive same-design jobs before the device must take
+        /// the queue head regardless of design.
+        batch_window: usize,
+    },
+}
+
+/// Aggregated counters all workers write and `Runtime::stats` reads.
+#[derive(Debug, Default)]
+pub(crate) struct SharedStats {
+    pub completed: u64,
+    pub failed: u64,
+    pub per_kind: [u64; 4],
+    pub full_loads: u64,
+    pub partial_switches: u64,
+    pub frames_written: u64,
+    pub reconfig_time: SimDuration,
+    pub dma_time: SimDuration,
+    pub execute_time: SimDuration,
+    pub device_busy: Vec<SimDuration>,
+    pub latency: LatencyHistogram,
+}
+
+impl SharedStats {
+    pub fn new(devices: usize) -> Self {
+        SharedStats {
+            device_busy: vec![SimDuration::ZERO; devices],
+            latency: LatencyHistogram::new(),
+            ..Default::default()
+        }
+    }
+}
+
+pub(crate) struct Worker {
+    pub device_index: usize,
+    pub driver: Driver<Acb>,
+    pub coproc: Coprocessor,
+    pub ctx: WorkloadContext,
+    pub queue: Arc<JobQueue>,
+    pub cache: Arc<BitstreamCache>,
+    pub policy: SchedPolicy,
+    pub pick: PickConfig,
+    pub shared: Arc<Mutex<SharedStats>>,
+    batch_len: usize,
+    slot: usize,
+}
+
+impl Worker {
+    pub fn new(
+        device_index: usize,
+        driver: Driver<Acb>,
+        queue: Arc<JobQueue>,
+        cache: Arc<BitstreamCache>,
+        policy: SchedPolicy,
+        pick: PickConfig,
+        shared: Arc<Mutex<SharedStats>>,
+    ) -> Self {
+        Worker {
+            device_index,
+            driver,
+            coproc: Coprocessor::new(Device::orca_3t125()),
+            ctx: WorkloadContext::new(),
+            queue,
+            cache,
+            policy,
+            pick,
+            shared,
+            batch_len: 0,
+            slot: 0,
+        }
+    }
+
+    /// Serve until the queue closes and drains, then exit. Every job
+    /// popped before the drain completes is answered — accepted work is
+    /// never lost.
+    pub fn run(mut self) {
+        loop {
+            let prefer = match self.policy {
+                SchedPolicy::Fifo => None,
+                SchedPolicy::ReconfigAware { .. } => self.coproc.current_task().map(str::to_owned),
+            };
+            match self.queue.pop(self.pick, prefer.as_deref(), self.batch_len) {
+                Pop::Job(job) => self.serve(job),
+                Pop::Drained => break,
+            }
+        }
+    }
+
+    fn serve(&mut self, job: QueuedJob) {
+        let queue_wait = job.submitted.elapsed();
+        let spec = job.request.spec;
+
+        // Stage the payload into the next job slot over real DMA.
+        let slots = self.driver.target().job_slots();
+        let addr = self
+            .driver
+            .target()
+            .job_slot_addr(self.slot)
+            .expect("slot index in range");
+        self.slot = (self.slot + 1) % slots;
+        let payload = vec![(spec.seed as u8) ^ 0x5A; spec.payload_bytes() as usize];
+        self.driver.take_elapsed();
+        self.driver.dma_write(addr, &payload);
+
+        // Hardware task switch (cached bitstream, partial reconfig).
+        let before: TaskStats = self.coproc.stats();
+        let reconfig = match self.load_task(spec.kind) {
+            Ok(t) => t,
+            Err(e) => {
+                self.shared.lock().unwrap().failed += 1;
+                let _ = job.reply.send(Err(e));
+                return;
+            }
+        };
+        let switched = reconfig > SimDuration::ZERO;
+        self.batch_len = if switched { 1 } else { self.batch_len + 1 };
+        let delta = {
+            let after = self.coproc.stats();
+            TaskStats {
+                full_loads: after.full_loads - before.full_loads,
+                partial_switches: after.partial_switches - before.partial_switches,
+                frames_written: after.frames_written - before.frames_written,
+                reconfig_time: after.reconfig_time - before.reconfig_time,
+            }
+        };
+
+        // Execute, then read the result back.
+        let outcome = self.ctx.execute(&spec);
+        let (_readback, _) = self.driver.dma_read(addr, spec.result_bytes() as usize);
+        let dma = self.driver.take_elapsed();
+
+        let timings = JobTimings {
+            device: self.device_index,
+            queue_wait,
+            wall: job.submitted.elapsed(),
+            dma,
+            reconfig,
+            execute: outcome.compute,
+            switched,
+        };
+        let result = JobResult {
+            id: job.id,
+            client: job.request.client,
+            spec,
+            checksum: outcome.checksum,
+            cycles: outcome.cycles,
+            timings,
+        };
+
+        {
+            let mut s = self.shared.lock().unwrap();
+            s.completed += 1;
+            let kind_idx = JobKind::ALL
+                .iter()
+                .position(|&k| k == spec.kind)
+                .expect("kind is one of ALL");
+            s.per_kind[kind_idx] += 1;
+            s.full_loads += delta.full_loads;
+            s.partial_switches += delta.partial_switches;
+            s.frames_written += delta.frames_written;
+            s.reconfig_time += delta.reconfig_time;
+            s.dma_time += dma;
+            s.execute_time += outcome.compute;
+            s.device_busy[self.device_index] += timings.total_virtual();
+            s.latency.record(timings.wall);
+        }
+
+        // A client that dropped its handle just doesn't read the result.
+        let _ = job.reply.send(Ok(result));
+    }
+
+    /// Make sure the workload's design is in this device's task library
+    /// (installing the shared cached fit on first use), then switch.
+    fn load_task(&mut self, kind: JobKind) -> Result<SimDuration, RuntimeError> {
+        let name = kind.design_name();
+        if !self.coproc.has_task(name) {
+            let fitted = self
+                .cache
+                .get(kind)
+                .map_err(|e| RuntimeError::Task(atlantis_core::coprocessor::TaskError::Fit(e)))?;
+            self.coproc.register_fitted(name, (*fitted).clone())?;
+        }
+        Ok(self.coproc.switch_to(name)?)
+    }
+}

@@ -1,0 +1,125 @@
+//! Multi-tenant serving on the ATLANTIS machine (DESIGN.md §8).
+//!
+//! Three client threads with different workload profiles — an online
+//! trigger (high priority), an interactive volume renderer, and a bulk
+//! batch tenant mixing image filters and N-body steps — share a
+//! four-ACB system through `atlantis-runtime`. The scheduler batches
+//! jobs that share the currently-loaded FPGA design, so most jobs skip
+//! reconfiguration entirely; a bounded admission queue sheds overload
+//! by rejection instead of growing without bound.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use atlantis::apps::jobs::JobSpec;
+use atlantis::core::AtlantisSystem;
+use atlantis::runtime::{JobRequest, Priority, Runtime, RuntimeConfig, RuntimeError};
+use std::sync::Arc;
+
+fn submit_with_backoff(rt: &Runtime, req: JobRequest) -> atlantis::runtime::JobHandle {
+    loop {
+        match rt.submit(req) {
+            Ok(handle) => return handle,
+            Err(RuntimeError::Overloaded { .. }) => std::thread::yield_now(),
+            Err(e) => panic!("submit failed: {e}"),
+        }
+    }
+}
+
+fn wait_all(handles: Vec<atlantis::runtime::JobHandle>) -> usize {
+    let mut served = 0;
+    for h in handles {
+        h.wait().expect("job completes");
+        served += 1;
+    }
+    served
+}
+
+fn main() {
+    let system = AtlantisSystem::builder().with_acbs(4).build();
+    let rt = Arc::new(
+        Runtime::serve(system, RuntimeConfig::default()).expect("system has ACBs to serve on"),
+    );
+    println!(
+        "serving on {} ACBs, queue capacity {}\n",
+        rt.devices(),
+        rt.queue_capacity()
+    );
+
+    // Tenant 1: the online trigger — many small TRT events, high priority.
+    let trigger = {
+        let rt = Arc::clone(&rt);
+        std::thread::spawn(move || {
+            let handles: Vec<_> = (0..120)
+                .map(|i| {
+                    let req = JobRequest::new(1, JobSpec::trt(i)).with_priority(Priority::High);
+                    submit_with_backoff(&rt, req)
+                })
+                .collect();
+            wait_all(handles)
+        })
+    };
+
+    // Tenant 2: an interactive renderer — medium-sized volume frames.
+    let renderer = {
+        let rt = Arc::clone(&rt);
+        std::thread::spawn(move || {
+            let handles: Vec<_> = (0..40)
+                .map(|i| {
+                    let req = JobRequest::new(2, JobSpec::volume(64 + (i % 4) as u32 * 32, i));
+                    submit_with_backoff(&rt, req)
+                })
+                .collect();
+            wait_all(handles)
+        })
+    };
+
+    // Tenant 3: batch work — image filters and N-body steps, low priority.
+    let batch = {
+        let rt = Arc::clone(&rt);
+        std::thread::spawn(move || {
+            let handles: Vec<_> = (0..60)
+                .map(|i| {
+                    let spec = if i % 2 == 0 {
+                        JobSpec::image(32, i)
+                    } else {
+                        JobSpec::nbody(32, i)
+                    };
+                    let req = JobRequest::new(3, spec).with_priority(Priority::Low);
+                    submit_with_backoff(&rt, req)
+                })
+                .collect();
+            wait_all(handles)
+        })
+    };
+
+    let served = trigger.join().unwrap() + renderer.join().unwrap() + batch.join().unwrap();
+
+    let stats = Arc::into_inner(rt).expect("all clients joined").shutdown();
+    println!("served {served} jobs across 3 tenants");
+    println!("  per kind (trt/volume/image/nbody): {:?}", stats.per_kind);
+    println!(
+        "  task switches: {} full + {} partial = {:.3}/job",
+        stats.full_loads,
+        stats.partial_switches,
+        stats.switches_per_job()
+    );
+    println!(
+        "  virtual machine time: {} reconfig, {} dma, {} execute",
+        stats.reconfig_time, stats.dma_time, stats.execute_time
+    );
+    println!(
+        "  throughput: {:.0} jobs/s of virtual machine time ({:.0} jobs/s wall)",
+        stats.virtual_jobs_per_sec(),
+        stats.wall_jobs_per_sec()
+    );
+    println!(
+        "  latency: p50 {} µs, p99 {} µs, max {} µs",
+        stats.latency.percentile_us(0.50),
+        stats.latency.percentile_us(0.99),
+        stats.latency.max_us()
+    );
+    println!(
+        "  bitstream cache: {} hits, {} misses (all designs pre-fitted)",
+        stats.cache_hits, stats.cache_misses
+    );
+}

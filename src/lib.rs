@@ -25,6 +25,7 @@
 //! | [`board`] | ACB / AIB / host-CPU models and clock tree |
 //! | [`apps`] | TRT trigger, volume rendering, 2-D imaging, N-body |
 //! | [`atlantis_core`] | Full-system assembly and coprocessor API |
+//! | [`runtime`] | Multi-tenant job scheduler serving concurrent workloads |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@ pub use atlantis_core as core;
 pub use atlantis_fabric as fabric;
 pub use atlantis_mem as mem;
 pub use atlantis_pci as pci;
+pub use atlantis_runtime as runtime;
 pub use atlantis_simcore as simcore;
 
 /// Convenient re-exports of the most commonly used types across the
