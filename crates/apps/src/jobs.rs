@@ -388,11 +388,14 @@ mod tests {
     }
 
     #[test]
-    fn payloads_fit_a_job_slot() {
+    fn payloads_fit_a_job_slot_half() {
+        // Half, not whole: the pipelined serving path double-buffers
+        // jobs in ping/pong slot halves, so every payload and result
+        // must fit a half-slot window.
         for i in 0..64u64 {
             let spec = JobSpec::mixed(i);
-            assert!(spec.payload_bytes() <= atlantis_board::JOB_SLOT_BYTES);
-            assert!(spec.result_bytes() <= atlantis_board::JOB_SLOT_BYTES);
+            assert!(spec.payload_bytes() <= atlantis_board::JOB_SLOT_HALF_BYTES);
+            assert!(spec.result_bytes() <= atlantis_board::JOB_SLOT_HALF_BYTES);
             assert!(spec.payload_bytes() > 0);
         }
     }

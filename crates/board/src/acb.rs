@@ -293,11 +293,51 @@ impl Acb {
             None
         }
     }
+
+    /// Local-bus address of one double-buffered *half* of staging slot
+    /// `slot`, or `None` when the slot does not exist. The pipelined
+    /// serving path ping/pongs between halves so job *N+1*'s input DMA
+    /// lands in one half while job *N* executes out of the other — the
+    /// transfers never alias.
+    pub fn job_slot_half_addr(&self, slot: usize, half: SlotHalf) -> Option<u64> {
+        self.job_slot_addr(slot).map(|base| base + half.offset())
+    }
 }
 
 /// Size of one job-payload staging slot in the host-visible local RAM
 /// window (256 kB holds the largest adapter payload with headroom).
 pub const JOB_SLOT_BYTES: u64 = 256 * 1024;
+
+/// Size of one double-buffered half of a job slot (128 kB — still
+/// larger than any adapter payload or result).
+pub const JOB_SLOT_HALF_BYTES: u64 = JOB_SLOT_BYTES / 2;
+
+/// Which half of a double-buffered job slot a transfer targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotHalf {
+    /// The lower half of the slot window.
+    Ping,
+    /// The upper half of the slot window.
+    Pong,
+}
+
+impl SlotHalf {
+    /// Byte offset of this half inside its slot.
+    pub fn offset(self) -> u64 {
+        match self {
+            SlotHalf::Ping => 0,
+            SlotHalf::Pong => JOB_SLOT_HALF_BYTES,
+        }
+    }
+
+    /// The other half — what the pipeline flips to for the next job.
+    pub fn flipped(self) -> SlotHalf {
+        match self {
+            SlotHalf::Ping => SlotHalf::Pong,
+            SlotHalf::Pong => SlotHalf::Ping,
+        }
+    }
+}
 
 impl LocalBusTarget for Acb {
     fn local_write(&mut self, addr: u64, data: &[u8]) {
@@ -414,6 +454,25 @@ mod tests {
         // Every slot lies fully inside the window.
         let last = acb.job_slot_addr(acb.job_slots() - 1).unwrap();
         assert!(last + JOB_SLOT_BYTES <= acb.local_ram_len() as u64);
+    }
+
+    #[test]
+    fn slot_halves_tile_each_slot_without_aliasing() {
+        let acb = Acb::new();
+        for slot in 0..acb.job_slots() {
+            let base = acb.job_slot_addr(slot).unwrap();
+            let ping = acb.job_slot_half_addr(slot, SlotHalf::Ping).unwrap();
+            let pong = acb.job_slot_half_addr(slot, SlotHalf::Pong).unwrap();
+            assert_eq!(ping, base);
+            assert_eq!(pong, base + JOB_SLOT_HALF_BYTES);
+            assert!(pong + JOB_SLOT_HALF_BYTES <= base + JOB_SLOT_BYTES);
+        }
+        assert_eq!(
+            acb.job_slot_half_addr(acb.job_slots(), SlotHalf::Ping),
+            None
+        );
+        assert_eq!(SlotHalf::Ping.flipped(), SlotHalf::Pong);
+        assert_eq!(SlotHalf::Pong.flipped(), SlotHalf::Ping);
     }
 
     #[test]

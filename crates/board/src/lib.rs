@@ -31,7 +31,7 @@ pub mod clocks;
 pub mod host;
 pub mod s_link;
 
-pub use acb::{Acb, AcbError, FpgaRole, JOB_SLOT_BYTES};
+pub use acb::{Acb, AcbError, FpgaRole, SlotHalf, JOB_SLOT_BYTES, JOB_SLOT_HALF_BYTES};
 pub use aib::{Aib, IoChannel, IoDaughter};
 pub use clocks::{ClockSelect, ClockTree};
 pub use host::{CpuClass, HostCpu};

@@ -32,6 +32,19 @@ impl DmaDirection {
     }
 }
 
+/// One of the PLX9080's two descriptor-driven bus-master DMA channels.
+/// Both move data between host memory and the local bus; they are
+/// programmed independently and keep independent statistics, which is
+/// what lets a serving layer stream a job's input on channel 0 while a
+/// previous job's output drains on channel 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DmaChannel {
+    /// DMA channel 0 (the runtime's input/prefetch channel).
+    Ch0,
+    /// DMA channel 1 (the runtime's output/writeback channel).
+    Ch1,
+}
+
 /// One DMA descriptor (scatter/gather element).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DmaDescriptor {
@@ -91,16 +104,7 @@ impl DmaEngine {
     ) -> SimDuration {
         let mut total = SimDuration::ZERO;
         for desc in chain {
-            let end = desc.host_offset + desc.bytes;
-            assert!(
-                end as usize <= host_mem.len(),
-                "descriptor overruns host buffer: {end} > {}",
-                host_mem.len()
-            );
-            let span = desc.host_offset as usize..end as usize;
-            let pci_time = bus.transfer(desc.bytes, desc.direction.bus_dir());
-            let words = desc.bytes.div_ceil(4);
-            let local_time = target.local_clock().cycles(words);
+            let span = Self::host_span(desc, host_mem.len());
             match desc.direction {
                 DmaDirection::HostToBoard => {
                     target.local_write(desc.local_addr, &host_mem[span]);
@@ -109,13 +113,62 @@ impl DmaEngine {
                     target.local_read(desc.local_addr, &mut host_mem[span]);
                 }
             }
-            let t = pci_time.max(local_time);
-            total += t;
-            self.stats.descriptors += 1;
-            self.stats.bytes += desc.bytes;
-            self.stats.transfer_time += t;
+            total += self.account(bus, target, desc);
         }
         total
+    }
+
+    /// Execute a host-to-board chain against a *read-only* host buffer —
+    /// the zero-copy input path: the engine streams straight out of the
+    /// caller's buffer with no intermediate `Vec`. Panics if the chain
+    /// contains a board-to-host descriptor (those need a writable host
+    /// buffer; use [`DmaEngine::run_chain`]).
+    pub fn run_chain_from(
+        &mut self,
+        bus: &mut PciBus,
+        host_mem: &[u8],
+        target: &mut dyn LocalBusTarget,
+        chain: &[DmaDescriptor],
+    ) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for desc in chain {
+            assert!(
+                desc.direction == DmaDirection::HostToBoard,
+                "read-only host buffer cannot serve a board-to-host descriptor"
+            );
+            let span = Self::host_span(desc, host_mem.len());
+            target.local_write(desc.local_addr, &host_mem[span]);
+            total += self.account(bus, target, desc);
+        }
+        total
+    }
+
+    fn host_span(desc: &DmaDescriptor, host_len: usize) -> std::ops::Range<usize> {
+        let end = desc.host_offset + desc.bytes;
+        assert!(
+            end as usize <= host_len,
+            "descriptor overruns host buffer: {end} > {host_len}"
+        );
+        desc.host_offset as usize..end as usize
+    }
+
+    /// Time one descriptor and accrue channel statistics: data moves
+    /// through the bridge FIFOs, so the cost is the max of the PCI and
+    /// local-bus times.
+    fn account(
+        &mut self,
+        bus: &mut PciBus,
+        target: &dyn LocalBusTarget,
+        desc: &DmaDescriptor,
+    ) -> SimDuration {
+        let pci_time = bus.transfer(desc.bytes, desc.direction.bus_dir());
+        let words = desc.bytes.div_ceil(4);
+        let local_time = target.local_clock().cycles(words);
+        let t = pci_time.max(local_time);
+        self.stats.descriptors += 1;
+        self.stats.bytes += desc.bytes;
+        self.stats.transfer_time += t;
+        t
     }
 
     /// Channel statistics.
@@ -239,6 +292,46 @@ mod tests {
         let s = dma.stats();
         assert_eq!(s.descriptors, 1);
         assert_eq!(s.bytes, 1024);
+    }
+
+    #[test]
+    fn read_only_chain_matches_the_writable_path() {
+        let (mut bus, mut target, mut dma) = setup();
+        let host: Vec<u8> = (0..4096u32).map(|i| (i % 241) as u8).collect();
+        let chain = [DmaDescriptor {
+            host_offset: 128,
+            local_addr: 512,
+            bytes: 2048,
+            direction: DmaDirection::HostToBoard,
+        }];
+        let t_ro = dma.run_chain_from(&mut bus, &host, &mut target, &chain);
+
+        let mut bus2 = PciBus::new(PciBusConfig::compact_pci());
+        let mut target2 = LocalMemory::new(1 << 20);
+        let mut dma2 = DmaEngine::new();
+        let mut host2 = host.clone();
+        let t_rw = dma2.run_chain(&mut bus2, &mut host2, &mut target2, &chain);
+
+        assert_eq!(t_ro, t_rw, "timing is independent of host mutability");
+        assert_eq!(target.as_slice(), target2.as_slice());
+        assert_eq!(dma.stats(), dma2.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only host buffer")]
+    fn read_only_chain_rejects_board_to_host() {
+        let (mut bus, mut target, mut dma) = setup();
+        dma.run_chain_from(
+            &mut bus,
+            &[0u8; 64],
+            &mut target,
+            &[DmaDescriptor {
+                host_offset: 0,
+                local_addr: 0,
+                bytes: 64,
+                direction: DmaDirection::BoardToHost,
+            }],
+        );
     }
 
     #[test]

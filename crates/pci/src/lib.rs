@@ -31,6 +31,6 @@ pub mod driver;
 pub mod plx9080;
 
 pub use bus::{PciBus, PciBusConfig};
-pub use dma::{DmaDescriptor, DmaDirection, DmaEngine};
-pub use driver::{Driver, LocalBusTarget, LocalMemory};
+pub use dma::{DmaChannel, DmaDescriptor, DmaDirection, DmaEngine, DmaStats};
+pub use driver::{Driver, DualDma, LocalBusTarget, LocalMemory, OverlapConfig};
 pub use plx9080::Plx9080;

@@ -1,0 +1,129 @@
+//! Property tests for the dual-channel DMA path: splitting an arbitrary
+//! descriptor chain across the PLX9080's two channels must be invisible
+//! to the data (byte-identical target memory) and exactly accountable
+//! in time (per-channel times sum — minus the duplicated channel
+//! programming and minus the modeled overlap — to the single-channel
+//! total).
+
+use atlantis_pci::{
+    bus::BusDir, DmaDescriptor, DmaDirection, Driver, LocalMemory, OverlapConfig, PciBus,
+    PciBusConfig,
+};
+use atlantis_simcore::SimDuration;
+use proptest::prelude::*;
+
+const LOCAL_SIZE: usize = 1 << 20;
+
+/// Build a chain of `lens.len()` host-to-board descriptors laid out
+/// back to back in host and local memory (disjoint ranges, so execution
+/// order cannot matter).
+fn input_chain(lens: &[u64]) -> (Vec<DmaDescriptor>, u64) {
+    let mut chain = Vec::with_capacity(lens.len());
+    let mut offset = 0u64;
+    for &len in lens {
+        chain.push(DmaDescriptor {
+            host_offset: offset,
+            local_addr: offset,
+            bytes: len,
+            direction: DmaDirection::HostToBoard,
+        });
+        offset += len;
+    }
+    (chain, offset)
+}
+
+/// The cost of programming and completing one chain beyond the first:
+/// software overhead + 5 descriptor register writes + status read +
+/// interrupt clear.
+fn extra_setup_cost() -> SimDuration {
+    let mut bus = PciBus::new(PciBusConfig::compact_pci());
+    let mut t = atlantis_pci::driver::DMA_SOFTWARE_OVERHEAD;
+    for _ in 0..atlantis_pci::dma::DESCRIPTOR_REG_WRITES {
+        t += bus.single_word(BusDir::Write);
+    }
+    t += bus.single_word(BusDir::Read);
+    t += bus.single_word(BusDir::Write);
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// An arbitrary chain split at an arbitrary point across the two
+    /// channels lands byte-identical target memory, and the per-channel
+    /// times obey the documented accounting laws against the
+    /// single-channel run.
+    #[test]
+    fn split_chain_is_byte_identical_and_time_accountable(
+        lens in proptest::collection::vec(1u64..16_384, 2..10),
+        split_seed in 0usize..1_000,
+        pct in 0u32..=100,
+    ) {
+        let (chain, total) = input_chain(&lens);
+        prop_assume!(total as usize <= LOCAL_SIZE);
+        let split = 1 + split_seed % (chain.len() - 1);
+        let host: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+
+        // Single-channel reference run.
+        let mut single = Driver::open(LocalMemory::new(LOCAL_SIZE));
+        let mut host_single = host.clone();
+        let t_single = single.dma_chain(&mut host_single, &chain);
+
+        // The same chain split across both channels.
+        let mut dual = Driver::open(LocalMemory::new(LOCAL_SIZE));
+        dual.set_overlap(OverlapConfig { contention_pct: pct });
+        let mut host0 = host.clone();
+        let mut host1 = host.clone();
+        let out = dual.dma_chain_pair(
+            &mut host0, &chain[..split],
+            &mut host1, &chain[split..],
+        );
+
+        // Data: the split is invisible to the board's memory.
+        prop_assert_eq!(
+            single.target().as_slice(),
+            dual.target().as_slice(),
+            "split at {} changed target memory", split
+        );
+
+        // Time: per-channel totals sum to the single-channel total plus
+        // exactly one extra channel-programming round trip…
+        prop_assert_eq!(out.ch0 + out.ch1, t_single + extra_setup_cost());
+        // …and the overlap window removes the modeled overlap from that
+        // sum: max + pct% of the hidden (non-dominant) time.
+        let max = out.ch0.max(out.ch1);
+        let hidden = (out.ch0 + out.ch1 - max).as_picos();
+        let expect = max + SimDuration::from_picos(
+            hidden - hidden * u64::from(100 - pct) / 100,
+        );
+        prop_assert_eq!(out.window, expect);
+        prop_assert!(out.window >= max);
+        prop_assert!(out.window <= out.ch0 + out.ch1);
+        if pct == 100 {
+            prop_assert_eq!(out.window, out.ch0 + out.ch1);
+            prop_assert_eq!(out.saved(), SimDuration::ZERO);
+        }
+
+        // Per-channel engine statistics stay independent and complete.
+        let (s0, s1) = dual.channel_stats();
+        prop_assert_eq!(s0.descriptors as usize, split);
+        prop_assert_eq!(s1.descriptors as usize, chain.len() - split);
+        prop_assert_eq!(s0.bytes + s1.bytes, total);
+    }
+
+    /// The window is monotone in the contention factor: more local-bus
+    /// contention can only lengthen the pair's occupancy.
+    #[test]
+    fn window_monotone_in_contention(
+        a_us in 1u64..5_000,
+        b_us in 1u64..5_000,
+        lo in 0u32..=100,
+        hi in 0u32..=100,
+    ) {
+        prop_assume!(lo < hi);
+        let phases = [SimDuration::from_micros(a_us), SimDuration::from_micros(b_us)];
+        let w_lo = OverlapConfig { contention_pct: lo }.window(phases);
+        let w_hi = OverlapConfig { contention_pct: hi }.window(phases);
+        prop_assert!(w_lo <= w_hi, "{w_lo} > {w_hi}");
+    }
+}

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bufpool;
 mod cache;
 mod error;
 mod job;
@@ -44,6 +45,7 @@ mod queue;
 mod stats;
 mod worker;
 
+pub use bufpool::{BufferPool, PoolBuf, PAGE_BYTES};
 pub use cache::BitstreamCache;
 pub use error::RuntimeError;
 pub use job::{JobHandle, JobRequest, JobResult, JobTimings, Priority};
@@ -53,6 +55,7 @@ pub use worker::SchedPolicy;
 use atlantis_core::coprocessor::TaskError;
 use atlantis_core::AtlantisSystem;
 use atlantis_fabric::Device;
+use atlantis_pci::OverlapConfig;
 use atlantis_simcore::SimDuration;
 use job::QueuedJob;
 use queue::{JobQueue, PickConfig};
@@ -76,6 +79,14 @@ pub struct RuntimeConfig {
     /// A queued job skipped this many times is served next regardless
     /// of the loaded design (starvation bound).
     pub aging_limit: u32,
+    /// Serve through the three-stage software pipeline (prefetch /
+    /// execute / writeback on the PLX9080's two DMA channels) so DMA and
+    /// compute overlap. `false` serves each job end to end — the
+    /// baseline the pipeline is measured against.
+    pub pipeline: bool,
+    /// Timing model for overlapped phases on the board — how much of
+    /// the non-dominant phases' time local-bus contention serialises.
+    pub overlap: OverlapConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -85,6 +96,8 @@ impl Default for RuntimeConfig {
             policy: SchedPolicy::ReconfigAware { batch_window: 32 },
             scan_depth: 64,
             aging_limit: 8,
+            pipeline: true,
+            overlap: OverlapConfig::default(),
         }
     }
 }
@@ -98,6 +111,16 @@ impl RuntimeConfig {
             ..Self::default()
         }
     }
+
+    /// The default configuration but serving each job end to end with
+    /// no DMA/compute overlap — the baseline the pipeline is measured
+    /// against.
+    pub fn serial() -> Self {
+        RuntimeConfig {
+            pipeline: false,
+            ..Self::default()
+        }
+    }
 }
 
 /// The job server: owns the machine's ACBs (one worker thread each),
@@ -106,6 +129,7 @@ impl RuntimeConfig {
 pub struct Runtime {
     queue: Arc<JobQueue>,
     cache: Arc<BitstreamCache>,
+    pool: Arc<BufferPool>,
     shared: Arc<Mutex<SharedStats>>,
     workers: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
@@ -135,6 +159,7 @@ impl Runtime {
         cache.prefit_all().map_err(TaskError::Fit)?;
 
         let queue = Arc::new(JobQueue::new(config.queue_capacity));
+        let pool = BufferPool::new();
         let shared = Arc::new(Mutex::new(SharedStats::new(devices)));
         let pick = PickConfig {
             scan_depth: config.scan_depth,
@@ -146,7 +171,8 @@ impl Runtime {
         };
 
         let mut workers = Vec::with_capacity(devices);
-        for (i, driver) in acbs.into_iter().enumerate() {
+        for (i, mut driver) in acbs.into_iter().enumerate() {
+            driver.set_overlap(config.overlap);
             let worker = Worker::new(
                 i,
                 driver,
@@ -155,6 +181,8 @@ impl Runtime {
                 config.policy,
                 pick,
                 Arc::clone(&shared),
+                Arc::clone(&pool),
+                config.pipeline,
             );
             let handle = std::thread::Builder::new()
                 .name(format!("atlantis-acb-{i}"))
@@ -166,6 +194,7 @@ impl Runtime {
         Ok(Runtime {
             queue,
             cache,
+            pool,
             shared,
             workers,
             next_id: AtomicU64::new(0),
@@ -223,6 +252,7 @@ impl Runtime {
     pub fn stats(&self) -> RuntimeStats {
         let s = self.shared.lock().unwrap();
         let (cache_hits, cache_misses) = self.cache.counters();
+        let (pool_hits, pool_misses) = self.pool.counters();
         RuntimeStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: s.completed,
@@ -241,6 +271,13 @@ impl Runtime {
                 .copied()
                 .max()
                 .unwrap_or(SimDuration::ZERO),
+            pipeline_beats: s.pipeline_beats,
+            pipeline_drains: s.pipeline_drains,
+            stage_time: s.stage_time,
+            window_time: s.window_time,
+            overlap_saved: s.overlap_saved,
+            pool_hits,
+            pool_misses,
             cache_hits,
             cache_misses,
             latency: s.latency.clone(),

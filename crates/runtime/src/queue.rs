@@ -117,6 +117,26 @@ impl JobQueue {
         }
     }
 
+    /// Non-blocking [`JobQueue::pop`]: take a job if one is queued right
+    /// now, otherwise return immediately. A pipelined worker holding
+    /// in-flight jobs must never block here — blocking with admitted
+    /// work in the pipeline would deadlock a client that submitted a
+    /// single job and is waiting on its completion.
+    pub fn try_pop(
+        &self,
+        pick: PickConfig,
+        prefer: Option<&str>,
+        batch_len: usize,
+    ) -> Option<QueuedJob> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.len == 0 {
+            return None;
+        }
+        let entry = Self::take(&mut inner, pick, prefer, batch_len);
+        inner.len -= 1;
+        Some(entry.job)
+    }
+
     /// Pick from the urgent-most non-empty class (caller guarantees the
     /// queue is non-empty).
     fn take(inner: &mut Inner, pick: PickConfig, prefer: Option<&str>, batch_len: usize) -> Entry {

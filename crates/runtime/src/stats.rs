@@ -112,6 +112,27 @@ pub struct RuntimeStats {
     /// The virtual makespan: the busiest device's total virtual time.
     /// Throughput on the simulated machine is `completed /` this.
     pub virtual_makespan: SimDuration,
+    /// Pipeline beats advanced across all devices (zero when serving
+    /// serially).
+    pub pipeline_beats: u64,
+    /// Times a device fully drained its pipeline to switch designs (or
+    /// to idle on an empty queue) before admitting the next job.
+    pub pipeline_drains: u64,
+    /// Virtual time each pipeline stage was busy, summed over beats and
+    /// devices: `[prefetch DMA-in, execute, writeback DMA-out]`.
+    pub stage_time: [SimDuration; 3],
+    /// Virtual time the devices actually occupied while pipelining —
+    /// the per-beat overlap window, summed. Compare against the sum of
+    /// `stage_time` to see the overlap win.
+    pub window_time: SimDuration,
+    /// Virtual time hidden by DMA/compute overlap: the difference
+    /// between serial stage time and the overlap window, summed.
+    pub overlap_saved: SimDuration,
+    /// DMA staging-buffer checkouts served by recycling a pooled buffer.
+    pub pool_hits: u64,
+    /// DMA staging-buffer checkouts that had to allocate. Flat at steady
+    /// state — the zero-copy invariant.
+    pub pool_misses: u64,
     /// Bitstream-cache hits.
     pub cache_hits: u64,
     /// Bitstream-cache misses (fits actually run).
@@ -143,6 +164,32 @@ impl RuntimeStats {
         } else {
             self.completed as f64 / t
         }
+    }
+
+    /// Fraction of serial stage time hidden by overlapping the DMA-in,
+    /// execute, and DMA-out stages: `overlap_saved / Σ stage_time`.
+    /// Zero when serving serially; approaches `(k−1)/k` for `k`
+    /// perfectly-balanced stages under zero contention.
+    pub fn overlap_efficiency(&self) -> f64 {
+        let serial: SimDuration = self.stage_time.iter().copied().sum();
+        let t = serial.as_secs_f64();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.overlap_saved.as_secs_f64() / t
+        }
+    }
+
+    /// Per-stage occupancy: the fraction of pipelined device time each
+    /// stage kept busy (`stage_time[i] / window_time`). The dominant
+    /// stage sits near 1.0; the others measure how much latent overlap
+    /// capacity remains.
+    pub fn stage_occupancy(&self) -> [f64; 3] {
+        let w = self.window_time.as_secs_f64();
+        if w <= 0.0 {
+            return [0.0; 3];
+        }
+        self.stage_time.map(|t| t.as_secs_f64() / w)
     }
 
     /// Hardware task switches (full + partial) per served job — the

@@ -1,26 +1,48 @@
 //! Per-device worker: one OS thread owning one ACB.
 //!
-//! A worker pops jobs from the shared admission queue and serves each
-//! one end to end on its board: payload DMA in (through the real
-//! PLX9080/PCI model), a hardware task switch when the needed design is
-//! not the one currently loaded (partial reconfiguration via the
-//! coprocessor API), deterministic execution, result DMA out. Every
-//! stage's virtual cost is attributed to the job, so the serving layer
-//! is observable per job and per device.
+//! A worker pops jobs from the shared admission queue and serves them
+//! on its board. Two serving modes exist:
+//!
+//! * **Serial** — each job end to end: payload DMA in (through the real
+//!   PLX9080/PCI model), a hardware task switch when the needed design
+//!   is not the one currently loaded, deterministic execution, result
+//!   DMA out. The device is occupied for the *sum* of the stages.
+//! * **Pipelined** (the default) — a three-stage software pipeline.
+//!   While job *N* executes in the FPGA matrix, job *N+1*'s payload
+//!   streams in on DMA channel 0 and job *N−1*'s result streams out on
+//!   channel 1. The PLX9080's two channels and the bridge FIFOs make
+//!   the three phases concurrent on the real board, so each pipeline
+//!   beat occupies the device for the [overlap
+//!   window](atlantis_pci::OverlapConfig) of the phases — close to the
+//!   *max*, not the sum. In-flight jobs land in alternating ping/pong
+//!   halves of rotating job slots so a prefetch never overwrites a
+//!   payload still being executed.
+//!
+//! The pipeline only ever holds jobs for the design currently loaded:
+//! when the next admitted job needs a different design the worker
+//! drains in-flight work first (it must execute under the old design),
+//! then switches. Reconfiguration-aware batching makes such drains
+//! rare. Payload and result staging buffers come from a shared
+//! [`BufferPool`], so steady-state serving performs no per-job heap
+//! allocation and the driver streams directly in and out of the pooled
+//! buffers. Every stage's virtual cost is attributed to the job, so the
+//! serving layer stays observable per job and per device.
 
+use crate::bufpool::BufferPool;
 use crate::cache::BitstreamCache;
 use crate::error::RuntimeError;
 use crate::job::{JobResult, JobTimings, QueuedJob};
 use crate::queue::{JobQueue, PickConfig, Pop};
 use crate::stats::LatencyHistogram;
-use atlantis_apps::jobs::{JobKind, WorkloadContext};
-use atlantis_board::Acb;
+use atlantis_apps::jobs::{JobKind, JobOutcome, WorkloadContext};
+use atlantis_board::{Acb, SlotHalf};
 use atlantis_core::coprocessor::TaskStats;
 use atlantis_core::Coprocessor;
 use atlantis_fabric::Device;
-use atlantis_pci::Driver;
+use atlantis_pci::{DmaChannel, Driver};
 use atlantis_simcore::SimDuration;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// The scheduling policy workers follow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +76,12 @@ pub(crate) struct SharedStats {
     pub execute_time: SimDuration,
     pub device_busy: Vec<SimDuration>,
     pub latency: LatencyHistogram,
+    pub pipeline_beats: u64,
+    pub pipeline_drains: u64,
+    /// `[prefetch DMA-in, execute, writeback DMA-out]`.
+    pub stage_time: [SimDuration; 3],
+    pub window_time: SimDuration,
+    pub overlap_saved: SimDuration,
 }
 
 impl SharedStats {
@@ -66,6 +94,33 @@ impl SharedStats {
     }
 }
 
+/// A job admitted to the pipeline this beat: design already loaded,
+/// reconfiguration already paid and accounted.
+struct Admitted {
+    job: QueuedJob,
+    reconfig: SimDuration,
+    switched: bool,
+    queue_wait: Duration,
+}
+
+/// A job whose payload is on the board (prefetch stage done), waiting to
+/// execute next beat.
+struct Staged {
+    job: QueuedJob,
+    addr: u64,
+    dma_in: SimDuration,
+    reconfig: SimDuration,
+    switched: bool,
+    queue_wait: Duration,
+}
+
+/// A job that has executed (result ready in its slot half), waiting for
+/// writeback next beat.
+struct Executed {
+    inner: Staged,
+    outcome: JobOutcome,
+}
+
 pub(crate) struct Worker {
     pub device_index: usize,
     pub driver: Driver<Acb>,
@@ -76,11 +131,19 @@ pub(crate) struct Worker {
     pub policy: SchedPolicy,
     pub pick: PickConfig,
     pub shared: Arc<Mutex<SharedStats>>,
+    pool: Arc<BufferPool>,
+    pipeline: bool,
     batch_len: usize,
+    /// Serial mode: next whole job slot.
     slot: usize,
+    /// Pipelined mode: next slot *half* in the ping/pong rotation.
+    seq: usize,
+    staged: Option<Staged>,
+    executed: Option<Executed>,
 }
 
 impl Worker {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         device_index: usize,
         driver: Driver<Acb>,
@@ -89,6 +152,8 @@ impl Worker {
         policy: SchedPolicy,
         pick: PickConfig,
         shared: Arc<Mutex<SharedStats>>,
+        pool: Arc<BufferPool>,
+        pipeline: bool,
     ) -> Self {
         Worker {
             device_index,
@@ -100,32 +165,248 @@ impl Worker {
             policy,
             pick,
             shared,
+            pool,
+            pipeline,
             batch_len: 0,
             slot: 0,
+            seq: 0,
+            staged: None,
+            executed: None,
         }
+    }
+
+    fn pipeline_empty(&self) -> bool {
+        self.staged.is_none() && self.executed.is_none()
     }
 
     /// Serve until the queue closes and drains, then exit. Every job
     /// popped before the drain completes is answered — accepted work is
     /// never lost.
+    ///
+    /// The pop discipline is what makes the pipeline deadlock-free: a
+    /// worker only *blocks* on the queue when its pipeline is empty.
+    /// While it holds in-flight jobs it polls with `try_pop` and, when
+    /// nothing is queued, advances a drain beat instead — so a client
+    /// that submitted a single job and is waiting on it never waits on
+    /// a successor that will not come.
     pub fn run(mut self) {
         loop {
             let prefer = match self.policy {
                 SchedPolicy::Fifo => None,
                 SchedPolicy::ReconfigAware { .. } => self.coproc.current_task().map(str::to_owned),
             };
-            match self.queue.pop(self.pick, prefer.as_deref(), self.batch_len) {
-                Pop::Job(job) => self.serve(job),
-                Pop::Drained => break,
+            if self.pipeline_empty() {
+                match self.queue.pop(self.pick, prefer.as_deref(), self.batch_len) {
+                    Pop::Job(job) => self.dispatch(job),
+                    Pop::Drained => break,
+                }
+            } else {
+                match self
+                    .queue
+                    .try_pop(self.pick, prefer.as_deref(), self.batch_len)
+                {
+                    Some(job) => self.dispatch(job),
+                    None => self.advance(None),
+                }
             }
+        }
+        self.drain_pipeline();
+    }
+
+    fn dispatch(&mut self, job: QueuedJob) {
+        if self.pipeline {
+            self.admit(job);
+        } else {
+            self.serve_serial(job);
         }
     }
 
-    fn serve(&mut self, job: QueuedJob) {
+    // ---- pipelined path ------------------------------------------------
+
+    /// Admit a job to the pipeline: drain if it needs a design switch
+    /// (in-flight jobs must execute under the old design), pay and
+    /// account the reconfiguration, then advance one beat with the job
+    /// entering the prefetch stage.
+    fn admit(&mut self, job: QueuedJob) {
+        let spec = job.request.spec;
+        if self.coproc.current_task() != Some(spec.kind.design_name()) && !self.pipeline_empty() {
+            self.drain_pipeline();
+        }
+        let queue_wait = job.submitted.elapsed();
+
+        let before: TaskStats = self.coproc.stats();
+        let reconfig = match self.load_task(spec.kind) {
+            Ok(t) => t,
+            Err(e) => {
+                self.shared.lock().unwrap().failed += 1;
+                let _ = job.reply.send(Err(e));
+                return;
+            }
+        };
+        let switched = reconfig > SimDuration::ZERO;
+        self.batch_len = if switched { 1 } else { self.batch_len + 1 };
+        let after = self.coproc.stats();
+        {
+            let mut s = self.shared.lock().unwrap();
+            s.full_loads += after.full_loads - before.full_loads;
+            s.partial_switches += after.partial_switches - before.partial_switches;
+            s.frames_written += after.frames_written - before.frames_written;
+            s.reconfig_time += after.reconfig_time - before.reconfig_time;
+            // Reconfiguration cannot overlap the pipeline (the fabric is
+            // being rewritten), so it occupies the device serially.
+            s.device_busy[self.device_index] += reconfig;
+        }
+
+        self.advance(Some(Admitted {
+            job,
+            reconfig,
+            switched,
+            queue_wait,
+        }));
+    }
+
+    /// One pipeline beat: write back job *N−1* on channel 1, execute job
+    /// *N*, prefetch job *N+1* on channel 0 — then charge the device the
+    /// overlap window of the three phase times, not their sum.
+    fn advance(&mut self, new: Option<Admitted>) {
+        let mut t_in = SimDuration::ZERO;
+        let mut t_exec = SimDuration::ZERO;
+        let mut t_out = SimDuration::ZERO;
+
+        // Writeback stage (DMA channel 1). The readback bytes are
+        // discarded after landing in the pooled buffer: the checksum is
+        // computed by the deterministic execution model, and the buffer
+        // returns to the pool when it drops.
+        let finishing = self.executed.take();
+        if let Some(ex) = finishing.as_ref() {
+            let len = ex.inner.job.request.spec.result_bytes() as usize;
+            let mut out = self.pool.checkout(len);
+            t_out = self
+                .driver
+                .dma_read_into_on(DmaChannel::Ch1, ex.inner.addr, &mut out);
+        }
+
+        // Execute stage.
+        if let Some(st) = self.staged.take() {
+            let outcome = self.ctx.execute(&st.job.request.spec);
+            t_exec = outcome.compute;
+            self.executed = Some(Executed { inner: st, outcome });
+        }
+
+        // Prefetch stage (DMA channel 0) into the next free slot half.
+        if let Some(ad) = new {
+            let spec = ad.job.request.spec;
+            let addr = self.next_half_addr();
+            let mut payload = self.pool.checkout(spec.payload_bytes() as usize);
+            payload.fill((spec.seed as u8) ^ 0x5A);
+            t_in = self
+                .driver
+                .dma_write_from_on(DmaChannel::Ch0, addr, &payload);
+            self.staged = Some(Staged {
+                job: ad.job,
+                addr,
+                dma_in: t_in,
+                reconfig: ad.reconfig,
+                switched: ad.switched,
+                queue_wait: ad.queue_wait,
+            });
+        }
+
+        // The per-stage times above are authoritative; drop the driver's
+        // serial accumulation of the two DMA calls.
+        self.driver.take_elapsed();
+
+        let serial = t_in + t_exec + t_out;
+        let window = self.driver.overlap_window([t_in, t_exec, t_out]);
+        {
+            let mut s = self.shared.lock().unwrap();
+            s.pipeline_beats += 1;
+            s.stage_time[0] += t_in;
+            s.stage_time[1] += t_exec;
+            s.stage_time[2] += t_out;
+            s.window_time += window;
+            s.overlap_saved += serial - window;
+            s.device_busy[self.device_index] += window;
+            s.dma_time += t_in + t_out;
+            s.execute_time += t_exec;
+        }
+
+        if let Some(ex) = finishing {
+            self.complete(ex, t_out);
+        }
+    }
+
+    /// Flush every in-flight job (at most two drain beats). Called
+    /// before a design switch and at shutdown.
+    fn drain_pipeline(&mut self) {
+        if self.pipeline_empty() {
+            return;
+        }
+        while !self.pipeline_empty() {
+            self.advance(None);
+        }
+        self.shared.lock().unwrap().pipeline_drains += 1;
+    }
+
+    /// The next slot half in the ping/pong rotation. With `slots ≥ 2`
+    /// whole slots the rotation spans ≥ 4 halves, so the three in-flight
+    /// stages always address three distinct halves — a prefetch can
+    /// never overwrite a payload that is still executing or a result
+    /// still awaiting writeback.
+    fn next_half_addr(&mut self) -> u64 {
+        let halves = self.driver.target().job_slots() * 2;
+        let idx = self.seq % halves;
+        self.seq = (self.seq + 1) % halves;
+        let half = if idx.is_multiple_of(2) {
+            SlotHalf::Ping
+        } else {
+            SlotHalf::Pong
+        };
+        self.driver
+            .target()
+            .job_slot_half_addr(idx / 2, half)
+            .expect("slot index in range")
+    }
+
+    /// Answer a job whose writeback just finished.
+    fn complete(&mut self, ex: Executed, dma_out: SimDuration) {
+        let st = ex.inner;
+        let spec = st.job.request.spec;
+        let timings = JobTimings {
+            device: self.device_index,
+            queue_wait: st.queue_wait,
+            wall: st.job.submitted.elapsed(),
+            dma: st.dma_in + dma_out,
+            reconfig: st.reconfig,
+            execute: ex.outcome.compute,
+            switched: st.switched,
+        };
+        let result = JobResult {
+            id: st.job.id,
+            client: st.job.request.client,
+            spec,
+            checksum: ex.outcome.checksum,
+            cycles: ex.outcome.cycles,
+            timings,
+        };
+        {
+            let mut s = self.shared.lock().unwrap();
+            s.completed += 1;
+            s.per_kind[Self::kind_index(spec.kind)] += 1;
+            s.latency.record(timings.wall);
+        }
+        // A client that dropped its handle just doesn't read the result.
+        let _ = st.job.reply.send(Ok(result));
+    }
+
+    // ---- serial path ---------------------------------------------------
+
+    fn serve_serial(&mut self, job: QueuedJob) {
         let queue_wait = job.submitted.elapsed();
         let spec = job.request.spec;
 
-        // Stage the payload into the next job slot over real DMA.
+        // Stage the payload into the next job slot over real DMA,
+        // streaming straight out of a pooled buffer.
         let slots = self.driver.target().job_slots();
         let addr = self
             .driver
@@ -133,9 +414,11 @@ impl Worker {
             .job_slot_addr(self.slot)
             .expect("slot index in range");
         self.slot = (self.slot + 1) % slots;
-        let payload = vec![(spec.seed as u8) ^ 0x5A; spec.payload_bytes() as usize];
+        let mut payload = self.pool.checkout(spec.payload_bytes() as usize);
+        payload.fill((spec.seed as u8) ^ 0x5A);
         self.driver.take_elapsed();
-        self.driver.dma_write(addr, &payload);
+        self.driver.dma_write_from(addr, &payload);
+        drop(payload);
 
         // Hardware task switch (cached bitstream, partial reconfig).
         let before: TaskStats = self.coproc.stats();
@@ -159,9 +442,11 @@ impl Worker {
             }
         };
 
-        // Execute, then read the result back.
+        // Execute, then read the result back into a pooled buffer.
         let outcome = self.ctx.execute(&spec);
-        let (_readback, _) = self.driver.dma_read(addr, spec.result_bytes() as usize);
+        let mut readback = self.pool.checkout(spec.result_bytes() as usize);
+        self.driver.dma_read_into(addr, &mut readback);
+        drop(readback);
         let dma = self.driver.take_elapsed();
 
         let timings = JobTimings {
@@ -185,11 +470,7 @@ impl Worker {
         {
             let mut s = self.shared.lock().unwrap();
             s.completed += 1;
-            let kind_idx = JobKind::ALL
-                .iter()
-                .position(|&k| k == spec.kind)
-                .expect("kind is one of ALL");
-            s.per_kind[kind_idx] += 1;
+            s.per_kind[Self::kind_index(spec.kind)] += 1;
             s.full_loads += delta.full_loads;
             s.partial_switches += delta.partial_switches;
             s.frames_written += delta.frames_written;
@@ -202,6 +483,15 @@ impl Worker {
 
         // A client that dropped its handle just doesn't read the result.
         let _ = job.reply.send(Ok(result));
+    }
+
+    // ---- shared helpers ------------------------------------------------
+
+    fn kind_index(kind: JobKind) -> usize {
+        JobKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("kind is one of ALL")
     }
 
     /// Make sure the workload's design is in this device's task library

@@ -1,0 +1,80 @@
+//! Pipelined serving must be an *optimisation*, not a behaviour change:
+//! on the same mixed workload it must produce the identical set of job
+//! checksums as serial serving while finishing in strictly less virtual
+//! machine time — on every seed.
+
+use atlantis_apps::jobs::JobSpec;
+use atlantis_core::AtlantisSystem;
+use atlantis_runtime::{JobRequest, Runtime, RuntimeConfig, RuntimeStats};
+
+/// Serve `jobs` mixed jobs (offset by `seed`) on `acbs` devices and
+/// return the sorted per-job results plus the final stats.
+fn run(
+    config: RuntimeConfig,
+    acbs: usize,
+    seed: u64,
+    jobs: u64,
+) -> (Vec<(u64, u64)>, RuntimeStats) {
+    let system = AtlantisSystem::builder().with_acbs(acbs).build();
+    let rt = Runtime::serve(system, config).unwrap();
+    let handles: Vec<_> = (0..jobs)
+        .map(|i| {
+            let spec = JobSpec::mixed(seed * 10_000 + i);
+            rt.submit(JobRequest::new((i % 4) as u32, spec)).unwrap()
+        })
+        .collect();
+    let mut results: Vec<(u64, u64)> = handles
+        .into_iter()
+        .map(|h| h.wait().unwrap())
+        .map(|r| (r.spec.seed, r.checksum))
+        .collect();
+    let stats = rt.shutdown();
+    results.sort_unstable();
+    (results, stats)
+}
+
+#[test]
+fn pipelined_serving_matches_serial_checksums_and_is_faster_on_every_seed() {
+    for seed in 0..4u64 {
+        let (serial_results, serial) = run(RuntimeConfig::serial(), 2, seed, 48);
+        let (pipe_results, pipe) = run(RuntimeConfig::default(), 2, seed, 48);
+
+        assert_eq!(
+            serial_results, pipe_results,
+            "seed {seed}: pipelining changed job results"
+        );
+        assert_eq!(pipe.completed, 48);
+        assert_eq!(pipe.failed, 0);
+        assert!(
+            pipe.virtual_makespan < serial.virtual_makespan,
+            "seed {seed}: pipelined makespan {} not below serial {}",
+            pipe.virtual_makespan,
+            serial.virtual_makespan
+        );
+
+        // The overlap accounting is live only on the pipelined run.
+        assert!(pipe.pipeline_beats > 0);
+        assert!(pipe.overlap_saved > atlantis_simcore::SimDuration::ZERO);
+        assert!(pipe.overlap_efficiency() > 0.0);
+        assert_eq!(serial.pipeline_beats, 0);
+        assert_eq!(serial.overlap_efficiency(), 0.0);
+
+        // Zero-copy invariant: far more buffer reuse than allocation.
+        assert!(pipe.pool_hits > pipe.pool_misses);
+    }
+}
+
+#[test]
+fn pipeline_drains_on_design_switches_without_losing_jobs() {
+    // FIFO over a kind-alternating workload forces a drain on nearly
+    // every admission — the worst case for the pipeline — and must
+    // still serve everything correctly.
+    let fifo_pipe = RuntimeConfig {
+        pipeline: true,
+        ..RuntimeConfig::fifo()
+    };
+    let (results, stats) = run(fifo_pipe, 1, 9, 32);
+    assert_eq!(results.len(), 32);
+    assert_eq!(stats.completed, 32);
+    assert!(stats.pipeline_drains > 0, "alternating kinds must drain");
+}

@@ -6,9 +6,14 @@
 //! four-ACB system through `atlantis-runtime`. The scheduler batches
 //! jobs that share the currently-loaded FPGA design, so most jobs skip
 //! reconfiguration entirely; a bounded admission queue sheds overload
-//! by rejection instead of growing without bound.
+//! by rejection instead of growing without bound. By default each
+//! worker serves through the three-stage pipeline (prefetch / execute /
+//! writeback on the PLX9080's two DMA channels, DESIGN.md §9) so DMA
+//! and compute overlap; pass `--serial` to serve each job end to end
+//! and compare the overlap counters.
 //!
-//! Run with: `cargo run --release --example serving`
+//! Run with: `cargo run --release --example serving` (pipelined)
+//!       or: `cargo run --release --example serving -- --serial`
 
 use atlantis::apps::jobs::JobSpec;
 use atlantis::core::AtlantisSystem;
@@ -35,14 +40,20 @@ fn wait_all(handles: Vec<atlantis::runtime::JobHandle>) -> usize {
 }
 
 fn main() {
+    // The pipeline knob: `pipeline: on` is the default; `--serial`
+    // serves each job end to end (the measured baseline).
+    let config = if std::env::args().any(|a| a == "--serial") {
+        RuntimeConfig::serial()
+    } else {
+        RuntimeConfig::default()
+    };
     let system = AtlantisSystem::builder().with_acbs(4).build();
-    let rt = Arc::new(
-        Runtime::serve(system, RuntimeConfig::default()).expect("system has ACBs to serve on"),
-    );
+    let rt = Arc::new(Runtime::serve(system, config).expect("system has ACBs to serve on"));
     println!(
-        "serving on {} ACBs, queue capacity {}\n",
+        "serving on {} ACBs, queue capacity {}, pipeline {}\n",
         rt.devices(),
-        rt.queue_capacity()
+        rt.queue_capacity(),
+        if config.pipeline { "on" } else { "off" }
     );
 
     // Tenant 1: the online trigger — many small TRT events, high priority.
@@ -122,4 +133,22 @@ fn main() {
         "  bitstream cache: {} hits, {} misses (all designs pre-fitted)",
         stats.cache_hits, stats.cache_misses
     );
+    if stats.pipeline_beats > 0 {
+        let occ = stats.stage_occupancy();
+        println!(
+            "  pipeline: {} beats, {} drains, overlap hid {:.1}% of stage time ({} saved)",
+            stats.pipeline_beats,
+            stats.pipeline_drains,
+            stats.overlap_efficiency() * 100.0,
+            stats.overlap_saved
+        );
+        println!(
+            "  stage occupancy: prefetch {:.2}, execute {:.2}, writeback {:.2}",
+            occ[0], occ[1], occ[2]
+        );
+        println!(
+            "  buffer pool: {} hits, {} misses (zero-copy steady state)",
+            stats.pool_hits, stats.pool_misses
+        );
+    }
 }
