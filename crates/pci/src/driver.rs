@@ -127,9 +127,11 @@ pub struct DualDma {
     pub ch0: SimDuration,
     /// Full virtual time of the channel-1 chain, as if it ran alone.
     pub ch1: SimDuration,
-    /// Virtual time the pair actually occupies the board with both
-    /// channels in flight: the overlap window of the two, per the
-    /// driver's [`OverlapConfig`]. This is what accrues to
+    /// Virtual time the pair actually occupies the board: both
+    /// channels' CPU-side programming charged serially (the host sets
+    /// the engines up one after the other), plus the overlap window —
+    /// per the driver's [`OverlapConfig`] — of the in-flight
+    /// transfer + completion times. This is what accrues to
     /// [`Driver::elapsed`].
     pub window: SimDuration,
 }
@@ -320,11 +322,13 @@ impl<T: LocalBusTarget> Driver<T> {
     }
 
     /// Run two scatter/gather chains **concurrently**, one per DMA
-    /// channel. The host CPU programs the channels one after the other
-    /// (each pays its own setup and completion), but once both engines
-    /// are started their transfers are in flight together, so the board
-    /// is occupied for the overlap *window* of the per-channel times —
-    /// not their sum — and only the window accrues to
+    /// channel. The host CPU programs the channels one after the other,
+    /// so both setup overheads (ioctl + descriptor register writes) are
+    /// charged serially and can never hide inside the overlap; once
+    /// both engines are started their transfers and completion
+    /// handshakes are in flight together and cost the overlap *window*
+    /// of the per-channel times — not their sum. Only
+    /// `setup₀ + setup₁ + window(flight₀, flight₁)` accrues to
     /// [`Driver::elapsed`].
     pub fn dma_chain_pair(
         &mut self,
@@ -333,15 +337,19 @@ impl<T: LocalBusTarget> Driver<T> {
         host1: &mut [u8],
         chain1: &[DmaDescriptor],
     ) -> DualDma {
-        let mut ch0 = self.chain_setup();
-        ch0 += self.run_chain_raw(DmaChannel::Ch0, host0, chain0);
-        ch0 += self.chain_completion();
-        let mut ch1 = self.chain_setup();
-        ch1 += self.run_chain_raw(DmaChannel::Ch1, host1, chain1);
-        ch1 += self.chain_completion();
-        let window = self.overlap.window([ch0, ch1]);
+        let setup0 = self.chain_setup();
+        let mut flight0 = self.run_chain_raw(DmaChannel::Ch0, host0, chain0);
+        flight0 += self.chain_completion();
+        let setup1 = self.chain_setup();
+        let mut flight1 = self.run_chain_raw(DmaChannel::Ch1, host1, chain1);
+        flight1 += self.chain_completion();
+        let window = setup0 + setup1 + self.overlap.window([flight0, flight1]);
         self.elapsed += window;
-        DualDma { ch0, ch1, window }
+        DualDma {
+            ch0: setup0 + flight0,
+            ch1: setup1 + flight1,
+            window,
+        }
     }
 
     /// One ioctl's worth of channel programming: the software overhead
@@ -637,6 +645,18 @@ mod tests {
         assert!(dual.window >= dual.ch0.max(dual.ch1));
         assert_eq!(dual.saved(), dual.ch0 + dual.ch1 - dual.window);
         assert_eq!(drv.elapsed(), dual.window, "elapsed accrues the window");
+
+        // Host programming is serial even under perfect overlap: with
+        // zero local-bus contention the pair still occupies strictly
+        // longer than the longer chain alone, by the second channel's
+        // CPU-side setup.
+        let mut perfect = driver();
+        perfect.set_overlap(OverlapConfig { contention_pct: 0 });
+        let dual0 = perfect.dma_chain_pair(&mut h0, &chain(0), &mut h1, &chain(65536));
+        assert!(
+            dual0.window > dual0.ch0.max(dual0.ch1),
+            "second channel's programming must not hide in the window"
+        );
     }
 
     #[test]

@@ -115,8 +115,10 @@ pub struct RuntimeStats {
     /// Pipeline beats advanced across all devices (zero when serving
     /// serially).
     pub pipeline_beats: u64,
-    /// Times a device fully drained its pipeline to switch designs (or
-    /// to idle on an empty queue) before admitting the next job.
+    /// Times a device fully drained its pipeline — before a design
+    /// switch (in-flight jobs must execute under the old design) or at
+    /// shutdown. Idle beats that happen to empty the pipeline while the
+    /// queue is momentarily quiet are not counted.
     pub pipeline_drains: u64,
     /// Virtual time each pipeline stage was busy, summed over beats and
     /// devices: `[prefetch DMA-in, execute, writeback DMA-out]`.

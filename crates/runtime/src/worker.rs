@@ -228,11 +228,14 @@ impl Worker {
     /// account the reconfiguration, then advance one beat with the job
     /// entering the prefetch stage.
     fn admit(&mut self, job: QueuedJob) {
+        // Queue wait ends at admission: the design-switch drain below
+        // is service on this job's behalf, not queueing, so it must
+        // not inflate the reported wait.
+        let queue_wait = job.submitted.elapsed();
         let spec = job.request.spec;
         if self.coproc.current_task() != Some(spec.kind.design_name()) && !self.pipeline_empty() {
             self.drain_pipeline();
         }
-        let queue_wait = job.submitted.elapsed();
 
         let before: TaskStats = self.coproc.stats();
         let reconfig = match self.load_task(spec.kind) {
