@@ -233,6 +233,55 @@ impl WorkloadContext {
         }
     }
 
+    /// Execute a batch of jobs in one laned pass where the workload
+    /// supports it, falling back to per-spec [`WorkloadContext::execute`]
+    /// otherwise. **Bit-exact** with executing each spec serially — same
+    /// checksums, same cycles, same virtual compute time — the batched
+    /// path only changes host wall clock.
+    ///
+    /// TRT events batch: every event's histogramming shares one traversal
+    /// of the pattern bank
+    /// ([`PatternBank::reference_histogram_lanes`]), which is where the
+    /// serial path spends nearly all its time. The other kinds have no
+    /// shared large operand, so they execute per spec.
+    pub fn execute_batch(&mut self, specs: &[JobSpec]) -> Vec<JobOutcome> {
+        if specs.len() < 2 || !specs.iter().all(|s| s.kind == JobKind::TrtEvent) {
+            return specs.iter().map(|s| self.execute(s)).collect();
+        }
+        // Generate every lane's event exactly as the serial path would.
+        let events: Vec<_> = specs
+            .iter()
+            .map(|spec| {
+                let mut rng = WorkloadRng::seed_from_u64(spec.seed ^ 0x0B5E55ED);
+                let mut generator = self.generator.clone();
+                generator.tracks_per_event = 1 + (spec.seed % 4) as usize;
+                generator.generate(&self.bank, &mut rng)
+            })
+            .collect();
+        let lanes: Vec<&[bool]> = events.iter().map(|e| e.active.as_slice()).collect();
+        let histograms = self.bank.reference_histogram_lanes(&lanes);
+        events
+            .iter()
+            .zip(&histograms)
+            .map(|(event, histogram)| {
+                let tracks = self.bank.find_tracks(histogram, 24);
+                let mut h = Fnv::new();
+                for v in histogram {
+                    h.push(*v as u64);
+                }
+                for t in &tracks {
+                    h.push(*t as u64);
+                }
+                let cycles = 2 * (event.hits.len() as u64 + 2);
+                JobOutcome {
+                    checksum: h.finish(),
+                    cycles,
+                    compute: self.trt_clock.cycles(cycles),
+                }
+            })
+            .collect()
+    }
+
     /// Execute a job: produce its output digest and virtual cost.
     /// Deterministic in `spec` — the same spec gives the same outcome on
     /// any worker, in any order, under any scheduling policy.
@@ -385,6 +434,28 @@ mod tests {
         sums.sort_unstable();
         sums.dedup();
         assert!(sums.len() >= 30, "checksums should almost never collide");
+    }
+
+    #[test]
+    fn batched_execution_is_bit_exact_with_serial() {
+        let mut serial = WorkloadContext::new();
+        let mut batched = WorkloadContext::new();
+        // Homogeneous TRT batch: the laned bank traversal path.
+        let trt: Vec<JobSpec> = (0..12).map(JobSpec::trt).collect();
+        let batch = batched.execute_batch(&trt);
+        for (spec, out) in trt.iter().zip(&batch) {
+            assert_eq!(*out, serial.execute(spec), "spec {spec:?}");
+        }
+        // Mixed batch: falls back per spec, still bit-exact.
+        let mixed: Vec<JobSpec> = (0..8).map(JobSpec::mixed).collect();
+        let batch = batched.execute_batch(&mixed);
+        for (spec, out) in mixed.iter().zip(&batch) {
+            assert_eq!(*out, serial.execute(spec), "spec {spec:?}");
+        }
+        // Degenerate batches.
+        assert!(batched.execute_batch(&[]).is_empty());
+        let one = batched.execute_batch(&[JobSpec::trt(99)]);
+        assert_eq!(one[0], serial.execute(&JobSpec::trt(99)));
     }
 
     #[test]

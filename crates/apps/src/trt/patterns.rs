@@ -89,6 +89,58 @@ impl PatternBank {
             .collect()
     }
 
+    /// Lane-batched reference histogramming: one traversal of the
+    /// pattern bank serves every lane. `lanes[l]` is lane `l`'s straw
+    /// activation map; the result is one histogram per lane, bit-exact
+    /// with [`PatternBank::reference_histogram`] applied lane by lane.
+    ///
+    /// The bank (patterns × straws) is the large, shared operand; the
+    /// per-lane activations are small. Walking the bank once and
+    /// accumulating all lanes in the inner loop amortizes the traversal
+    /// across the batch — the same amortization the laned FPGA path gets
+    /// from streaming many events through one configured design.
+    pub fn reference_histogram_lanes(&self, lanes: &[&[bool]]) -> Vec<Vec<u32>> {
+        for active in lanes {
+            assert_eq!(active.len(), self.geometry.straws() as usize);
+        }
+        let straws = self.geometry.straws() as usize;
+        let mut hists = vec![vec![0u32; self.patterns.len()]; lanes.len()];
+        if self.geometry.layers >= 256 {
+            // A pattern crosses at most one straw per layer, so per-lane
+            // byte counters are safe only below 256 layers; beyond that,
+            // fall back to the per-lane walk.
+            for (hist, active) in hists.iter_mut().zip(lanes) {
+                for (p, pat) in self.patterns.iter().enumerate() {
+                    hist[p] = pat.iter().filter(|&&s| active[s as usize]).count() as u32;
+                }
+            }
+            return hists;
+        }
+        // SWAR over lane groups of 8: pack each straw's activations into
+        // one u64 (one byte per lane), then a pattern's histogram value
+        // for all 8 lanes is a single chain of u64 adds — the bank is
+        // traversed once per group instead of once per lane.
+        for (g, group) in lanes.chunks(8).enumerate() {
+            let mut packed = vec![0u64; straws];
+            for (l, active) in group.iter().enumerate() {
+                let shift = 8 * l;
+                for (slot, &a) in packed.iter_mut().zip(*active) {
+                    *slot |= u64::from(a) << shift;
+                }
+            }
+            for (p, pat) in self.patterns.iter().enumerate() {
+                let mut acc = 0u64;
+                for &s in pat {
+                    acc += packed[s as usize];
+                }
+                for (l, hist) in hists[g * 8..].iter_mut().take(group.len()).enumerate() {
+                    hist[p] = ((acc >> (8 * l)) & 0xFF) as u32;
+                }
+            }
+        }
+        hists
+    }
+
     /// Patterns whose histogram value reaches `threshold`.
     pub fn find_tracks(&self, histogram: &[u32], threshold: u32) -> Vec<usize> {
         histogram
@@ -216,6 +268,25 @@ mod tests {
         assert_eq!(hist[3] as usize, bank.pattern(3).len());
         let tracks = bank.find_tracks(&hist, bank.pattern(3).len() as u32);
         assert!(tracks.contains(&3));
+    }
+
+    #[test]
+    fn lane_histograms_match_serial() {
+        let bank = small_bank();
+        let mut rng = WorkloadRng::seed_from_u64(77);
+        // Random activation maps, one per lane.
+        let actives: Vec<Vec<bool>> = (0..5)
+            .map(|_| (0..256).map(|_| rng.below(4) == 0).collect())
+            .collect();
+        let lanes: Vec<&[bool]> = actives.iter().map(Vec::as_slice).collect();
+        let batched = bank.reference_histogram_lanes(&lanes);
+        for (lane, active) in actives.iter().enumerate() {
+            assert_eq!(
+                batched[lane],
+                bank.reference_histogram(active),
+                "lane {lane}"
+            );
+        }
     }
 
     #[test]

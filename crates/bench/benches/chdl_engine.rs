@@ -5,8 +5,9 @@
 //! Besides the criterion timings this bench self-measures both engines
 //! over a long batch, verifies they agree bit-for-bit, and always writes
 //! `BENCH_chdl_engine.json` (the shared `--json` format of the table
-//! binaries) with cycles/s for each engine and the speedup factor. Run
-//! with `--test` (as CI's smoke step does) for a single fast iteration.
+//! binaries, at the repo root) with cycles/s for each engine and the
+//! speedup factor. Run with `--test` (as CI's smoke step does) for a
+//! single fast iteration.
 
 use atlantis_apps::trt::fpga::build_external_design;
 use atlantis_bench::Checker;
@@ -106,11 +107,7 @@ fn main() -> std::process::ExitCode {
         1e6,
     );
 
-    let path = "BENCH_chdl_engine.json";
-    match std::fs::write(path, c.to_json("chdl_engine")) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("failed to write {path}: {e}"),
-    }
+    atlantis_bench::write_artifact("chdl_engine", &c);
     match c.finish_report() {
         Ok(()) => std::process::ExitCode::SUCCESS,
         Err(_) => std::process::ExitCode::FAILURE,

@@ -6,9 +6,11 @@
 //! doubles as a regression suite for the reproduction.
 //!
 //! Pass `--json` to any binary to additionally emit a machine-readable
-//! `BENCH_<name>.json` in the working directory: every recorded check with
-//! its measured value and band, plus the pass/fail totals. CI and tooling
-//! consume these instead of scraping stdout.
+//! `BENCH_<name>.json` **in the repository root** (see [`artifact_path`]):
+//! every recorded check with its measured value and band, plus the
+//! pass/fail totals. CI and tooling consume these instead of scraping
+//! stdout; anchoring the path keeps committed artifacts from drifting
+//! into crate subdirectories when a binary runs from somewhere else.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -185,17 +187,34 @@ impl Checker {
     }
 }
 
+/// The canonical location of a `BENCH_<bench>.json` artifact: the
+/// repository root, regardless of the working directory the binary was
+/// launched from. Every `--json` export writes here and nowhere else —
+/// committed artifacts must never drift into crate subdirectories.
+pub fn artifact_path(bench: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("BENCH_{bench}.json"))
+}
+
+/// Write a checker's records to the canonical [`artifact_path`],
+/// reporting the outcome on stdout/stderr.
+pub fn write_artifact(bench: &str, checker: &Checker) {
+    let path = artifact_path(bench);
+    match std::fs::write(&path, checker.to_json(bench)) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
 /// Finish a benchmark binary: when `--json` was passed on the command
-/// line, write `BENCH_<bench>.json` with every record; then print the
-/// summary and turn the outcome into the process exit code (instead of
-/// calling `process::exit`, so destructors and test harnesses run).
+/// line, write `BENCH_<bench>.json` (at the repo-root [`artifact_path`])
+/// with every record; then print the summary and turn the outcome into
+/// the process exit code (instead of calling `process::exit`, so
+/// destructors and test harnesses run).
 pub fn conclude(bench: &str, checker: Checker) -> ExitCode {
     if std::env::args().any(|a| a == "--json") {
-        let path = format!("BENCH_{bench}.json");
-        match std::fs::write(&path, checker.to_json(bench)) {
-            Ok(()) => println!("wrote {path}"),
-            Err(e) => eprintln!("failed to write {path}: {e}"),
-        }
+        write_artifact(bench, &checker);
     }
     match checker.finish_report() {
         Ok(()) => ExitCode::SUCCESS,
@@ -298,5 +317,14 @@ mod tests {
     #[test]
     fn formatting_helper() {
         assert_eq!(f(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn artifact_path_is_anchored_at_the_repo_root() {
+        let p = artifact_path("demo");
+        assert!(p.ends_with("../../BENCH_demo.json"), "{}", p.display());
+        // The anchor must resolve to the workspace root: the directory
+        // holding the top-level Cargo.toml.
+        assert!(p.parent().unwrap().join("Cargo.toml").exists());
     }
 }

@@ -53,6 +53,7 @@ pub mod comb;
 pub(crate) mod engine;
 pub mod error;
 pub mod fsm;
+pub mod lanes;
 pub mod memory;
 pub mod netlist;
 pub mod opt;
@@ -64,6 +65,7 @@ pub mod trace;
 pub mod vcd;
 
 pub use error::ChdlError;
+pub use lanes::LaneGroup;
 pub use netlist::{Design, MemId, NetlistStats, RegSlot};
 pub use signal::Signal;
 pub use sim::{ExecMode, Sim};
@@ -71,6 +73,7 @@ pub use sim::{ExecMode, Sim};
 /// The commonly used CHDL surface.
 pub mod prelude {
     pub use crate::fsm::FsmBuilder;
+    pub use crate::lanes::LaneGroup;
     pub use crate::memory::FifoPorts;
     pub use crate::netlist::{Design, MemId, NetlistStats, RegSlot};
     pub use crate::signal::Signal;

@@ -23,8 +23,9 @@
 //! Combinational loops are detected at construction and reported as
 //! [`ChdlError::CombinationalLoop`].
 
-use crate::engine::{for_each_operand, CompiledEngine};
+use crate::engine::{for_each_operand, CompiledEngine, LaneState};
 use crate::error::ChdlError;
+use crate::lanes::LaneGroup;
 use crate::netlist::{node_width, BinOp, Design, MemId, Node, UnOp, WritePortDecl, UNDRIVEN};
 use crate::signal::{mask, Signal};
 use std::collections::HashMap;
@@ -508,6 +509,57 @@ impl Sim {
         self.engine
             .as_ref()
             .map(|e| (e.op_count(), e.level_count()))
+    }
+
+    /// Fork `lanes` independent instances of this design into a
+    /// [`LaneGroup`] stepped together by the compiled engine's
+    /// lane-batched (SIMD) execution paths.
+    ///
+    /// Every lane starts from this simulator's current state — inputs,
+    /// registers and memory contents are broadcast — and evolves
+    /// independently from there under per-lane inputs. The fork is
+    /// non-destructive (`&self`); the group compiles its own micro-op
+    /// stream, so it works from either execution mode.
+    pub fn fork_lanes(&self, lanes: usize) -> LaneGroup {
+        assert!(lanes > 0, "a lane group needs at least one lane");
+        let engine = CompiledEngine::compile(
+            &self.nodes,
+            &self.order,
+            &self.state_nodes,
+            &self.write_ports,
+            self.mems.len(),
+        );
+        let n = self.nodes.len();
+        let mut vals = vec![0u64; n * lanes];
+        for (node, &v) in self.vals.iter().enumerate() {
+            vals[node * lanes..(node + 1) * lanes].fill(v);
+        }
+        let mem_words: Vec<usize> = self.mems.iter().map(Vec::len).collect();
+        let mems: Vec<Vec<u64>> = self
+            .mems
+            .iter()
+            .map(|bank| {
+                let mut lane_bank = Vec::with_capacity(bank.len() * lanes);
+                for _ in 0..lanes {
+                    lane_bank.extend_from_slice(bank);
+                }
+                lane_bank
+            })
+            .collect();
+        let state = LaneState {
+            lanes,
+            vals,
+            mems,
+            mem_words,
+            scratch: vec![0u64; self.state_nodes.len() * lanes],
+        };
+        LaneGroup::from_parts(
+            self.nodes.clone(),
+            self.names.clone(),
+            engine,
+            state,
+            self.cycle,
+        )
     }
 }
 

@@ -5,152 +5,20 @@
 //! * the compiled engine running the **optimizer's output**
 //!   ([`Design::optimized`]).
 //!
-//! For generated netlists mixing arithmetic, logic, muxes, slices, concats,
-//! registers (with enables/clears) and a memory with write port plus async
-//! and sync read ports, all three must produce bit-exact outputs on every
-//! cycle of a shared random stimulus — at least 1000 cycles per case,
-//! covering both per-cycle stepping (the incremental path) and
-//! [`Sim::run_batch`] (the fused dense path) — and identical final memory
-//! contents.
+//! For generated netlists (shared generator in `netgen`) mixing arithmetic,
+//! logic, muxes, slices, concats, registers (with enables/clears), FSMs and
+//! a memory with write port plus async and sync read ports, all three must
+//! produce bit-exact outputs on every cycle of a shared random stimulus —
+//! at least 1000 cycles per case, covering both per-cycle stepping (the
+//! incremental path) and [`Sim::run_batch`] (the fused dense path) — and
+//! identical final memory contents.
+
+mod netgen;
 
 use atlantis_chdl::prelude::*;
 use atlantis_chdl::sim::ExecMode;
+use netgen::{build_design, XorShift, MEM_WORDS, N_INPUTS};
 use proptest::prelude::*;
-
-/// One generated combinational/sequential component: `(kind, a, b, aux)`.
-/// Operand selectors are reduced modulo the current signal pool.
-type Recipe = (u8, u16, u16, u8);
-
-const N_INPUTS: usize = 4;
-const IN_WIDTH: u8 = 12;
-const MEM_WORDS: usize = 32;
-
-/// Coerce `s` to exactly `w` bits: slice down or zero-extend via concat.
-fn fit(d: &mut Design, s: Signal, w: u8) -> Signal {
-    use std::cmp::Ordering;
-    match s.width().cmp(&w) {
-        Ordering::Equal => s,
-        Ordering::Greater => d.slice(s, 0, w),
-        Ordering::Less => {
-            let zeros = d.lit(0, w - s.width());
-            d.concat(zeros, s)
-        }
-    }
-}
-
-/// Grow a design from recipes. Every generated signal goes into the pool so
-/// later components can reference it; a rolling subset is exposed as outputs.
-fn build_design(recipes: &[Recipe]) -> (Design, Vec<String>) {
-    let mut d = Design::new("generated");
-    let mut pool: Vec<Signal> = (0..N_INPUTS)
-        .map(|i| d.input(format!("in{i}"), IN_WIDTH))
-        .collect();
-    let c1 = d.lit(0x5a5, IN_WIDTH);
-    let c2 = d.lit(1, IN_WIDTH);
-    pool.push(c1);
-    pool.push(c2);
-
-    // One memory with a write port and both read-port flavours, driven by
-    // generated signals so its traffic depends on the whole netlist.
-    let mem = d.memory("m", MEM_WORDS, IN_WIDTH);
-
-    let mut outputs = Vec::new();
-    for (i, &(kind, a_sel, b_sel, aux)) in recipes.iter().enumerate() {
-        let ra = pool[a_sel as usize % pool.len()];
-        let rb = pool[b_sel as usize % pool.len()];
-        // Binary components need matching widths; coerce to the nominal
-        // width (slices keep narrower signals flowing through the pool).
-        let a = fit(&mut d, ra, IN_WIDTH);
-        let b = fit(&mut d, rb, IN_WIDTH);
-        let sig = match kind % 18 {
-            0 => d.add(a, b),
-            1 => d.sub(a, b),
-            2 => d.mul(a, b),
-            3 => d.and(a, b),
-            4 => d.or(a, b),
-            5 => d.xor(a, b),
-            6 => d.not(ra),
-            7 => d.eq(a, b),
-            8 => d.lt(a, b),
-            9 => {
-                let sel = d.reduce_xor(rb);
-                d.mux(sel, a, b)
-            }
-            10 => {
-                let lo = aux % ra.width();
-                let width = 1 + (aux / 16) % (ra.width() - lo);
-                d.slice(ra, lo, width)
-            }
-            11 => {
-                if ra.width() + rb.width() <= 32 {
-                    d.concat(ra, rb)
-                } else {
-                    d.xor(a, b)
-                }
-            }
-            12 => {
-                let amt = d.slice(b, 0, 3);
-                d.shl(a, amt)
-            }
-            13 => {
-                let amt = d.slice(b, 0, 3);
-                d.shr(a, amt)
-            }
-            14 => d.reg(format!("r{i}"), a),
-            15 => {
-                // Register with enable and clear, init from aux.
-                let en = d.reduce_or(rb);
-                let clr = d.eq(a, b);
-                d.reg_full(format!("rf{i}"), a, Some(en), Some(clr), u64::from(aux))
-            }
-            16 => {
-                let addr = d.slice(a, 0, 5);
-                d.read_async(mem, addr)
-            }
-            _ => {
-                let addr = d.slice(b, 0, 5);
-                d.read_sync(mem, addr)
-            }
-        };
-        pool.push(sig);
-        if i % 3 == 0 {
-            let name = format!("o{i}");
-            d.expose_output(&name, sig);
-            outputs.push(name);
-        }
-    }
-
-    // Wire the write port from the freshest pool entries.
-    let n = pool.len();
-    let waddr_src = pool[n - 1];
-    let wdata = pool[n - 2];
-    let we_src = pool[n - 3];
-    let waddr_full = fit(&mut d, waddr_src, IN_WIDTH);
-    let waddr = d.slice(waddr_full, 0, 5);
-    let we = d.reduce_or(we_src);
-    let wdata12 = fit(&mut d, wdata, IN_WIDTH);
-    d.write_port(mem, waddr, wdata12, we);
-
-    // Always observe at least one signal.
-    if outputs.is_empty() {
-        d.expose_output("o_last", pool[n - 1]);
-        outputs.push("o_last".to_string());
-    }
-    (d, outputs)
-}
-
-/// Cheap deterministic stimulus shared across all sims.
-struct XorShift(u64);
-impl XorShift {
-    fn next(&mut self) -> u64 {
-        let mut x = self.0.max(1);
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x
-    }
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]

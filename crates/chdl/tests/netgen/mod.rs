@@ -1,0 +1,166 @@
+//! Shared random-netlist generator for the equivalence suites
+//! (`engine_equiv.rs`, `lane_equiv.rs`).
+//!
+//! Grows a design from a list of [`Recipe`]s covering arithmetic, logic,
+//! muxes, slices, concats, registers (with enables/clears), FSMs and a
+//! memory with a write port plus async and sync read ports — every node
+//! kind the engines must agree on.
+
+use atlantis_chdl::prelude::*;
+
+/// One generated component: `(kind, a, b, aux)`. Operand selectors are
+/// reduced modulo the current signal pool.
+pub type Recipe = (u8, u16, u16, u8);
+
+pub const N_INPUTS: usize = 4;
+pub const IN_WIDTH: u8 = 12;
+pub const MEM_WORDS: usize = 32;
+
+/// Coerce `s` to exactly `w` bits: slice down or zero-extend via concat.
+fn fit(d: &mut Design, s: Signal, w: u8) -> Signal {
+    use std::cmp::Ordering;
+    match s.width().cmp(&w) {
+        Ordering::Equal => s,
+        Ordering::Greater => d.slice(s, 0, w),
+        Ordering::Less => {
+            let zeros = d.lit(0, w - s.width());
+            d.concat(zeros, s)
+        }
+    }
+}
+
+/// Grow a design from recipes. Every generated signal goes into the pool so
+/// later components can reference it; a rolling subset is exposed as outputs.
+pub fn build_design(recipes: &[Recipe]) -> (Design, Vec<String>) {
+    let mut d = Design::new("generated");
+    let mut pool: Vec<Signal> = (0..N_INPUTS)
+        .map(|i| d.input(format!("in{i}"), IN_WIDTH))
+        .collect();
+    let c1 = d.lit(0x5a5, IN_WIDTH);
+    let c2 = d.lit(1, IN_WIDTH);
+    pool.push(c1);
+    pool.push(c2);
+
+    // One memory with a write port and both read-port flavours, driven by
+    // generated signals so its traffic depends on the whole netlist.
+    let mem = d.memory("m", MEM_WORDS, IN_WIDTH);
+
+    let mut outputs = Vec::new();
+    for (i, &(kind, a_sel, b_sel, aux)) in recipes.iter().enumerate() {
+        let ra = pool[a_sel as usize % pool.len()];
+        let rb = pool[b_sel as usize % pool.len()];
+        // Binary components need matching widths; coerce to the nominal
+        // width (slices keep narrower signals flowing through the pool).
+        let a = fit(&mut d, ra, IN_WIDTH);
+        let b = fit(&mut d, rb, IN_WIDTH);
+        let sig = match kind % 19 {
+            0 => d.add(a, b),
+            1 => d.sub(a, b),
+            2 => d.mul(a, b),
+            3 => d.and(a, b),
+            4 => d.or(a, b),
+            5 => d.xor(a, b),
+            6 => d.not(ra),
+            7 => d.eq(a, b),
+            8 => d.lt(a, b),
+            9 => {
+                let sel = d.reduce_xor(rb);
+                d.mux(sel, a, b)
+            }
+            10 => {
+                let lo = aux % ra.width();
+                let width = 1 + (aux / 16) % (ra.width() - lo);
+                d.slice(ra, lo, width)
+            }
+            11 => {
+                if ra.width() + rb.width() <= 32 {
+                    d.concat(ra, rb)
+                } else {
+                    d.xor(a, b)
+                }
+            }
+            12 => {
+                let amt = d.slice(b, 0, 3);
+                d.shl(a, amt)
+            }
+            13 => {
+                let amt = d.slice(b, 0, 3);
+                d.shr(a, amt)
+            }
+            14 => d.reg(format!("r{i}"), a),
+            15 => {
+                // Register with enable and clear, init from aux.
+                let en = d.reduce_or(rb);
+                let clr = d.eq(a, b);
+                d.reg_full(format!("rf{i}"), a, Some(en), Some(clr), u64::from(aux))
+            }
+            16 => {
+                let addr = d.slice(a, 0, 5);
+                d.read_async(mem, addr)
+            }
+            17 => {
+                let addr = d.slice(b, 0, 5);
+                d.read_sync(mem, addr)
+            }
+            _ => {
+                // A small FSM whose guards are driven by the pool —
+                // state machines are CHDL's second entry form and
+                // exercise the eq-const / mux-chain shapes the builder
+                // emits, observed through a Moore output.
+                let mut fb = FsmBuilder::new(format!("f{i}"));
+                let s0 = fb.state("idle");
+                let s1 = fb.state("busy");
+                let s2 = fb.state("done");
+                let g01 = d.reduce_or(a);
+                let g12 = d.reduce_xor(b);
+                fb.transition(s0, g01, s1);
+                fb.transition(s1, g12, s2);
+                fb.always(&mut d, s2, s0);
+                let fsm = fb.build(&mut d);
+                fsm.moore_output(
+                    &mut d,
+                    &[u64::from(aux), 0x0F0, 0x5A5 ^ u64::from(aux)],
+                    IN_WIDTH,
+                )
+            }
+        };
+        pool.push(sig);
+        if i % 3 == 0 {
+            let name = format!("o{i}");
+            d.expose_output(&name, sig);
+            outputs.push(name);
+        }
+    }
+
+    // Wire the write port from the freshest pool entries.
+    let n = pool.len();
+    let waddr_src = pool[n - 1];
+    let wdata = pool[n - 2];
+    let we_src = pool[n - 3];
+    let waddr_full = fit(&mut d, waddr_src, IN_WIDTH);
+    let waddr = d.slice(waddr_full, 0, 5);
+    let we = d.reduce_or(we_src);
+    let wdata12 = fit(&mut d, wdata, IN_WIDTH);
+    d.write_port(mem, waddr, wdata12, we);
+
+    // Always observe at least one signal.
+    if outputs.is_empty() {
+        d.expose_output("o_last", pool[n - 1]);
+        outputs.push("o_last".to_string());
+    }
+    (d, outputs)
+}
+
+/// Cheap deterministic stimulus shared across all sims in a case.
+pub struct XorShift(pub u64);
+
+impl XorShift {
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}

@@ -161,6 +161,31 @@ mod tests {
     }
 
     #[test]
+    fn frame_time_invariants_hold_on_every_part() {
+        // Writing every frame one at a time must cost exactly a full
+        // configuration, and writing nothing must cost nothing — the
+        // identities the runtime's reconfiguration accounting leans on.
+        for d in [
+            Device::orca_3t125(),
+            Device::virtex_xcv600(),
+            Device::xc4013e(),
+        ] {
+            assert_eq!(
+                d.full_config_time(),
+                d.frame_config_time(d.config_frames),
+                "{}: full != per-frame sum",
+                d.name
+            );
+            assert_eq!(
+                d.frame_config_time(0),
+                SimDuration::ZERO,
+                "{}: zero frames must be free",
+                d.name
+            );
+        }
+    }
+
+    #[test]
     fn enable_era_part_is_small() {
         let d = Device::xc4013e();
         assert!(d.system_gates < 20_000);

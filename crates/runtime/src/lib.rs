@@ -87,6 +87,14 @@ pub struct RuntimeConfig {
     /// Timing model for overlapped phases on the board — how much of
     /// the non-dominant phases' time local-bus contention serialises.
     pub overlap: OverlapConfig,
+    /// Max same-design jobs a pipelined worker gathers into one laned
+    /// execute pass (`1` disables gathering). Lanes step many instances
+    /// of the loaded design together through the SIMD multi-lane CHDL
+    /// engine, amortising the host-side execution cost; virtual-time
+    /// accounting is unaffected — lanes serialise in virtual time on
+    /// the one physical device, so checksums, per-job timings and every
+    /// virtual statistic are identical to `lanes = 1`.
+    pub lanes: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -98,6 +106,7 @@ impl Default for RuntimeConfig {
             aging_limit: 8,
             pipeline: true,
             overlap: OverlapConfig::default(),
+            lanes: 8,
         }
     }
 }
@@ -183,6 +192,7 @@ impl Runtime {
                 Arc::clone(&shared),
                 Arc::clone(&pool),
                 config.pipeline,
+                config.lanes,
             );
             let handle = std::thread::Builder::new()
                 .name(format!("atlantis-acb-{i}"))
@@ -276,6 +286,9 @@ impl Runtime {
             stage_time: s.stage_time,
             window_time: s.window_time,
             overlap_saved: s.overlap_saved,
+            laned_passes: s.laned_passes,
+            scalar_passes: s.scalar_passes,
+            laned_jobs: s.laned_jobs,
             pool_hits,
             pool_misses,
             cache_hits,

@@ -130,6 +130,13 @@ pub struct RuntimeStats {
     /// Virtual time hidden by DMA/compute overlap: the difference
     /// between serial stage time and the overlap window, summed.
     pub overlap_saved: SimDuration,
+    /// Execute passes that gathered ≥ 2 same-design jobs and stepped
+    /// them through the laned engine together.
+    pub laned_passes: u64,
+    /// Execute passes that retired a single job.
+    pub scalar_passes: u64,
+    /// Jobs retired through laned passes.
+    pub laned_jobs: u64,
     /// DMA staging-buffer checkouts served by recycling a pooled buffer.
     pub pool_hits: u64,
     /// DMA staging-buffer checkouts that had to allocate. Flat at steady
@@ -192,6 +199,17 @@ impl RuntimeStats {
             return [0.0; 3];
         }
         self.stage_time.map(|t| t.as_secs_f64() / w)
+    }
+
+    /// Mean jobs retired per laned execute pass
+    /// (`laned_jobs / laned_passes`) — the host-side SIMD occupancy.
+    /// Zero when no pass ever gathered more than one job.
+    pub fn lane_occupancy(&self) -> f64 {
+        if self.laned_passes == 0 {
+            0.0
+        } else {
+            self.laned_jobs as f64 / self.laned_passes as f64
+        }
     }
 
     /// Hardware task switches (full + partial) per served job — the

@@ -34,7 +34,7 @@ use crate::error::RuntimeError;
 use crate::job::{JobResult, JobTimings, QueuedJob};
 use crate::queue::{JobQueue, PickConfig, Pop};
 use crate::stats::LatencyHistogram;
-use atlantis_apps::jobs::{JobKind, JobOutcome, WorkloadContext};
+use atlantis_apps::jobs::{JobKind, JobOutcome, JobSpec, WorkloadContext};
 use atlantis_board::{Acb, SlotHalf};
 use atlantis_core::coprocessor::TaskStats;
 use atlantis_core::Coprocessor;
@@ -82,6 +82,12 @@ pub(crate) struct SharedStats {
     pub stage_time: [SimDuration; 3],
     pub window_time: SimDuration,
     pub overlap_saved: SimDuration,
+    /// Execute passes that retired ≥ 2 gathered same-design jobs.
+    pub laned_passes: u64,
+    /// Execute passes that retired a single job.
+    pub scalar_passes: u64,
+    /// Jobs retired through laned passes.
+    pub laned_jobs: u64,
 }
 
 impl SharedStats {
@@ -95,9 +101,11 @@ impl SharedStats {
 }
 
 /// A job admitted to the pipeline this beat: design already loaded,
-/// reconfiguration already paid and accounted.
+/// reconfiguration already paid and accounted, outcome already computed
+/// by the (possibly laned) dispatch pass.
 struct Admitted {
     job: QueuedJob,
+    outcome: JobOutcome,
     reconfig: SimDuration,
     switched: bool,
     queue_wait: Duration,
@@ -107,18 +115,12 @@ struct Admitted {
 /// execute next beat.
 struct Staged {
     job: QueuedJob,
+    outcome: JobOutcome,
     addr: u64,
     dma_in: SimDuration,
     reconfig: SimDuration,
     switched: bool,
     queue_wait: Duration,
-}
-
-/// A job that has executed (result ready in its slot half), waiting for
-/// writeback next beat.
-struct Executed {
-    inner: Staged,
-    outcome: JobOutcome,
 }
 
 pub(crate) struct Worker {
@@ -133,13 +135,19 @@ pub(crate) struct Worker {
     pub shared: Arc<Mutex<SharedStats>>,
     pool: Arc<BufferPool>,
     pipeline: bool,
+    /// Max same-design jobs one execute pass gathers (1 = no gathering).
+    lanes: usize,
     batch_len: usize,
     /// Serial mode: next whole job slot.
     slot: usize,
     /// Pipelined mode: next slot *half* in the ping/pong rotation.
     seq: usize,
     staged: Option<Staged>,
-    executed: Option<Executed>,
+    /// Executed job (result ready in its slot half), awaiting writeback.
+    executed: Option<Staged>,
+    /// A job popped while gathering that needs a different design; it is
+    /// dispatched first on the next loop turn, preserving pop order.
+    carry: Option<QueuedJob>,
 }
 
 impl Worker {
@@ -154,6 +162,7 @@ impl Worker {
         shared: Arc<Mutex<SharedStats>>,
         pool: Arc<BufferPool>,
         pipeline: bool,
+        lanes: usize,
     ) -> Self {
         Worker {
             device_index,
@@ -167,11 +176,13 @@ impl Worker {
             shared,
             pool,
             pipeline,
+            lanes: lanes.max(1),
             batch_len: 0,
             slot: 0,
             seq: 0,
             staged: None,
             executed: None,
+            carry: None,
         }
     }
 
@@ -191,6 +202,12 @@ impl Worker {
     /// a successor that will not come.
     pub fn run(mut self) {
         loop {
+            // A job popped during lane gathering but needing a different
+            // design goes first — it was taken from the queue in order.
+            if let Some(job) = self.carry.take() {
+                self.dispatch(job);
+                continue;
+            }
             let prefer = match self.policy {
                 SchedPolicy::Fifo => None,
                 SchedPolicy::ReconfigAware { .. } => self.coproc.current_task().map(str::to_owned),
@@ -213,12 +230,66 @@ impl Worker {
         self.drain_pipeline();
     }
 
+    /// Serve one popped job. The pipelined path first *gathers* up to
+    /// `lanes` queued jobs for the same design and precomputes their
+    /// outcomes in one laned pass
+    /// ([`WorkloadContext::execute_batch`] — bit-exact with serial
+    /// execution), then admits each job to the pipeline individually so
+    /// every per-beat virtual-time charge is identical to `lanes = 1`.
+    /// Lanes change host wall clock only.
     fn dispatch(&mut self, job: QueuedJob) {
-        if self.pipeline {
-            self.admit(job);
-        } else {
+        if !self.pipeline {
             self.serve_serial(job);
+            return;
         }
+        let batch = self.gather(job);
+        let specs: Vec<JobSpec> = batch.iter().map(|j| j.request.spec).collect();
+        let outcomes = self.ctx.execute_batch(&specs);
+        {
+            let mut s = self.shared.lock().unwrap();
+            if batch.len() > 1 {
+                s.laned_passes += 1;
+                s.laned_jobs += batch.len() as u64;
+            } else {
+                s.scalar_passes += 1;
+            }
+        }
+        for (job, outcome) in batch.into_iter().zip(outcomes) {
+            self.admit(job, outcome);
+        }
+    }
+
+    /// Pull up to `lanes − 1` more queued jobs for `first`'s design. The
+    /// pick is driven with the batch length the scheduler *would* see if
+    /// the gathered jobs were popped one by one (`base + batch.len()`),
+    /// so batching-window and aging decisions match the unlaned run
+    /// exactly. A popped job for a different design is stashed in
+    /// `carry` and dispatched next turn, preserving pop order.
+    fn gather(&mut self, first: QueuedJob) -> Vec<QueuedJob> {
+        let mut batch = vec![first];
+        if self.lanes <= 1 {
+            return batch;
+        }
+        let design = batch[0].request.spec.kind.design_name();
+        let base = if self.coproc.current_task() == Some(design) {
+            self.batch_len
+        } else {
+            0
+        };
+        while batch.len() < self.lanes {
+            match self
+                .queue
+                .try_pop(self.pick, Some(design), base + batch.len())
+            {
+                Some(job) if job.request.spec.kind.design_name() == design => batch.push(job),
+                Some(job) => {
+                    self.carry = Some(job);
+                    break;
+                }
+                None => break,
+            }
+        }
+        batch
     }
 
     // ---- pipelined path ------------------------------------------------
@@ -227,7 +298,7 @@ impl Worker {
     /// (in-flight jobs must execute under the old design), pay and
     /// account the reconfiguration, then advance one beat with the job
     /// entering the prefetch stage.
-    fn admit(&mut self, job: QueuedJob) {
+    fn admit(&mut self, job: QueuedJob, outcome: JobOutcome) {
         // Queue wait ends at admission: the design-switch drain below
         // is service on this job's behalf, not queueing, so it must
         // not inflate the reported wait.
@@ -237,31 +308,20 @@ impl Worker {
             self.drain_pipeline();
         }
 
-        let before: TaskStats = self.coproc.stats();
-        let reconfig = match self.load_task(spec.kind) {
-            Ok(t) => t,
+        // Reconfiguration cannot overlap the pipeline (the fabric is
+        // being rewritten), so it occupies the device serially.
+        let (reconfig, switched) = match self.switch_design(spec.kind, true) {
+            Ok(r) => r,
             Err(e) => {
                 self.shared.lock().unwrap().failed += 1;
                 let _ = job.reply.send(Err(e));
                 return;
             }
         };
-        let switched = reconfig > SimDuration::ZERO;
-        self.batch_len = if switched { 1 } else { self.batch_len + 1 };
-        let after = self.coproc.stats();
-        {
-            let mut s = self.shared.lock().unwrap();
-            s.full_loads += after.full_loads - before.full_loads;
-            s.partial_switches += after.partial_switches - before.partial_switches;
-            s.frames_written += after.frames_written - before.frames_written;
-            s.reconfig_time += after.reconfig_time - before.reconfig_time;
-            // Reconfiguration cannot overlap the pipeline (the fabric is
-            // being rewritten), so it occupies the device serially.
-            s.device_busy[self.device_index] += reconfig;
-        }
 
         self.advance(Some(Admitted {
             job,
+            outcome,
             reconfig,
             switched,
             queue_wait,
@@ -282,18 +342,19 @@ impl Worker {
         // returns to the pool when it drops.
         let finishing = self.executed.take();
         if let Some(ex) = finishing.as_ref() {
-            let len = ex.inner.job.request.spec.result_bytes() as usize;
+            let len = ex.job.request.spec.result_bytes() as usize;
             let mut out = self.pool.checkout(len);
             t_out = self
                 .driver
-                .dma_read_into_on(DmaChannel::Ch1, ex.inner.addr, &mut out);
+                .dma_read_into_on(DmaChannel::Ch1, ex.addr, &mut out);
         }
 
-        // Execute stage.
+        // Execute stage. The outcome was precomputed by the (possibly
+        // laned) dispatch pass; the virtual execute charge is the job's
+        // own compute time either way.
         if let Some(st) = self.staged.take() {
-            let outcome = self.ctx.execute(&st.job.request.spec);
-            t_exec = outcome.compute;
-            self.executed = Some(Executed { inner: st, outcome });
+            t_exec = st.outcome.compute;
+            self.executed = Some(st);
         }
 
         // Prefetch stage (DMA channel 0) into the next free slot half.
@@ -307,6 +368,7 @@ impl Worker {
                 .dma_write_from_on(DmaChannel::Ch0, addr, &payload);
             self.staged = Some(Staged {
                 job: ad.job,
+                outcome: ad.outcome,
                 addr,
                 dma_in: t_in,
                 reconfig: ad.reconfig,
@@ -372,8 +434,7 @@ impl Worker {
     }
 
     /// Answer a job whose writeback just finished.
-    fn complete(&mut self, ex: Executed, dma_out: SimDuration) {
-        let st = ex.inner;
+    fn complete(&mut self, st: Staged, dma_out: SimDuration) {
         let spec = st.job.request.spec;
         let timings = JobTimings {
             device: self.device_index,
@@ -381,15 +442,15 @@ impl Worker {
             wall: st.job.submitted.elapsed(),
             dma: st.dma_in + dma_out,
             reconfig: st.reconfig,
-            execute: ex.outcome.compute,
+            execute: st.outcome.compute,
             switched: st.switched,
         };
         let result = JobResult {
             id: st.job.id,
             client: st.job.request.client,
             spec,
-            checksum: ex.outcome.checksum,
-            cycles: ex.outcome.cycles,
+            checksum: st.outcome.checksum,
+            cycles: st.outcome.cycles,
             timings,
         };
         {
@@ -424,24 +485,14 @@ impl Worker {
         drop(payload);
 
         // Hardware task switch (cached bitstream, partial reconfig).
-        let before: TaskStats = self.coproc.stats();
-        let reconfig = match self.load_task(spec.kind) {
-            Ok(t) => t,
+        // `charge_busy` is false: the serial path bills the device the
+        // job's whole virtual total below, reconfiguration included.
+        let (reconfig, switched) = match self.switch_design(spec.kind, false) {
+            Ok(r) => r,
             Err(e) => {
                 self.shared.lock().unwrap().failed += 1;
                 let _ = job.reply.send(Err(e));
                 return;
-            }
-        };
-        let switched = reconfig > SimDuration::ZERO;
-        self.batch_len = if switched { 1 } else { self.batch_len + 1 };
-        let delta = {
-            let after = self.coproc.stats();
-            TaskStats {
-                full_loads: after.full_loads - before.full_loads,
-                partial_switches: after.partial_switches - before.partial_switches,
-                frames_written: after.frames_written - before.frames_written,
-                reconfig_time: after.reconfig_time - before.reconfig_time,
             }
         };
 
@@ -474,10 +525,7 @@ impl Worker {
             let mut s = self.shared.lock().unwrap();
             s.completed += 1;
             s.per_kind[Self::kind_index(spec.kind)] += 1;
-            s.full_loads += delta.full_loads;
-            s.partial_switches += delta.partial_switches;
-            s.frames_written += delta.frames_written;
-            s.reconfig_time += delta.reconfig_time;
+            s.scalar_passes += 1;
             s.dma_time += dma;
             s.execute_time += outcome.compute;
             s.device_busy[self.device_index] += timings.total_virtual();
@@ -489,6 +537,36 @@ impl Worker {
     }
 
     // ---- shared helpers ------------------------------------------------
+
+    /// Switch the device to `kind`'s design and fold the resulting
+    /// task-stats delta (full loads, partial switches, frames,
+    /// reconfiguration time) into the shared counters — the one place
+    /// reconfiguration accounting lives for both serving paths. Returns
+    /// the reconfiguration time and whether a switch actually happened,
+    /// and updates the same-design batch length the scheduler's batching
+    /// window watches. `charge_busy` additionally bills the
+    /// reconfiguration to the device (the pipelined path; the serial
+    /// path folds it into the job's virtual total instead).
+    fn switch_design(
+        &mut self,
+        kind: JobKind,
+        charge_busy: bool,
+    ) -> Result<(SimDuration, bool), RuntimeError> {
+        let before: TaskStats = self.coproc.stats();
+        let reconfig = self.load_task(kind)?;
+        let switched = reconfig > SimDuration::ZERO;
+        self.batch_len = if switched { 1 } else { self.batch_len + 1 };
+        let after = self.coproc.stats();
+        let mut s = self.shared.lock().unwrap();
+        s.full_loads += after.full_loads - before.full_loads;
+        s.partial_switches += after.partial_switches - before.partial_switches;
+        s.frames_written += after.frames_written - before.frames_written;
+        s.reconfig_time += after.reconfig_time - before.reconfig_time;
+        if charge_busy {
+            s.device_busy[self.device_index] += reconfig;
+        }
+        Ok((reconfig, switched))
+    }
 
     fn kind_index(kind: JobKind) -> usize {
         JobKind::ALL

@@ -10,10 +10,14 @@
 //! worker serves through the three-stage pipeline (prefetch / execute /
 //! writeback on the PLX9080's two DMA channels, DESIGN.md §9) so DMA
 //! and compute overlap; pass `--serial` to serve each job end to end
-//! and compare the overlap counters.
+//! and compare the overlap counters. The execute stage gathers up to
+//! `--lanes N` queued same-design jobs into one lane-batched pass
+//! (DESIGN.md §10) — virtual time is unchanged, only host wall clock
+//! improves; pass `--lanes 1` to disable lane batching.
 //!
-//! Run with: `cargo run --release --example serving` (pipelined)
+//! Run with: `cargo run --release --example serving` (pipelined, 8 lanes)
 //!       or: `cargo run --release --example serving -- --serial`
+//!       or: `cargo run --release --example serving -- --lanes 16`
 
 use atlantis::apps::jobs::JobSpec;
 use atlantis::core::AtlantisSystem;
@@ -41,19 +45,28 @@ fn wait_all(handles: Vec<atlantis::runtime::JobHandle>) -> usize {
 
 fn main() {
     // The pipeline knob: `pipeline: on` is the default; `--serial`
-    // serves each job end to end (the measured baseline).
-    let config = if std::env::args().any(|a| a == "--serial") {
+    // serves each job end to end (the measured baseline). `--lanes N`
+    // caps the same-design batch the execute stage gathers per pass.
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = if args.iter().any(|a| a == "--serial") {
         RuntimeConfig::serial()
     } else {
         RuntimeConfig::default()
     };
+    if let Some(i) = args.iter().position(|a| a == "--lanes") {
+        config.lanes = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--lanes takes a positive integer");
+    }
     let system = AtlantisSystem::builder().with_acbs(4).build();
     let rt = Arc::new(Runtime::serve(system, config).expect("system has ACBs to serve on"));
     println!(
-        "serving on {} ACBs, queue capacity {}, pipeline {}\n",
+        "serving on {} ACBs, queue capacity {}, pipeline {}, lanes {}\n",
         rt.devices(),
         rt.queue_capacity(),
-        if config.pipeline { "on" } else { "off" }
+        if config.pipeline { "on" } else { "off" },
+        config.lanes
     );
 
     // Tenant 1: the online trigger — many small TRT events, high priority.
@@ -149,6 +162,13 @@ fn main() {
         println!(
             "  buffer pool: {} hits, {} misses (zero-copy steady state)",
             stats.pool_hits, stats.pool_misses
+        );
+        println!(
+            "  lanes: {} laned passes ({} jobs, {:.2} mean occupancy), {} scalar passes",
+            stats.laned_passes,
+            stats.laned_jobs,
+            stats.lane_occupancy(),
+            stats.scalar_passes
         );
     }
 }

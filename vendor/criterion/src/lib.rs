@@ -12,12 +12,24 @@
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-/// How many samples to take per benchmark (after warm-up).
-const SAMPLES: usize = 7;
+/// How many samples to take per benchmark (after warm-up) when the
+/// `CRITERION_SAMPLES` environment variable does not override it.
+const DEFAULT_SAMPLES: usize = 7;
 /// Wall-clock budget per sample.
 const SAMPLE_BUDGET: Duration = Duration::from_millis(40);
 /// Warm-up budget used to estimate per-iteration cost.
 const WARMUP_BUDGET: Duration = Duration::from_millis(25);
+
+/// Samples per benchmark: `CRITERION_SAMPLES` when set to a positive
+/// integer, otherwise [`DEFAULT_SAMPLES`]. CI pins this so bench smoke
+/// runs take a predictable amount of time on shared runners.
+fn sample_count() -> usize {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_SAMPLES)
+}
 
 /// Top-level benchmark driver.
 pub struct Criterion {
@@ -254,9 +266,9 @@ impl Bencher {
             }
             iters *= 2;
         };
-        // Samples: median of SAMPLES batches sized to the budget.
+        // Samples: median of `sample_count()` batches sized to the budget.
         let batch = ((SAMPLE_BUDGET.as_nanos() as f64 / est_ns.max(1.0)) as u64).max(1);
-        let mut samples: Vec<f64> = (0..SAMPLES)
+        let mut samples: Vec<f64> = (0..sample_count())
             .map(|_| {
                 let start = Instant::now();
                 for _ in 0..batch {
@@ -328,6 +340,19 @@ mod tests {
         let mut calls = 0;
         b.iter(|| calls += 1);
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn sample_count_env_override() {
+        // Serialised inside one test body: no other test reads the var.
+        assert_eq!(sample_count(), DEFAULT_SAMPLES);
+        std::env::set_var("CRITERION_SAMPLES", "3");
+        assert_eq!(sample_count(), 3);
+        std::env::set_var("CRITERION_SAMPLES", "0");
+        assert_eq!(sample_count(), DEFAULT_SAMPLES, "zero is rejected");
+        std::env::set_var("CRITERION_SAMPLES", "junk");
+        assert_eq!(sample_count(), DEFAULT_SAMPLES, "junk is rejected");
+        std::env::remove_var("CRITERION_SAMPLES");
     }
 
     #[test]
