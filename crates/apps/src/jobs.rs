@@ -362,6 +362,29 @@ impl WorkloadContext {
     }
 }
 
+impl WorkloadContext {
+    /// Verify a result checksum against the deterministic software
+    /// model — the RISC half of the hybrid machine recomputing what the
+    /// FPGA claims it produced. Returns whether the checksum matches,
+    /// plus the virtual host time the check costs. This is the detector
+    /// of last resort for configuration upsets a CRC read-back cannot
+    /// see: a corrupted design produces a wrong digest, the software
+    /// model never does.
+    ///
+    /// TRT events self-check cheaply (the histogram totals are
+    /// re-derivable from the hit list at roughly the engine's own
+    /// cost); the other workloads pay a full software re-execution,
+    /// modelled at a fixed slowdown over the FPGA pipeline.
+    pub fn self_check(&mut self, spec: &JobSpec, checksum: u64) -> (bool, SimDuration) {
+        let oracle = self.execute(spec);
+        let cost = match spec.kind {
+            JobKind::TrtEvent => oracle.compute,
+            _ => oracle.compute * 20,
+        };
+        (oracle.checksum == checksum, cost)
+    }
+}
+
 /// FNV-1a, 64-bit — a tiny stable digest for job outputs.
 #[derive(Debug)]
 struct Fnv(u64);
@@ -456,6 +479,30 @@ mod tests {
         assert!(batched.execute_batch(&[]).is_empty());
         let one = batched.execute_batch(&[JobSpec::trt(99)]);
         assert_eq!(one[0], serial.execute(&JobSpec::trt(99)));
+    }
+
+    #[test]
+    fn self_check_accepts_honest_results_and_rejects_corrupt_ones() {
+        let mut exec = WorkloadContext::new();
+        let mut check = WorkloadContext::new();
+        for i in 0..8u64 {
+            let spec = JobSpec::mixed(i);
+            let out = exec.execute(&spec);
+            let (ok, cost) = check.self_check(&spec, out.checksum);
+            assert!(ok, "honest checksum for {spec:?}");
+            assert!(cost >= out.compute, "verification is never free");
+            let (ok, _) = check.self_check(&spec, out.checksum ^ 1);
+            assert!(!ok, "a flipped digest must be caught");
+        }
+        // The TRT fast path is cheaper than a software re-execution.
+        let spec = JobSpec::trt(3);
+        let out = exec.execute(&spec);
+        let (_, trt_cost) = check.self_check(&spec, out.checksum);
+        assert_eq!(trt_cost, out.compute);
+        let vol = JobSpec::volume(64, 3);
+        let vol_out = exec.execute(&vol);
+        let (_, vol_cost) = check.self_check(&vol, vol_out.checksum);
+        assert_eq!(vol_cost, vol_out.compute * 20);
     }
 
     #[test]

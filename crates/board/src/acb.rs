@@ -169,6 +169,34 @@ impl Acb {
         FPGA_ROLES[idx]
     }
 
+    /// Configuration integrity of every FPGA in matrix order:
+    /// `Some(true)` when the live image matches its golden bitstream,
+    /// `Some(false)` when corrupted, `None` for unconfigured devices.
+    pub fn integrity_all(&self) -> Vec<Option<bool>> {
+        self.fpgas.iter().map(|f| f.integrity_ok().ok()).collect()
+    }
+
+    /// Scrub every configured FPGA (read-back, golden compare, frame
+    /// repair — see [`Fpga::scrub`]) and return one report per device in
+    /// matrix order; unconfigured devices report `None`. Returns the
+    /// total virtual time of the pass, as the board's configuration
+    /// ports operate sequentially from the host's perspective.
+    pub fn scrub_all(&mut self) -> (Vec<Option<atlantis_fabric::ScrubReport>>, SimDuration) {
+        let mut total = SimDuration::ZERO;
+        let reports = self
+            .fpgas
+            .iter_mut()
+            .map(|f| {
+                let r = f.scrub().ok();
+                if let Some(r) = &r {
+                    total += r.time;
+                }
+                r
+            })
+            .collect();
+        (reports, total)
+    }
+
     /// The board clock tree.
     pub fn clocks(&self) -> &ClockTree {
         &self.clock_tree
@@ -532,6 +560,38 @@ mod tests {
         assert!(results
             .iter()
             .all(|r| matches!(r, Err(atlantis_fabric::ConfigError::NotConfigured))));
+    }
+
+    #[test]
+    fn board_level_scrub_covers_the_matrix() {
+        use atlantis_chdl::Design;
+        use atlantis_fabric::fit;
+
+        let mut acb = Acb::new();
+        // Configure FPGAs 0 and 2 only; corrupt FPGA 2.
+        for i in [0usize, 2] {
+            let mut d = Design::new(format!("t{i}"));
+            let x = d.input("x", 8);
+            let q = d.reg("r", x);
+            d.expose_output("q", q);
+            let f = fit(&d, acb.fpga(i).device()).unwrap();
+            acb.fpga_mut(i).configure(&f).unwrap();
+        }
+        acb.fpga_mut(2).inject_upset(5, 1, 0).unwrap();
+        assert_eq!(
+            acb.integrity_all(),
+            vec![Some(true), None, Some(false), None]
+        );
+        let (reports, total) = acb.scrub_all();
+        assert_eq!(reports[0].unwrap().frames_repaired, 0);
+        assert!(reports[1].is_none());
+        assert_eq!(reports[2].unwrap().frames_repaired, 1);
+        assert!(reports[3].is_none());
+        assert!(total >= acb.fpga(0).device().full_config_time() * 2);
+        assert_eq!(
+            acb.integrity_all(),
+            vec![Some(true), None, Some(true), None]
+        );
     }
 
     #[test]

@@ -158,6 +158,34 @@ impl Coprocessor {
         &mut self.fpga
     }
 
+    /// Shared access to the underlying FPGA (integrity inspection).
+    pub fn fpga(&self) -> &Fpga {
+        &self.fpga
+    }
+
+    /// Whether the live configuration still matches its golden image
+    /// (read-back + compare; no repair).
+    pub fn integrity_ok(&self) -> Result<bool, TaskError> {
+        self.fpga.integrity_ok().map_err(TaskError::Config)
+    }
+
+    /// The configuration port's cheap frame-CRC scan — see
+    /// [`Fpga::crc_check`].
+    pub fn crc_check(&self) -> Result<atlantis_fabric::CrcCheck, TaskError> {
+        self.fpga.crc_check().map_err(TaskError::Config)
+    }
+
+    /// Targeted repair of CRC-detectable corruption — see
+    /// [`Fpga::repair_upsets`].
+    pub fn repair_upsets(&mut self) -> Result<atlantis_fabric::ScrubReport, TaskError> {
+        self.fpga.repair_upsets().map_err(TaskError::Config)
+    }
+
+    /// One full golden-image scrub pass — see [`Fpga::scrub`].
+    pub fn scrub(&mut self) -> Result<atlantis_fabric::ScrubReport, TaskError> {
+        self.fpga.scrub().map_err(TaskError::Config)
+    }
+
     /// Switch statistics.
     pub fn stats(&self) -> TaskStats {
         self.stats
@@ -309,6 +337,27 @@ mod tests {
         }
         d.expose_output("y", acc);
         assert!(matches!(c.register("big", &d), Err(TaskError::Fit(_))));
+    }
+
+    #[test]
+    fn scrub_surfaces_through_the_coprocessor() {
+        let mut c = coproc();
+        c.switch_to("fir_a").unwrap();
+        assert!(c.integrity_ok().unwrap());
+        c.fpga_mut().inject_upset(7, 2, 1).unwrap();
+        assert!(!c.integrity_ok().unwrap());
+        assert_eq!(c.crc_check().unwrap().stale_frames, 1);
+        let r = c.repair_upsets().unwrap();
+        assert_eq!(r.frames_repaired, 1);
+        assert!(c.integrity_ok().unwrap());
+        // A scrub on the now-clean device repairs nothing.
+        assert_eq!(c.scrub().unwrap().frames_repaired, 0);
+        // The unconfigured coprocessor maps the error through TaskError.
+        let fresh = Coprocessor::new(Device::orca_3t125());
+        assert!(matches!(
+            fresh.integrity_ok(),
+            Err(TaskError::Config(ConfigError::NotConfigured))
+        ));
     }
 
     #[test]

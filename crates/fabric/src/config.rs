@@ -39,6 +39,14 @@ pub enum ConfigError {
         /// Device maximum.
         max: Frequency,
     },
+    /// An upset-injection coordinate lies outside the configuration
+    /// image — frame or byte index past the device's geometry.
+    UpsetOutOfRange {
+        /// Requested frame index.
+        frame: u32,
+        /// Requested byte index within the frame.
+        byte: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -54,6 +62,12 @@ impl fmt::Display for ConfigError {
             ConfigError::ReadbackUnsupported => write!(f, "device does not support read-back"),
             ConfigError::ClockTooFast { requested, max } => {
                 write!(f, "requested {requested} exceeds device maximum {max}")
+            }
+            ConfigError::UpsetOutOfRange { frame, byte } => {
+                write!(
+                    f,
+                    "upset target frame {frame} byte {byte} outside the config image"
+                )
             }
         }
     }
@@ -92,6 +106,11 @@ pub struct Fpga {
     clock: ProgrammableClock,
     loaded: Option<Loaded>,
     stats: ConfigStats,
+    /// Injected-but-unrepaired upsets, in injection order (see
+    /// [`crate::scrub`]). Any configuration write — full, partial or a
+    /// scrub repair — rewrites the affected frames, so the tracker is
+    /// cleared by those paths.
+    upsets: Vec<crate::scrub::Upset>,
 }
 
 impl Fpga {
@@ -103,6 +122,7 @@ impl Fpga {
             clock: ProgrammableClock::new("design", Frequency::from_mhz(40)),
             loaded: None,
             stats: ConfigStats::default(),
+            upsets: Vec::new(),
         }
     }
 
@@ -164,6 +184,9 @@ impl Fpga {
             bitstream,
             sim,
         });
+        // A full configuration rewrites every frame: pending upsets are
+        // overwritten with fresh configuration data.
+        self.upsets.clear();
         Ok(t)
     }
 
@@ -194,6 +217,11 @@ impl Fpga {
             bitstream: target,
             sim,
         });
+        // The diff is taken against the *live* (possibly corrupted)
+        // image, so every corrupted frame differs from the target and is
+        // rewritten — a task switch heals pending upsets as a side
+        // effect, exactly as on real hardware.
+        self.upsets.clear();
         Ok((frames, t))
     }
 
@@ -212,6 +240,7 @@ impl Fpga {
     /// Clear the configuration (power-cycle / PRGM pin).
     pub fn deconfigure(&mut self) {
         self.loaded = None;
+        self.upsets.clear();
     }
 
     /// Mutable access to the running design's simulator.
@@ -268,12 +297,36 @@ impl Fpga {
         self.loaded.as_mut().map(|l| &mut l.bitstream)
     }
 
+    /// Shared access to the live configuration image (CRC scanning).
+    pub(crate) fn live_bitstream(&self) -> Option<&Bitstream> {
+        self.loaded.as_ref().map(|l| &l.bitstream)
+    }
+
     /// Account a scrub pass in the statistics.
     pub(crate) fn note_scrub(&mut self, frames_repaired: u32, time: SimDuration) {
         self.stats.scrub_passes += 1;
         self.stats.frames_scrubbed += frames_repaired as u64;
         self.stats.config_time += time;
         self.stats.frames_written += frames_repaired as u64;
+    }
+
+    /// Account a targeted frame repair (not a full scrub pass).
+    pub(crate) fn note_repair(&mut self, frames_repaired: u32, time: SimDuration) {
+        self.stats.frames_scrubbed += frames_repaired as u64;
+        self.stats.config_time += time;
+        self.stats.frames_written += frames_repaired as u64;
+    }
+
+    /// Upsets injected since the last repair, scrub or configuration
+    /// write, in injection order — the campaign driver's view of what is
+    /// currently corrupting this device.
+    pub fn pending_upsets(&self) -> &[crate::scrub::Upset] {
+        &self.upsets
+    }
+
+    /// Mutable tracker access for the scrub module.
+    pub(crate) fn upsets_mut(&mut self) -> &mut Vec<crate::scrub::Upset> {
+        &mut self.upsets
     }
 
     fn check_device(&self, fitted: &FittedDesign) -> Result<(), ConfigError> {

@@ -45,7 +45,7 @@ pub use config::{ConfigError, Fpga};
 pub use device::Device;
 pub use fit::{fit, FitError, FitReport, FittedDesign};
 pub use par::run_cycles_parallel;
-pub use scrub::ScrubReport;
+pub use scrub::{CrcCheck, ScrubReport, Upset};
 
 /// Commonly used re-exports.
 pub mod prelude {

@@ -8,13 +8,44 @@
 //! back the configuration, compare against the golden image, and rewrite
 //! any corrupted frames through partial reconfiguration.
 //!
-//! This module adds both halves to [`Fpga`]: fault injection for tests,
-//! and the scrubber with realistic virtual-time cost (full read-back plus
-//! per-repaired-frame writes).
+//! This module gives [`Fpga`] the full detection/repair ladder the guard
+//! subsystem (`atlantis-guard`, DESIGN.md §11) builds on:
+//!
+//! * **Injection** — [`Fpga::inject_upset`] flips a configuration bit and
+//!   leaves the frame's stored CRC stale, exactly as a real upset would;
+//!   [`Fpga::inject_upset_stealthy`] additionally refreshes the stored
+//!   CRC, modelling the (rarer) upsets a CRC read-back cannot see. Every
+//!   injection is recorded in a pending-upset tracker
+//!   ([`Fpga::pending_upsets`]) — the campaign driver's iterator over
+//!   live corruption.
+//! * **Cheap detection** — [`Fpga::crc_check`] models the configuration
+//!   port's frame-CRC scan: the scrub controller streams the stored
+//!   frame CRCs (four per config-clock cycle over its 32-bit test port)
+//!   against shadow CRCs it maintains, so a scan costs cycles
+//!   proportional to the frame *count*, not the image size.
+//! * **Targeted repair** — [`Fpga::repair_upsets`] rewrites only the
+//!   frames the CRC scan can identify, at one frame-write each.
+//! * **Full scrub** — [`Fpga::scrub`] reads back everything, compares
+//!   against the golden image and repairs all corruption (including
+//!   CRC-stealthy flips), at full read-back cost plus per-frame repairs.
 
 use crate::bitstream::Frame;
 use crate::config::{ConfigError, Fpga};
 use atlantis_simcore::SimDuration;
+
+/// One injected-but-unrepaired configuration upset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Upset {
+    /// Configuration frame hit.
+    pub frame: u32,
+    /// Byte within the frame.
+    pub byte: u32,
+    /// Bit within the byte (0..8).
+    pub bit: u8,
+    /// Whether the stored frame CRC was refreshed (invisible to a CRC
+    /// read-back; only a golden-image compare or result voting sees it).
+    pub stealthy: bool,
+}
 
 /// Result of one scrub pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,17 +59,66 @@ pub struct ScrubReport {
     pub time: SimDuration,
 }
 
+/// Result of one frame-CRC scan ([`Fpga::crc_check`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrcCheck {
+    /// Frames whose stored CRC no longer matches their contents.
+    pub stale_frames: u32,
+    /// Virtual time of the scan (frame count / 4 config-clock cycles).
+    pub time: SimDuration,
+}
+
 impl Fpga {
     /// Flip one bit of the live configuration — a simulated SEU.
     /// The frame's stored CRC is *not* updated, exactly as a real upset
-    /// leaves the originally-computed CRC stale.
+    /// leaves the originally-computed CRC stale. Out-of-range frame or
+    /// byte coordinates return [`ConfigError::UpsetOutOfRange`] instead
+    /// of silently aliasing a different location.
     pub fn inject_upset(&mut self, frame: u32, byte: u32, bit: u8) -> Result<(), ConfigError> {
+        self.inject(frame, byte, bit, false)
+    }
+
+    /// Like [`Fpga::inject_upset`], but the frame's stored CRC is
+    /// recomputed over the corrupted contents — the upset a CRC
+    /// read-back cannot see. Only a golden-image scrub (or re-execution
+    /// voting at the serving layer) detects it.
+    pub fn inject_upset_stealthy(
+        &mut self,
+        frame: u32,
+        byte: u32,
+        bit: u8,
+    ) -> Result<(), ConfigError> {
+        self.inject(frame, byte, bit, true)
+    }
+
+    fn inject(
+        &mut self,
+        frame: u32,
+        byte: u32,
+        bit: u8,
+        stealthy: bool,
+    ) -> Result<(), ConfigError> {
         let bitstream = self
             .live_bitstream_mut()
             .ok_or(ConfigError::NotConfigured)?;
+        if frame as usize >= bitstream.frames.len() {
+            return Err(ConfigError::UpsetOutOfRange { frame, byte });
+        }
         let f = &mut bitstream.frames[frame as usize];
-        let idx = byte as usize % f.data.len();
-        f.data[idx] ^= 1 << (bit % 8);
+        if byte as usize >= f.data.len() {
+            return Err(ConfigError::UpsetOutOfRange { frame, byte });
+        }
+        let bit = bit % 8;
+        f.data[byte as usize] ^= 1 << bit;
+        if stealthy {
+            *f = Frame::new(f.index, f.data.clone());
+        }
+        self.upsets_mut().push(Upset {
+            frame,
+            byte,
+            bit,
+            stealthy,
+        });
         Ok(())
     }
 
@@ -49,9 +129,94 @@ impl Fpga {
         Ok(live == golden)
     }
 
+    /// A deterministic digest of the pending upsets — what the guard
+    /// layer folds into a job's checksum to model the corrupted logic
+    /// producing a wrong (but reproducible) answer. Zero when no upset
+    /// is pending.
+    pub fn upset_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut push = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for u in self.pending_upsets() {
+            push(u.frame as u64);
+            push(u.byte as u64);
+            push(u.bit as u64 | (u.stealthy as u64) << 8);
+        }
+        if self.pending_upsets().is_empty() {
+            0
+        } else {
+            h
+        }
+    }
+
+    /// The configuration port's frame-CRC scan: compare every frame's
+    /// stored CRC against the controller's shadow CRC, streaming four
+    /// CRC words per config-clock cycle. Detects exactly the frames a
+    /// normal upset leaves stale — CRC-stealthy corruption passes. Costs
+    /// `⌈frames / 4⌉` config-clock cycles (≈ 21 µs on the ORCA 3T125),
+    /// far below the full read-back a [`Fpga::scrub`] pays, which is
+    /// what makes per-job integrity checking affordable.
+    pub fn crc_check(&self) -> Result<CrcCheck, ConfigError> {
+        let live = self.live_bitstream().ok_or(ConfigError::NotConfigured)?;
+        let mut frames: Vec<u32> = self.pending_upsets().iter().map(|u| u.frame).collect();
+        frames.sort_unstable();
+        frames.dedup();
+        let stale = frames
+            .iter()
+            .filter(|&&f| !live.frames[f as usize].verify())
+            .count() as u32;
+        let cycles = u64::from(self.device().config_frames.div_ceil(4));
+        Ok(CrcCheck {
+            stale_frames: stale,
+            time: self.device().config_clock.cycles(cycles),
+        })
+    }
+
+    /// Targeted repair: rewrite the golden contents of every frame the
+    /// CRC scan can identify (stale stored CRC), at one frame-write
+    /// each — the fast path after a detection, without the full
+    /// read-back a periodic [`Fpga::scrub`] pays. CRC-stealthy upsets on
+    /// *other* frames survive; stealthy flips sharing a repaired frame
+    /// are healed with it.
+    pub fn repair_upsets(&mut self) -> Result<ScrubReport, ConfigError> {
+        let golden = self.fitted().ok_or(ConfigError::NotConfigured)?.bitstream();
+        let mut frames: Vec<u32> = self.pending_upsets().iter().map(|u| u.frame).collect();
+        frames.sort_unstable();
+        frames.dedup();
+        let mut repaired = 0u32;
+        let mut healed = Vec::new();
+        {
+            let live = self
+                .live_bitstream_mut()
+                .ok_or(ConfigError::NotConfigured)?;
+            for &f in &frames {
+                if !live.frames[f as usize].verify() {
+                    let gf = &golden.frames[f as usize];
+                    live.frames[f as usize] = Frame::new(gf.index, gf.data.clone());
+                    repaired += 1;
+                    healed.push(f);
+                }
+            }
+        }
+        self.upsets_mut().retain(|u| !healed.contains(&u.frame));
+        let time = self.device().frame_config_time(repaired);
+        self.note_repair(repaired, time);
+        Ok(ScrubReport {
+            frames_repaired: repaired,
+            crc_detectable: repaired,
+            time,
+        })
+    }
+
     /// One scrub pass: read back every frame, compare against the golden
     /// image, rewrite corrupted frames. Costs a full read-back plus one
-    /// frame-write per repair.
+    /// frame-write per repair. Clears the pending-upset tracker — after
+    /// a scrub the whole image has been verified against the golden
+    /// bitstream, stealthy corruption included.
     pub fn scrub(&mut self) -> Result<ScrubReport, ConfigError> {
         let golden = self.fitted().ok_or(ConfigError::NotConfigured)?.bitstream();
         let readback_time = self.device().full_config_time();
@@ -71,6 +236,7 @@ impl Fpga {
                 }
             }
         }
+        self.upsets_mut().clear();
         let time = readback_time + self.device().frame_config_time(repaired);
         self.note_scrub(repaired, time);
         Ok(ScrubReport {
@@ -103,6 +269,8 @@ mod tests {
     fn pristine_configuration_has_integrity() {
         let fpga = configured_fpga();
         assert!(fpga.integrity_ok().unwrap());
+        assert!(fpga.pending_upsets().is_empty());
+        assert_eq!(fpga.upset_digest(), 0);
     }
 
     #[test]
@@ -112,6 +280,109 @@ mod tests {
         assert!(!fpga.integrity_ok().unwrap());
         let rb = fpga.readback().unwrap();
         assert!(!rb.verify(), "a stale frame CRC exposes the flip");
+        assert_eq!(fpga.pending_upsets().len(), 1);
+        assert_ne!(fpga.upset_digest(), 0);
+    }
+
+    #[test]
+    fn out_of_range_injection_is_rejected_not_aliased() {
+        let mut fpga = configured_fpga();
+        let dev = Device::orca_3t125();
+        // Frame past the end.
+        assert_eq!(
+            fpga.inject_upset(dev.config_frames, 0, 0),
+            Err(ConfigError::UpsetOutOfRange {
+                frame: dev.config_frames,
+                byte: 0
+            })
+        );
+        // Byte past the end of an in-range frame (the old code wrapped
+        // this onto byte `frame_bytes % len == 0` silently).
+        assert_eq!(
+            fpga.inject_upset(0, dev.frame_bytes, 1),
+            Err(ConfigError::UpsetOutOfRange {
+                frame: 0,
+                byte: dev.frame_bytes
+            })
+        );
+        assert!(
+            fpga.integrity_ok().unwrap(),
+            "a rejected injection must not corrupt anything"
+        );
+        assert!(fpga.pending_upsets().is_empty());
+        // The last valid coordinate is accepted.
+        fpga.inject_upset(dev.config_frames - 1, dev.frame_bytes - 1, 7)
+            .unwrap();
+        assert!(!fpga.integrity_ok().unwrap());
+    }
+
+    #[test]
+    fn stealthy_upset_evades_crc_but_not_golden_compare() {
+        let mut fpga = configured_fpga();
+        fpga.inject_upset_stealthy(42, 7, 3).unwrap();
+        assert!(!fpga.integrity_ok().unwrap(), "data is corrupted");
+        assert!(
+            fpga.readback().unwrap().verify(),
+            "the refreshed CRC hides the flip from read-back"
+        );
+        assert_eq!(fpga.crc_check().unwrap().stale_frames, 0);
+        // Targeted repair sees nothing to fix...
+        assert_eq!(fpga.repair_upsets().unwrap().frames_repaired, 0);
+        assert!(!fpga.integrity_ok().unwrap());
+        // ...but the golden-image scrub catches it.
+        let r = fpga.scrub().unwrap();
+        assert_eq!(r.frames_repaired, 1);
+        assert_eq!(r.crc_detectable, 0, "CRC alone could not have seen it");
+        assert!(fpga.integrity_ok().unwrap());
+        assert!(fpga.pending_upsets().is_empty());
+    }
+
+    #[test]
+    fn crc_check_is_cheap_and_counts_stale_frames() {
+        let mut fpga = configured_fpga();
+        let clean = fpga.crc_check().unwrap();
+        assert_eq!(clean.stale_frames, 0);
+        assert!(
+            clean.time * 100 < fpga.device().full_config_time(),
+            "a CRC scan must cost far less than a read-back: {} vs {}",
+            clean.time,
+            fpga.device().full_config_time()
+        );
+        fpga.inject_upset(3, 0, 0).unwrap();
+        fpga.inject_upset(3, 5, 1).unwrap(); // same frame
+        fpga.inject_upset(700, 9, 2).unwrap();
+        let c = fpga.crc_check().unwrap();
+        assert_eq!(c.stale_frames, 2, "two distinct frames stale");
+        assert_eq!(c.time, clean.time, "scan cost is data-independent");
+    }
+
+    #[test]
+    fn repair_upsets_is_targeted_and_clears_the_tracker() {
+        let mut fpga = configured_fpga();
+        fpga.inject_upset(3, 0, 0).unwrap();
+        fpga.inject_upset(700, 9, 2).unwrap();
+        let r = fpga.repair_upsets().unwrap();
+        assert_eq!(r.frames_repaired, 2);
+        assert_eq!(
+            r.time,
+            fpga.device().frame_config_time(2),
+            "repairs cost frame writes only — no full read-back"
+        );
+        assert!(fpga.integrity_ok().unwrap());
+        assert!(fpga.pending_upsets().is_empty());
+        assert_eq!(fpga.stats().scrub_passes, 0, "a repair is not a scrub pass");
+        assert_eq!(fpga.stats().frames_scrubbed, 2);
+    }
+
+    #[test]
+    fn reconfiguration_heals_pending_upsets() {
+        let mut fpga = configured_fpga();
+        fpga.inject_upset(10, 3, 5).unwrap();
+        assert_eq!(fpga.pending_upsets().len(), 1);
+        let fitted = fpga.fitted().unwrap().clone();
+        fpga.partial_reconfigure(&fitted).unwrap();
+        assert!(fpga.pending_upsets().is_empty());
+        assert!(fpga.integrity_ok().unwrap());
     }
 
     #[test]
@@ -167,7 +438,16 @@ mod tests {
             fpga.inject_upset(0, 0, 0),
             Err(ConfigError::NotConfigured)
         ));
+        assert!(matches!(
+            fpga.inject_upset_stealthy(0, 0, 0),
+            Err(ConfigError::NotConfigured)
+        ));
         assert!(matches!(fpga.scrub(), Err(ConfigError::NotConfigured)));
+        assert!(matches!(
+            fpga.repair_upsets(),
+            Err(ConfigError::NotConfigured)
+        ));
+        assert!(matches!(fpga.crc_check(), Err(ConfigError::NotConfigured)));
         assert!(matches!(
             fpga.integrity_ok(),
             Err(ConfigError::NotConfigured)
@@ -184,5 +464,18 @@ mod tests {
         let s = fpga.stats();
         assert_eq!(s.scrub_passes, 2);
         assert_eq!(s.frames_scrubbed, 2);
+    }
+
+    #[test]
+    fn upset_digest_is_deterministic_and_order_sensitive() {
+        let mut a = configured_fpga();
+        let mut b = configured_fpga();
+        for f in [7u32, 300, 7] {
+            a.inject_upset(f, 1, 2).unwrap();
+            b.inject_upset(f, 1, 2).unwrap();
+        }
+        assert_eq!(a.upset_digest(), b.upset_digest());
+        a.scrub().unwrap();
+        assert_eq!(a.upset_digest(), 0, "repair clears the digest");
     }
 }

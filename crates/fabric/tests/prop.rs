@@ -74,20 +74,24 @@ proptest! {
     /// exact golden image, and the repaired-frame count equals the number
     /// of distinct corrupted frames.
     #[test]
-    fn scrub_always_restores(upsets in proptest::collection::vec((any::<u32>(), any::<u32>(), 0u8..8), 1..24)) {
+    fn scrub_always_restores(upsets in proptest::collection::vec((any::<u32>(), any::<u32>(), 0u8..8, any::<bool>()), 1..24)) {
         let dev = Device::orca_3t125();
         let fitted = fit(&design_from_taps(&[3, 5, 7]), &dev).unwrap();
         let mut fpga = Fpga::new(dev.clone());
         fpga.configure(&fitted).unwrap();
         let golden = fitted.bitstream();
-        let mut touched = std::collections::HashSet::new();
-        for (f, b, bit) in upsets {
+        for (f, b, bit, stealthy) in upsets {
             let frame = f % dev.config_frames;
             let byte = b % dev.frame_bytes;
-            fpga.inject_upset(frame, byte, bit).unwrap();
-            // A self-cancelling double flip leaves the frame clean; track
-            // the *net* effect by comparing against golden below.
-            touched.insert(frame);
+            // A self-cancelling double flip leaves the frame clean; the
+            // *net* effect is measured against golden below. Stealthy
+            // flips refresh the stored CRC, so they must show up in
+            // frames_repaired but never in crc_detectable.
+            if stealthy {
+                fpga.inject_upset_stealthy(frame, byte, bit).unwrap();
+            } else {
+                fpga.inject_upset(frame, byte, bit).unwrap();
+            }
         }
         let actually_corrupt = {
             let live = fpga.readback().unwrap();
@@ -99,7 +103,10 @@ proptest! {
         };
         let report = fpga.scrub().unwrap();
         prop_assert_eq!(report.frames_repaired, actually_corrupt);
+        prop_assert!(report.crc_detectable <= report.frames_repaired,
+                     "CRC-visible corruption is a subset of all corruption");
         prop_assert!(fpga.integrity_ok().unwrap());
+        prop_assert!(fpga.pending_upsets().is_empty());
         prop_assert_eq!(fpga.readback().unwrap(), golden);
     }
 

@@ -24,6 +24,13 @@ pub enum RuntimeError {
     /// The coprocessor rejected a task operation (registration fit,
     /// reconfiguration).
     Task(TaskError),
+    /// The job repeatedly executed on devices whose configuration was
+    /// later found corrupted and exhausted its retry budget (see
+    /// [`GuardConfig::max_retries`](crate::GuardConfig::max_retries)).
+    Faulted {
+        /// Clean re-execution attempts made before giving up.
+        retries: u32,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -36,6 +43,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::NoDevices => write!(f, "system has no computing boards"),
             RuntimeError::NoSuchDevice(i) => write!(f, "no ACB at index {i}"),
             RuntimeError::Task(e) => write!(f, "coprocessor: {e}"),
+            RuntimeError::Faulted { retries } => {
+                write!(f, "job failed integrity checks after {retries} retries")
+            }
         }
     }
 }

@@ -140,5 +140,7 @@ pub(crate) struct QueuedJob {
     pub id: u64,
     pub request: JobRequest,
     pub submitted: Instant,
+    /// Times this job has been requeued after an integrity event.
+    pub retries: u32,
     pub reply: mpsc::Sender<Result<JobResult, RuntimeError>>,
 }

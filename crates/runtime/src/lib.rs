@@ -40,6 +40,7 @@
 mod bufpool;
 mod cache;
 mod error;
+mod guard;
 mod job;
 mod queue;
 mod stats;
@@ -48,6 +49,7 @@ mod worker;
 pub use bufpool::{BufferPool, PoolBuf, PAGE_BYTES};
 pub use cache::BitstreamCache;
 pub use error::RuntimeError;
+pub use guard::GuardConfig;
 pub use job::{JobHandle, JobRequest, JobResult, JobTimings, Priority};
 pub use stats::{LatencyHistogram, RuntimeStats};
 pub use worker::SchedPolicy;
@@ -95,6 +97,11 @@ pub struct RuntimeConfig {
     /// the one physical device, so checksums, per-job timings and every
     /// virtual statistic are identical to `lanes = 1`.
     pub lanes: usize,
+    /// Reliability policy: fault injection, scrub scheduling, integrity
+    /// checks, and the self-healing recovery path. The default,
+    /// [`GuardConfig::disabled`], injects nothing and checks nothing —
+    /// exactly the pre-guard runtime.
+    pub guard: GuardConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -107,6 +114,7 @@ impl Default for RuntimeConfig {
             pipeline: true,
             overlap: OverlapConfig::default(),
             lanes: 8,
+            guard: GuardConfig::disabled(),
         }
     }
 }
@@ -193,6 +201,7 @@ impl Runtime {
                 Arc::clone(&pool),
                 config.pipeline,
                 config.lanes,
+                config.guard,
             );
             let handle = std::thread::Builder::new()
                 .name(format!("atlantis-acb-{i}"))
@@ -226,6 +235,7 @@ impl Runtime {
             id,
             request,
             submitted: Instant::now(),
+            retries: 0,
             reply: tx,
         };
         match self.queue.push(queued) {
@@ -289,6 +299,23 @@ impl Runtime {
             laned_passes: s.laned_passes,
             scalar_passes: s.scalar_passes,
             laned_jobs: s.laned_jobs,
+            upsets_injected: s.upsets_injected,
+            upsets_stealthy: s.upsets_stealthy,
+            corrupt_executes: s.corrupt_executes,
+            detected_corruptions: s.detected_corruptions,
+            silent_corruptions: s.silent_corruptions,
+            guard_scrubs: s.guard_scrubs,
+            guard_repairs: s.guard_repairs,
+            scrub_time: s.scrub_time,
+            check_time: s.check_time,
+            wasted_time: s.wasted_time,
+            retries: s.retries,
+            faulted: s.faulted,
+            quarantined_devices: s.quarantined_devices,
+            detection_latency: s.detection_latency,
+            detected_upsets: s.detected_upsets,
+            device_scrub_frames: s.device_scrub_frames.clone(),
+            busy_total: s.device_busy.iter().copied().sum(),
             pool_hits,
             pool_misses,
             cache_hits,
@@ -410,6 +437,7 @@ mod tests {
             id: 0,
             request: JobRequest::new(0, JobSpec::trt(0)),
             submitted: Instant::now(),
+            retries: 0,
             reply: tx,
         });
         assert!(matches!(err, Err(RuntimeError::ShuttingDown)));

@@ -98,6 +98,25 @@ impl JobQueue {
         self.not_empty.notify_all();
     }
 
+    /// Whether admissions have stopped.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
+    /// Put an accepted job back at the head of its priority class — the
+    /// recovery path for work whose execution is suspect after an
+    /// integrity event, and for draining a quarantined device's
+    /// in-flight jobs to healthy boards. Bypasses the capacity bound
+    /// (the job was already admitted) and works while the queue is
+    /// closed (accepted work must still be answered).
+    pub fn requeue(&self, job: QueuedJob) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.classes[job.request.priority.index()].push_front(Entry { job, skips: 0 });
+        inner.len += 1;
+        drop(inner);
+        self.not_empty.notify_all();
+    }
+
     /// Block until a job is available (or the queue is closed *and*
     /// empty). `prefer`, when set and `batch_len` is still inside the
     /// batch window, picks a nearby job for the already-loaded design —

@@ -150,6 +150,57 @@ pub struct RuntimeStats {
     pub latency: LatencyHistogram,
     /// Wall time since the runtime started.
     pub wall_elapsed: Duration,
+    /// Single-event upsets injected across all devices (fault
+    /// campaigns; zero in normal serving).
+    pub upsets_injected: u64,
+    /// Injected upsets that refreshed the frame's stored CRC —
+    /// invisible to a CRC read-back, caught only by deep scrubs or
+    /// re-execution voting.
+    pub upsets_stealthy: u64,
+    /// Ground truth: job executions that ran while their device's
+    /// configuration was corrupt. The detection ladder exists to keep
+    /// these out of `silent_corruptions`.
+    pub corrupt_executes: u64,
+    /// In-flight jobs discarded and requeued because a detector fired
+    /// while they were in flight. Conservative: a detection discards
+    /// every in-flight result, so this can exceed `corrupt_executes`.
+    pub detected_corruptions: u64,
+    /// Ground truth: corrupt results that reached a client. Zero under
+    /// [`GuardConfig::protected`](crate::GuardConfig::protected) with
+    /// CRC-visible upsets — the end-to-end reliability guarantee.
+    pub silent_corruptions: u64,
+    /// Full golden-image scrub passes (periodic deep scrubs plus
+    /// anti-stealth scrubs after a vote detection).
+    pub guard_scrubs: u64,
+    /// Targeted frame repairs after a CRC detection (no full
+    /// read-back — the fast repair path).
+    pub guard_repairs: u64,
+    /// Virtual time spent scrubbing and repairing configurations.
+    pub scrub_time: SimDuration,
+    /// Virtual time spent on CRC scans and re-execution votes.
+    pub check_time: SimDuration,
+    /// Virtual time wasted on discarded suspect executions and retry
+    /// backoff.
+    pub wasted_time: SimDuration,
+    /// Suspect-job requeues performed.
+    pub retries: u64,
+    /// Jobs answered with
+    /// [`RuntimeError::Faulted`](crate::RuntimeError::Faulted) after
+    /// exhausting the retry budget.
+    pub faulted: u64,
+    /// Devices quarantined after repeated dirty integrity events.
+    pub quarantined_devices: u64,
+    /// Summed virtual latency from each upset's arrival to its repair.
+    pub detection_latency: SimDuration,
+    /// Upsets whose detection latency was measured (repaired via the
+    /// detection ladder; upsets healed by a task switch don't count).
+    pub detected_upsets: u64,
+    /// Configuration frames repaired per device by guard scrubs and
+    /// repairs — the per-device accumulation of `ScrubReport` totals.
+    pub device_scrub_frames: Vec<u64>,
+    /// Total busy virtual time summed over all devices (the
+    /// denominator of [`RuntimeStats::availability`]).
+    pub busy_total: SimDuration,
 }
 
 impl RuntimeStats {
@@ -209,6 +260,51 @@ impl RuntimeStats {
             0.0
         } else {
             self.laned_jobs as f64 / self.laned_passes as f64
+        }
+    }
+
+    /// Fraction of device busy time spent serving jobs rather than on
+    /// reliability work: `1 − (scrub + check + wasted) / busy`. `1.0`
+    /// with the guard disabled; degrades as the upset rate climbs —
+    /// the knee the `guard_campaign` bench sweeps out.
+    pub fn availability(&self) -> f64 {
+        let busy = self.busy_total.as_secs_f64();
+        if busy <= 0.0 {
+            return 1.0;
+        }
+        let overhead = (self.scrub_time + self.check_time + self.wasted_time).as_secs_f64();
+        (1.0 - overhead / busy).max(0.0)
+    }
+
+    /// Mean virtual busy time between configuration upsets, in
+    /// seconds — infinite when no upset was injected.
+    pub fn mtbf(&self) -> f64 {
+        if self.upsets_injected == 0 {
+            f64::INFINITY
+        } else {
+            self.busy_total.as_secs_f64() / self.upsets_injected as f64
+        }
+    }
+
+    /// Fraction of device busy time spent on integrity work alone
+    /// (scrubs, repairs, CRC scans, votes) — the standing cost of the
+    /// protection, independent of whether anything was found.
+    pub fn scrub_overhead(&self) -> f64 {
+        let busy = self.busy_total.as_secs_f64();
+        if busy <= 0.0 {
+            0.0
+        } else {
+            (self.scrub_time + self.check_time).as_secs_f64() / busy
+        }
+    }
+
+    /// Mean virtual latency from an upset's arrival to its repair, in
+    /// microseconds. Zero when nothing was detected.
+    pub fn mean_detection_latency_us(&self) -> f64 {
+        if self.detected_upsets == 0 {
+            0.0
+        } else {
+            self.detection_latency.as_secs_f64() * 1e6 / self.detected_upsets as f64
         }
     }
 

@@ -31,6 +31,7 @@
 use crate::bufpool::BufferPool;
 use crate::cache::BitstreamCache;
 use crate::error::RuntimeError;
+use crate::guard::{GuardConfig, GuardState};
 use crate::job::{JobResult, JobTimings, QueuedJob};
 use crate::queue::{JobQueue, PickConfig, Pop};
 use crate::stats::LatencyHistogram;
@@ -88,13 +89,34 @@ pub(crate) struct SharedStats {
     pub scalar_passes: u64,
     /// Jobs retired through laned passes.
     pub laned_jobs: u64,
+    /// Workers still serving (quarantine decrements; never below 1).
+    pub active_workers: usize,
+    pub upsets_injected: u64,
+    pub upsets_stealthy: u64,
+    pub corrupt_executes: u64,
+    pub detected_corruptions: u64,
+    pub silent_corruptions: u64,
+    pub guard_scrubs: u64,
+    pub guard_repairs: u64,
+    pub scrub_time: SimDuration,
+    pub check_time: SimDuration,
+    pub wasted_time: SimDuration,
+    pub retries: u64,
+    pub faulted: u64,
+    pub quarantined_devices: u64,
+    pub detection_latency: SimDuration,
+    pub detected_upsets: u64,
+    /// Per-device accumulation of `ScrubReport` frame totals.
+    pub device_scrub_frames: Vec<u64>,
 }
 
 impl SharedStats {
     pub fn new(devices: usize) -> Self {
         SharedStats {
             device_busy: vec![SimDuration::ZERO; devices],
+            device_scrub_frames: vec![0; devices],
             latency: LatencyHistogram::new(),
+            active_workers: devices,
             ..Default::default()
         }
     }
@@ -121,6 +143,11 @@ struct Staged {
     reconfig: SimDuration,
     switched: bool,
     queue_wait: Duration,
+    /// Ground truth: the job executed while the device's configuration
+    /// was corrupt and its checksum was perturbed accordingly. Used
+    /// only for the `silent_corruptions` counter — the detection
+    /// ladder never reads it.
+    corrupt: bool,
 }
 
 pub(crate) struct Worker {
@@ -148,6 +175,12 @@ pub(crate) struct Worker {
     /// A job popped while gathering that needs a different design; it is
     /// dispatched first on the next loop turn, preserving pop order.
     carry: Option<QueuedJob>,
+    /// Reliability policy state (injection/scrub schedules, quarantine).
+    guard: GuardState,
+    /// This device's virtual busy clock — a local mirror of
+    /// `shared.device_busy[device_index]` so the guard schedules read
+    /// it without taking the stats lock.
+    vclock: SimDuration,
 }
 
 impl Worker {
@@ -163,6 +196,7 @@ impl Worker {
         pool: Arc<BufferPool>,
         pipeline: bool,
         lanes: usize,
+        guard: GuardConfig,
     ) -> Self {
         Worker {
             device_index,
@@ -183,6 +217,8 @@ impl Worker {
             staged: None,
             executed: None,
             carry: None,
+            guard: GuardState::new(guard, device_index),
+            vclock: SimDuration::ZERO,
         }
     }
 
@@ -202,6 +238,11 @@ impl Worker {
     /// a successor that will not come.
     pub fn run(mut self) {
         loop {
+            // A quarantined device stops taking work; its in-flight
+            // jobs are handed back to the queue below.
+            if self.guard.quarantined {
+                break;
+            }
             // A job popped during lane gathering but needing a different
             // design goes first — it was taken from the queue in order.
             if let Some(job) = self.carry.take() {
@@ -227,7 +268,11 @@ impl Worker {
                 }
             }
         }
-        self.drain_pipeline();
+        if self.guard.quarantined {
+            self.evacuate();
+        } else {
+            self.drain_pipeline();
+        }
     }
 
     /// Serve one popped job. The pipelined path first *gathers* up to
@@ -332,6 +377,11 @@ impl Worker {
     /// *N*, prefetch job *N+1* on channel 0 — then charge the device the
     /// overlap window of the three phase times, not their sum.
     fn advance(&mut self, new: Option<Admitted>) {
+        // Deliver any SEU arrivals the device's virtual clock has
+        // reached — this beat then executes on whatever configuration
+        // (clean or corrupt) the campaign left behind.
+        self.guard_inject();
+
         let mut t_in = SimDuration::ZERO;
         let mut t_exec = SimDuration::ZERO;
         let mut t_out = SimDuration::ZERO;
@@ -351,9 +401,17 @@ impl Worker {
 
         // Execute stage. The outcome was precomputed by the (possibly
         // laned) dispatch pass; the virtual execute charge is the job's
-        // own compute time either way.
-        if let Some(st) = self.staged.take() {
+        // own compute time either way. Executing on a corrupt
+        // configuration perturbs the result deterministically — the
+        // corruption model the detection ladder is measured against.
+        let mut corrupted_now = false;
+        if let Some(mut st) = self.staged.take() {
             t_exec = st.outcome.compute;
+            if self.guard.is_active() && !self.coproc.fpga().pending_upsets().is_empty() {
+                st.outcome.checksum ^= self.coproc.fpga().upset_digest();
+                st.corrupt = true;
+                corrupted_now = true;
+            }
             self.executed = Some(st);
         }
 
@@ -374,6 +432,7 @@ impl Worker {
                 reconfig: ad.reconfig,
                 switched: ad.switched,
                 queue_wait: ad.queue_wait,
+                corrupt: false,
             });
         }
 
@@ -394,10 +453,27 @@ impl Worker {
             s.device_busy[self.device_index] += window;
             s.dma_time += t_in + t_out;
             s.execute_time += t_exec;
+            if corrupted_now {
+                s.corrupt_executes += 1;
+            }
         }
+        self.vclock += window;
 
+        // Run the detection ladder; when any detector fires, every
+        // in-flight result on this device is suspect — the finishing
+        // job is retried instead of completed.
+        let dirty = self.guard_post();
         if let Some(ex) = finishing {
-            self.complete(ex, t_out);
+            if dirty {
+                {
+                    let mut s = self.shared.lock().unwrap();
+                    s.detected_corruptions += 1;
+                    s.wasted_time += ex.dma_in + ex.outcome.compute;
+                }
+                self.requeue_or_fail(ex.job);
+            } else {
+                self.complete(ex, t_out);
+            }
         }
     }
 
@@ -458,6 +534,11 @@ impl Worker {
             s.completed += 1;
             s.per_kind[Self::kind_index(spec.kind)] += 1;
             s.latency.record(timings.wall);
+            // Ground truth the policy failed to catch: a corrupt result
+            // reached the client.
+            if st.corrupt {
+                s.silent_corruptions += 1;
+            }
         }
         // A client that dropped its handle just doesn't read the result.
         let _ = st.job.reply.send(Ok(result));
@@ -466,6 +547,7 @@ impl Worker {
     // ---- serial path ---------------------------------------------------
 
     fn serve_serial(&mut self, job: QueuedJob) {
+        self.guard_inject();
         let queue_wait = job.submitted.elapsed();
         let spec = job.request.spec;
 
@@ -497,7 +579,12 @@ impl Worker {
         };
 
         // Execute, then read the result back into a pooled buffer.
-        let outcome = self.ctx.execute(&spec);
+        let mut outcome = self.ctx.execute(&spec);
+        let mut corrupt = false;
+        if self.guard.is_active() && !self.coproc.fpga().pending_upsets().is_empty() {
+            outcome.checksum ^= self.coproc.fpga().upset_digest();
+            corrupt = true;
+        }
         let mut readback = self.pool.checkout(spec.result_bytes() as usize);
         self.driver.dma_read_into(addr, &mut readback);
         drop(readback);
@@ -523,13 +610,40 @@ impl Worker {
 
         {
             let mut s = self.shared.lock().unwrap();
-            s.completed += 1;
-            s.per_kind[Self::kind_index(spec.kind)] += 1;
             s.scalar_passes += 1;
             s.dma_time += dma;
             s.execute_time += outcome.compute;
             s.device_busy[self.device_index] += timings.total_virtual();
+            if corrupt {
+                s.corrupt_executes += 1;
+            }
+        }
+        self.vclock += timings.total_virtual();
+
+        // The detection ladder runs against this job before its result
+        // is released; a detection discards the execution and retries.
+        if self.guard.is_active() {
+            self.guard.beats += 1;
+            let (dirty, _) = self.guard_scan(Some((spec, outcome.checksum)));
+            if dirty {
+                {
+                    let mut s = self.shared.lock().unwrap();
+                    s.detected_corruptions += 1;
+                    s.wasted_time += dma + outcome.compute;
+                }
+                self.requeue_or_fail(job);
+                return;
+            }
+        }
+
+        {
+            let mut s = self.shared.lock().unwrap();
+            s.completed += 1;
+            s.per_kind[Self::kind_index(spec.kind)] += 1;
             s.latency.record(timings.wall);
+            if corrupt {
+                s.silent_corruptions += 1;
+            }
         }
 
         // A client that dropped its handle just doesn't read the result.
@@ -556,16 +670,273 @@ impl Worker {
         let reconfig = self.load_task(kind)?;
         let switched = reconfig > SimDuration::ZERO;
         self.batch_len = if switched { 1 } else { self.batch_len + 1 };
+        if switched {
+            // A (partial) reconfiguration rewrites every differing and
+            // corrupted frame, healing pending upsets as a side effect;
+            // mirror the fabric tracker, which the config port cleared.
+            self.guard.pending.clear();
+        }
         let after = self.coproc.stats();
-        let mut s = self.shared.lock().unwrap();
-        s.full_loads += after.full_loads - before.full_loads;
-        s.partial_switches += after.partial_switches - before.partial_switches;
-        s.frames_written += after.frames_written - before.frames_written;
-        s.reconfig_time += after.reconfig_time - before.reconfig_time;
+        {
+            let mut s = self.shared.lock().unwrap();
+            s.full_loads += after.full_loads - before.full_loads;
+            s.partial_switches += after.partial_switches - before.partial_switches;
+            s.frames_written += after.frames_written - before.frames_written;
+            s.reconfig_time += after.reconfig_time - before.reconfig_time;
+            if charge_busy {
+                s.device_busy[self.device_index] += reconfig;
+            }
+        }
         if charge_busy {
-            s.device_busy[self.device_index] += reconfig;
+            self.vclock += reconfig;
         }
         Ok((reconfig, switched))
+    }
+
+    // ---- reliability (atlantis-guard) ----------------------------------
+
+    /// Deliver every SEU whose scheduled arrival the device's virtual
+    /// clock has passed. Arrivals are a seeded Poisson process over
+    /// virtual busy time, so a fixed seed replays the same campaign
+    /// regardless of host scheduling. An upset striking an
+    /// unconfigured device flips nothing the machine will ever read;
+    /// the draws still advance, keeping the arrival stream independent
+    /// of configuration state.
+    fn guard_inject(&mut self) {
+        if self.guard.cfg.upset_rate <= 0.0 {
+            return;
+        }
+        while let Some(t) = self.guard.next_upset {
+            if t > self.vclock {
+                break;
+            }
+            self.guard.schedule_next_upset();
+            let stealthy = self.guard.rng.chance(self.guard.cfg.stealth_fraction);
+            let dev = self.coproc.fpga().device();
+            let (frames, bytes) = (dev.config_frames as u64, dev.frame_bytes as u64);
+            let frame = self.guard.rng.below(frames) as u32;
+            let byte = self.guard.rng.below(bytes) as u32;
+            let bit = self.guard.rng.below(8) as u8;
+            let hit = if stealthy {
+                self.coproc
+                    .fpga_mut()
+                    .inject_upset_stealthy(frame, byte, bit)
+            } else {
+                self.coproc.fpga_mut().inject_upset(frame, byte, bit)
+            };
+            if hit.is_ok() {
+                self.guard.pending.push((t, stealthy));
+                let mut s = self.shared.lock().unwrap();
+                s.upsets_injected += 1;
+                if stealthy {
+                    s.upsets_stealthy += 1;
+                }
+            }
+        }
+    }
+
+    /// Post-beat reliability work for the pipelined path: run the
+    /// detection ladder; when it flags the just-executed job, requeue
+    /// it for a clean re-execution. Returns whether any detector found
+    /// corruption this beat (the caller then also discards the
+    /// finishing job — a detection invalidates every in-flight result).
+    fn guard_post(&mut self) -> bool {
+        if !self.guard.is_active() {
+            return false;
+        }
+        self.guard.beats += 1;
+        let executed = self
+            .executed
+            .as_ref()
+            .map(|ex| (ex.job.request.spec, ex.outcome.checksum));
+        let (dirty, suspect) = self.guard_scan(executed);
+        if suspect {
+            if let Some(ex) = self.executed.take() {
+                {
+                    let mut s = self.shared.lock().unwrap();
+                    s.detected_corruptions += 1;
+                    s.wasted_time += ex.dma_in + ex.outcome.compute;
+                }
+                self.requeue_or_fail(ex.job);
+            }
+        }
+        dirty
+    }
+
+    /// The detection ladder, cheapest first: (a) host re-execution
+    /// vote — the RISC half recomputes the job through the
+    /// deterministic software model, the only detector that sees
+    /// CRC-stealthy corruption without a full read-back; (b) the
+    /// configuration port's frame-CRC scan; (c) the periodic deep
+    /// scrub against the golden image. Anything found triggers a
+    /// targeted frame repair, escalating to a full scrub when a
+    /// stealthy remainder survives, and advances the quarantine
+    /// counter. Every check and repair is charged to the device in
+    /// virtual time. Returns `(dirty, suspect)`: whether the device
+    /// was found corrupted, and whether the job in `executed` is
+    /// implicated.
+    fn guard_scan(&mut self, executed: Option<(JobSpec, u64)>) -> (bool, bool) {
+        let cfg = self.guard.cfg;
+        let mut check_cost = SimDuration::ZERO;
+        let mut scrub_cost = SimDuration::ZERO;
+        let mut dirty = false;
+        let mut suspect = false;
+        let mut checked = false;
+        let mut scrubs = 0u64;
+        let mut repairs = 0u64;
+        let mut frames = 0u64;
+
+        // (a) Re-execution vote.
+        if let Some((spec, checksum)) = executed {
+            if cfg.vote_every > 0 {
+                self.guard.jobs_since_vote += 1;
+                if self.guard.jobs_since_vote >= cfg.vote_every {
+                    self.guard.jobs_since_vote = 0;
+                    checked = true;
+                    let (ok, cost) = self.ctx.self_check(&spec, checksum);
+                    check_cost += cost;
+                    if !ok {
+                        dirty = true;
+                        suspect = true;
+                    }
+                }
+            }
+        }
+
+        // (b) Frame-CRC scan (fails harmlessly on an unconfigured
+        // device — there is nothing to corrupt there either).
+        if cfg.crc_every > 0 && self.guard.beats.is_multiple_of(cfg.crc_every) {
+            if let Ok(c) = self.coproc.crc_check() {
+                checked = true;
+                check_cost += c.time;
+                if c.stale_frames > 0 {
+                    dirty = true;
+                    suspect = executed.is_some();
+                }
+            }
+        }
+
+        // (c) Periodic deep scrub.
+        if let Some(t) = self.guard.next_scrub {
+            if self.vclock + check_cost >= t {
+                self.guard.next_scrub = Some(self.vclock + check_cost + cfg.scrub_interval);
+                if let Ok(r) = self.coproc.scrub() {
+                    checked = true;
+                    scrub_cost += r.time;
+                    scrubs += 1;
+                    frames += r.frames_repaired as u64;
+                    if r.frames_repaired > 0 {
+                        dirty = true;
+                        suspect = executed.is_some();
+                    }
+                }
+            }
+        }
+
+        // Repair: rewrite the frames the CRC scan can identify; a
+        // stealthy remainder needs the full golden-image scrub.
+        if dirty {
+            if !self.coproc.fpga().pending_upsets().is_empty() {
+                if let Ok(r) = self.coproc.repair_upsets() {
+                    scrub_cost += r.time;
+                    repairs += 1;
+                    frames += r.frames_repaired as u64;
+                }
+            }
+            if !self.coproc.fpga().pending_upsets().is_empty() {
+                if let Ok(r) = self.coproc.scrub() {
+                    scrub_cost += r.time;
+                    scrubs += 1;
+                    frames += r.frames_repaired as u64;
+                }
+            }
+            self.guard.consecutive_dirty += 1;
+        } else if checked {
+            self.guard.consecutive_dirty = 0;
+        }
+
+        // Detection-latency accounting: after the repairs above the
+        // fabric tracker is clean, so everything the guard knew was
+        // pending has just been detected and repaired.
+        let now = self.vclock + check_cost + scrub_cost;
+        let mut settled = 0u64;
+        let mut latency = SimDuration::ZERO;
+        if dirty && self.coproc.fpga().pending_upsets().is_empty() {
+            for (arrival, _) in self.guard.pending.drain(..) {
+                latency += now.saturating_sub(arrival);
+                settled += 1;
+            }
+        }
+
+        // Quarantine: repeated dirty events mean the board keeps
+        // re-corrupting faster than it can serve — stop feeding it
+        // work. Never the last active device, and not during shutdown
+        // (the drain must finish somewhere).
+        let wants_quarantine = cfg.quarantine_after > 0
+            && self.guard.consecutive_dirty >= cfg.quarantine_after
+            && !self.queue.is_closed();
+
+        self.vclock = now;
+        {
+            let mut s = self.shared.lock().unwrap();
+            s.check_time += check_cost;
+            s.scrub_time += scrub_cost;
+            s.guard_scrubs += scrubs;
+            s.guard_repairs += repairs;
+            s.device_scrub_frames[self.device_index] += frames;
+            s.device_busy[self.device_index] += check_cost + scrub_cost;
+            s.detection_latency += latency;
+            s.detected_upsets += settled;
+            if wants_quarantine && s.active_workers > 1 {
+                s.active_workers -= 1;
+                s.quarantined_devices += 1;
+                self.guard.quarantined = true;
+                self.guard.consecutive_dirty = 0;
+            }
+        }
+        (dirty, suspect)
+    }
+
+    /// Hand a suspect job back for a clean re-execution, honouring the
+    /// bounded retry budget, or answer it with
+    /// [`RuntimeError::Faulted`] when the budget is exhausted. The
+    /// configured backoff is charged to this device.
+    fn requeue_or_fail(&mut self, mut job: QueuedJob) {
+        job.retries += 1;
+        if job.retries > self.guard.cfg.max_retries {
+            {
+                let mut s = self.shared.lock().unwrap();
+                s.failed += 1;
+                s.faulted += 1;
+            }
+            let _ = job.reply.send(Err(RuntimeError::Faulted {
+                retries: job.retries - 1,
+            }));
+            return;
+        }
+        let backoff = self.guard.cfg.retry_backoff;
+        self.vclock += backoff;
+        {
+            let mut s = self.shared.lock().unwrap();
+            s.retries += 1;
+            s.device_busy[self.device_index] += backoff;
+            s.wasted_time += backoff;
+        }
+        self.queue.requeue(job);
+    }
+
+    /// Quarantine exit: hand every in-flight job back to the queue so
+    /// healthy devices serve it. In-flight work on a board that just
+    /// failed repeated integrity checks is suspect by definition.
+    fn evacuate(&mut self) {
+        let jobs = [
+            self.executed.take().map(|e| e.job),
+            self.staged.take().map(|s| s.job),
+            self.carry.take(),
+        ];
+        for job in jobs.into_iter().flatten() {
+            self.requeue_or_fail(job);
+        }
     }
 
     fn kind_index(kind: JobKind) -> usize {

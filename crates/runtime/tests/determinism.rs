@@ -11,7 +11,7 @@
 
 use atlantis_apps::jobs::JobSpec;
 use atlantis_core::AtlantisSystem;
-use atlantis_runtime::{JobRequest, Runtime, RuntimeConfig, RuntimeStats};
+use atlantis_runtime::{GuardConfig, JobRequest, Runtime, RuntimeConfig, RuntimeStats};
 
 /// Everything in [`RuntimeStats`] except wall time and the latency
 /// histogram, Debug-formatted for a byte-exact comparison.
@@ -47,6 +47,27 @@ fn fingerprint(s: &RuntimeStats) -> String {
                 s.cache_hits,
                 s.cache_misses,
             ),
+            (
+                s.upsets_injected,
+                s.upsets_stealthy,
+                s.corrupt_executes,
+                s.detected_corruptions,
+                s.silent_corruptions,
+                s.guard_scrubs,
+                s.guard_repairs,
+                s.scrub_time,
+                s.check_time,
+                s.wasted_time,
+                (
+                    s.retries,
+                    s.faulted,
+                    s.quarantined_devices,
+                    s.detection_latency,
+                    s.detected_upsets,
+                    &s.device_scrub_frames,
+                    s.busy_total,
+                ),
+            ),
         )
     )
 }
@@ -72,6 +93,49 @@ fn closed_loop_stats_are_byte_identical_across_runs() {
         let (sums_b, fp_b) = run_closed_loop(RuntimeConfig::default(), seed, 24);
         assert_eq!(sums_a, sums_b, "seed {seed}: checksums diverged");
         assert_eq!(fp_a, fp_b, "seed {seed}: stats fingerprint diverged");
+    }
+}
+
+/// Closed-loop serve under fault injection: jobs may honestly fail with
+/// `Faulted` after exhausting retries; record `None` for those.
+fn run_fault_campaign(config: RuntimeConfig, jobs: u64) -> (Vec<Option<u64>>, String) {
+    let system = AtlantisSystem::builder().with_acbs(1).build();
+    let rt = Runtime::serve(system, config).unwrap();
+    let mut checksums = Vec::with_capacity(jobs as usize);
+    for i in 0..jobs {
+        let spec = JobSpec::mixed(777_000 + i);
+        let handle = rt.submit(JobRequest::new(0, spec)).unwrap();
+        checksums.push(handle.wait().ok().map(|r| r.checksum));
+    }
+    let stats = rt.shutdown();
+    assert!(
+        stats.upsets_injected > 0,
+        "a campaign that injects nothing guards nothing"
+    );
+    (checksums, fingerprint(&stats))
+}
+
+#[test]
+fn fixed_seed_fault_campaigns_are_byte_identical_across_runs() {
+    // Upset arrivals are a seeded Poisson process over the device's
+    // *virtual* clock, so a closed-loop run replays the same campaign —
+    // injections, detections, retries, scrub times — byte for byte.
+    let guard = GuardConfig {
+        upset_rate: 3_000.0,
+        stealth_fraction: 0.25,
+        upset_seed: 9,
+        vote_every: 4,
+        ..GuardConfig::protected()
+    };
+    for (name, base) in [
+        ("pipelined", RuntimeConfig::default()),
+        ("serial", RuntimeConfig::serial()),
+    ] {
+        let config = RuntimeConfig { guard, ..base };
+        let (sums_a, fp_a) = run_fault_campaign(config, 20);
+        let (sums_b, fp_b) = run_fault_campaign(config, 20);
+        assert_eq!(sums_a, sums_b, "{name}: campaign checksums diverged");
+        assert_eq!(fp_a, fp_b, "{name}: campaign stats fingerprint diverged");
     }
 }
 

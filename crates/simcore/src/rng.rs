@@ -64,6 +64,20 @@ impl WorkloadRng {
         (0..12).map(|_| self.unit()).sum::<f64>() - 6.0
     }
 
+    /// Exponentially-distributed inter-arrival gap, in seconds, for a
+    /// Poisson process of `rate` events per second — the arrival model
+    /// of single-event upsets in a radiation environment. Inverse-CDF
+    /// sampling (`−ln(1−U)/λ`), so the stream is as reproducible as
+    /// every other draw. Panics if `rate` is not positive and finite.
+    pub fn exp_gap(&mut self, rate: f64) -> f64 {
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "exp_gap needs a positive, finite rate"
+        );
+        // `unit()` is in [0, 1); 1−U is in (0, 1], so the log is finite.
+        -(1.0 - self.unit()).ln() / rate
+    }
+
     /// Fill a byte buffer with pseudorandom data (used for DMA payloads).
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
         self.inner.fill(buf);
@@ -138,6 +152,31 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn exp_gap_has_the_right_mean_and_is_deterministic() {
+        let mut r = WorkloadRng::seed_from_u64(21);
+        let rate = 250.0;
+        let n = 20_000;
+        let gaps: Vec<f64> = (0..n).map(|_| r.exp_gap(rate)).collect();
+        assert!(gaps.iter().all(|&g| g >= 0.0 && g.is_finite()));
+        let mean = gaps.iter().sum::<f64>() / n as f64;
+        // Mean of Exp(λ) is 1/λ; 20k samples pin it within a few percent.
+        assert!(
+            (mean - 1.0 / rate).abs() < 0.05 / rate,
+            "mean {mean} vs {}",
+            1.0 / rate
+        );
+        let mut r2 = WorkloadRng::seed_from_u64(21);
+        let replay: Vec<f64> = (0..n).map(|_| r2.exp_gap(rate)).collect();
+        assert_eq!(gaps, replay, "same seed, same arrival process");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive, finite rate")]
+    fn exp_gap_rejects_zero_rate() {
+        WorkloadRng::seed_from_u64(0).exp_gap(0.0);
     }
 
     #[test]

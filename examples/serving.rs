@@ -15,13 +15,23 @@
 //! (DESIGN.md §10) — virtual time is unchanged, only host wall clock
 //! improves; pass `--lanes 1` to disable lane batching.
 //!
+//! Pass `--upset-rate R` to bombard the boards with `R` single event
+//! upsets per device-second of virtual busy time while they serve
+//! (DESIGN.md §11): the runtime switches to the protected posture —
+//! per-beat frame-CRC scans, periodic deep scrubs, bounded retries,
+//! quarantine — and the final stats show the detection and repair
+//! ledger. `--scrub-interval MS` tunes the deep-scrub period.
+//!
 //! Run with: `cargo run --release --example serving` (pipelined, 8 lanes)
 //!       or: `cargo run --release --example serving -- --serial`
 //!       or: `cargo run --release --example serving -- --lanes 16`
+//!       or: `cargo run --release --example serving -- --upset-rate 2000`
+//!       or: `cargo run --release --example serving -- --upset-rate 2000 --scrub-interval 100`
 
 use atlantis::apps::jobs::JobSpec;
 use atlantis::core::AtlantisSystem;
-use atlantis::runtime::{JobRequest, Priority, Runtime, RuntimeConfig, RuntimeError};
+use atlantis::runtime::{GuardConfig, JobRequest, Priority, Runtime, RuntimeConfig, RuntimeError};
+use atlantis::simcore::SimDuration;
 use std::sync::Arc;
 
 fn submit_with_backoff(rt: &Runtime, req: JobRequest) -> atlantis::runtime::JobHandle {
@@ -34,13 +44,27 @@ fn submit_with_backoff(rt: &Runtime, req: JobRequest) -> atlantis::runtime::JobH
     }
 }
 
-fn wait_all(handles: Vec<atlantis::runtime::JobHandle>) -> usize {
-    let mut served = 0;
+/// Returns `(served, faulted)` — under fault injection a job may
+/// honestly fail after exhausting its retry budget; it never lies.
+fn wait_all(handles: Vec<atlantis::runtime::JobHandle>) -> (usize, usize) {
+    let (mut served, mut faulted) = (0, 0);
     for h in handles {
-        h.wait().expect("job completes");
-        served += 1;
+        match h.wait() {
+            Ok(_) => served += 1,
+            Err(RuntimeError::Faulted { .. }) => faulted += 1,
+            Err(e) => panic!("job failed unexpectedly: {e}"),
+        }
     }
-    served
+    (served, faulted)
+}
+
+/// Parse `--flag value` as an `f64`.
+fn flag_value(args: &[String], flag: &str) -> Option<f64> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{flag} takes a number"))
+    })
 }
 
 fn main() {
@@ -59,14 +83,35 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .expect("--lanes takes a positive integer");
     }
+    // The reliability knobs: any of them switches the runtime to the
+    // protected posture with the requested overrides.
+    let upset_rate = flag_value(&args, "--upset-rate");
+    let scrub_ms = flag_value(&args, "--scrub-interval");
+    if upset_rate.is_some() || scrub_ms.is_some() {
+        config.guard = GuardConfig {
+            upset_rate: upset_rate.unwrap_or(0.0),
+            ..GuardConfig::protected()
+        };
+        if let Some(ms) = scrub_ms {
+            config.guard.scrub_interval = SimDuration::from_secs_f64(ms / 1e3);
+        }
+    }
     let system = AtlantisSystem::builder().with_acbs(4).build();
     let rt = Arc::new(Runtime::serve(system, config).expect("system has ACBs to serve on"));
     println!(
-        "serving on {} ACBs, queue capacity {}, pipeline {}, lanes {}\n",
+        "serving on {} ACBs, queue capacity {}, pipeline {}, lanes {}{}\n",
         rt.devices(),
         rt.queue_capacity(),
         if config.pipeline { "on" } else { "off" },
-        config.lanes
+        config.lanes,
+        if config.guard.is_active() {
+            format!(
+                ", guard on ({}/s upsets, scrub every {})",
+                config.guard.upset_rate, config.guard.scrub_interval
+            )
+        } else {
+            String::new()
+        }
     );
 
     // Tenant 1: the online trigger — many small TRT events, high priority.
@@ -116,7 +161,13 @@ fn main() {
         })
     };
 
-    let served = trigger.join().unwrap() + renderer.join().unwrap() + batch.join().unwrap();
+    let tenants = [
+        trigger.join().unwrap(),
+        renderer.join().unwrap(),
+        batch.join().unwrap(),
+    ];
+    let served: usize = tenants.iter().map(|t| t.0).sum();
+    let faulted: usize = tenants.iter().map(|t| t.1).sum();
 
     let stats = Arc::into_inner(rt).expect("all clients joined").shutdown();
     println!("served {served} jobs across 3 tenants");
@@ -169,6 +220,30 @@ fn main() {
             stats.laned_jobs,
             stats.lane_occupancy(),
             stats.scalar_passes
+        );
+    }
+    if stats.upsets_injected > 0 || stats.guard_scrubs + stats.guard_repairs > 0 {
+        println!(
+            "  guard: {} upsets injected ({} stealthy), {} detected, {} SILENT",
+            stats.upsets_injected,
+            stats.upsets_stealthy,
+            stats.detected_corruptions,
+            stats.silent_corruptions
+        );
+        println!(
+            "  repair: {} deep scrubs + {} targeted repairs, {} retries, {} faulted jobs, {} boards quarantined",
+            stats.guard_scrubs,
+            stats.guard_repairs,
+            stats.retries,
+            faulted,
+            stats.quarantined_devices
+        );
+        println!(
+            "  reliability: {:.1}% available, {:.1}% scrub overhead, MTBF {:.1} ms, detection latency {:.0} µs",
+            stats.availability() * 100.0,
+            stats.scrub_overhead() * 100.0,
+            stats.mtbf() * 1e3,
+            stats.mean_detection_latency_us()
         );
     }
 }

@@ -26,6 +26,7 @@
 //! | [`apps`] | TRT trigger, volume rendering, 2-D imaging, N-body |
 //! | [`atlantis_core`] | Full-system assembly and coprocessor API |
 //! | [`runtime`] | Multi-tenant job scheduler serving concurrent workloads |
+//! | [`guard`] | Fault-injection campaigns over the self-healing runtime |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +58,7 @@ pub use atlantis_board as board;
 pub use atlantis_chdl as chdl;
 pub use atlantis_core as core;
 pub use atlantis_fabric as fabric;
+pub use atlantis_guard as guard;
 pub use atlantis_mem as mem;
 pub use atlantis_pci as pci;
 pub use atlantis_runtime as runtime;
