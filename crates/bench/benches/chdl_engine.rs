@@ -83,12 +83,27 @@ fn main() -> std::process::ExitCode {
     // Self-measurement for the committed JSON report.
     let cycles: u64 = if test_mode { 2_000 } else { 100_000 };
     let d = trt_scale_design();
-    let (ops, levels) = Sim::new(&d).compiled_stats().unwrap();
+    let probe = Sim::new(&d);
+    let (ops, levels) = probe.compiled_stats().unwrap();
+    let stats = probe.engine_stats().unwrap().clone();
+    drop(probe);
     let (interp_ns, interp_out) = measure(&mut Sim::with_mode(&d, ExecMode::Interpreted), cycles);
     let (comp_ns, comp_out) = measure(&mut Sim::new(&d), cycles);
     let speedup = interp_ns / comp_ns;
 
     println!("\nTRT-scale netlist: {ops} micro-ops, {levels} logic levels");
+    println!(
+        "fusion: {} lowered -> {} final ({} superops, {} imm rewrites, {} folded, {} partitions)",
+        stats.ops_lowered,
+        stats.ops_final,
+        stats.ops_fused,
+        stats.imm_rewrites,
+        stats.consts_folded,
+        stats.partitions
+    );
+    for (name, count) in &stats.opcodes {
+        println!("  {name:>10}: {count}");
+    }
     println!("interpreter : {interp_ns:>8.1} ns/cycle");
     println!("compiled    : {comp_ns:>8.1} ns/cycle  ({speedup:.2}x)");
 
@@ -98,6 +113,30 @@ fn main() -> std::process::ExitCode {
         interp_out == comp_out,
     );
     c.check_band("micro-ops in the lowered stream", ops as f64, 100.0, 1e9);
+    c.check_band(
+        "micro-ops lowered before fusion",
+        stats.ops_lowered as f64,
+        100.0,
+        1e9,
+    );
+    c.check_band(
+        "micro-ops after fusion",
+        stats.ops_final as f64,
+        1.0,
+        stats.ops_lowered as f64,
+    );
+    c.check_band(
+        "superops formed by fusion",
+        stats.ops_fused as f64,
+        1.0,
+        1e9,
+    );
+    c.check_band(
+        "partitions planned for this netlist",
+        stats.partitions as f64,
+        1.0,
+        64.0,
+    );
     c.check_band("interpreter ns/cycle", interp_ns, 0.0, 1e12);
     c.check_band("compiled ns/cycle", comp_ns, 0.0, 1e12);
     c.check_band(

@@ -15,6 +15,20 @@
 //! common case in the TRT/DAQ pipelines — one port toggling per cycle —
 //! touches a handful of ops instead of the whole graph.
 //!
+//! Since PR 6 the lowered stream is additionally run through a **peephole +
+//! superop fusion pass** (`fuse` in [`EngineConfig`]): constant inputs fold
+//! into `op_imm` immediates, single-consumer producers are absorbed into
+//! their consumer as fused superops (`NAND`, `AND3`, `MUX_EQI`, `REPACK`,
+//! …) executed as one dispatch, and unconsumed dsts are elided. Large
+//! netlists can further opt into **adaptive level-partitioned evaluation**
+//! ([`ParallelEval`]): when a level's dirty population is dense the engine
+//! switches from per-op queue bookkeeping to straight-line sweeps of whole
+//! level ranges, optionally split into contiguous partitions fanned out
+//! across the vendored rayon worker pool (compute phase reads shared
+//! pre-level values and writes per-partition buffers; commit phase writes
+//! back serially in ascending op order, so results are bit-identical and
+//! deterministic regardless of worker count).
+//!
 //! The same machinery makes clock edges incremental: committing a register
 //! or a memory write marks only the consuming cone dirty, so a design where
 //! a fraction of the state toggles per cycle (the TRT histogrammer: one
@@ -26,16 +40,19 @@
 //! a steady-state capacity that is reused across edges.
 //!
 //! The tree-walking interpreter in `sim.rs` is retained as the reference
-//! oracle; `tests/engine_equiv.rs` co-simulates both on random netlists.
+//! oracle (it shares the lowering and scalar-execution helpers below, so
+//! every opcode has a single source of truth); `tests/engine_equiv.rs`
+//! co-simulates both on random netlists.
 
 use crate::netlist::{node_width, BinOp, Node, UnOp, WritePortDecl};
 use crate::signal::mask;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 
 /// Operand slot meaning "absent" (e.g. a register without an enable).
 const NONE: u32 = u32::MAX;
 
 // Opcodes of the micro-op stream. One byte each; the dispatch in
-// `exec_op` compiles to a dense jump table.
+// `exec_scalar` compiles to a dense jump table.
 const OP_NOT: u8 = 0;
 const OP_RED_AND: u8 = 1;
 const OP_RED_OR: u8 = 2;
@@ -56,6 +73,476 @@ const OP_MUX: u8 = 16;
 const OP_SLICE: u8 = 17;
 const OP_CONCAT: u8 = 18;
 const OP_READ_ASYNC: u8 = 19;
+// ---- fused superops (emitted only by the fusion pass) ----
+/// `!(a & b) & imm`
+const OP_NAND: u8 = 20;
+/// `!(a | b) & imm`
+const OP_NOR: u8 = 21;
+/// `!(a ^ b) & imm`
+const OP_XNOR: u8 = 22;
+/// `a & !b & imm` (imm is the absorbed NOT's mask)
+const OP_ANDN: u8 = 23;
+/// `a & b & c`
+const OP_AND3: u8 = 24;
+/// `a | b | c`
+const OP_OR3: u8 = 25;
+/// `a ^ b ^ c`
+const OP_XOR3: u8 = 26;
+/// `a & imm`
+const OP_AND_IMM: u8 = 27;
+/// `a | imm`
+const OP_OR_IMM: u8 = 28;
+/// `a ^ imm`
+const OP_XOR_IMM: u8 = 29;
+/// `(a + imm) & mask(c)` — subtract-constant folds in via two's complement
+const OP_ADD_IMM: u8 = 30;
+/// `a == imm`
+const OP_EQ_IMM: u8 = 31;
+/// `a != imm`
+const OP_NE_IMM: u8 = 32;
+/// `if a == imm { b } else { c }` — compare-and-select
+const OP_MUX_EQI: u8 = 33;
+/// `(a << c) & imm`
+const OP_SHL_IMM: u8 = 34;
+/// `((a>>l1 & mask(w1)) << w2) | (a>>l2 & mask(w2))` with `l1|l2<<8|w1<<16|w2<<24`
+/// packed into `op_c` — a SLICE+CONCAT re-pack in one dispatch.
+const OP_REPACK: u8 = 35;
+/// `if (a >> imm) & 1 { b } else { c }` — a mux whose select was a 1-bit
+/// slice (the shape every balanced select tree is built from).
+const OP_MUX_BIT: u8 = 36;
+/// `a & ((b >> c) & imm)` — an AND with an absorbed bit-extract on one side.
+const OP_ANDSHR: u8 = 37;
+/// `(((a << s1) | b) << s2) | c` with `s1|s2<<8` packed into `imm` — two
+/// CONCATs of a left-fold `cat` chain in one dispatch.
+const OP_CAT3: u8 = 38;
+/// `if a != 0 { (b + imm) & mask(c) } else { b }` — a guarded counter
+/// increment (mux whose taken arm adds a constant to the other arm).
+const OP_INC_IF: u8 = 39;
+/// `vals[sel_tab[c + ((a >> b) & imm)]]` — a complete balanced `MUX_BIT`
+/// select tree collapsed into one table-lookup dispatch. `b` is the
+/// selector shift (0 for trees bottoming out at bit 0), `c` indexes the
+/// first of `imm + 1` leaf node ids in the engine's `sel_tab` side table.
+/// Never reaches `exec_scalar`: every execution path gathers it specially.
+const OP_SELECT: u8 = 40;
+
+/// Mnemonic for an opcode (superop histograms, diagnostics).
+fn op_name(code: u8) -> &'static str {
+    match code {
+        OP_NOT => "not",
+        OP_RED_AND => "red_and",
+        OP_RED_OR => "red_or",
+        OP_RED_XOR => "red_xor",
+        OP_AND => "and",
+        OP_OR => "or",
+        OP_XOR => "xor",
+        OP_ADD => "add",
+        OP_SUB => "sub",
+        OP_MUL => "mul",
+        OP_EQ => "eq",
+        OP_NE => "ne",
+        OP_LT => "lt",
+        OP_LE => "le",
+        OP_SHL => "shl",
+        OP_SHR => "shr",
+        OP_MUX => "mux",
+        OP_SLICE => "slice",
+        OP_CONCAT => "concat",
+        OP_READ_ASYNC => "read_async",
+        OP_NAND => "nand",
+        OP_NOR => "nor",
+        OP_XNOR => "xnor",
+        OP_ANDN => "andn",
+        OP_AND3 => "and3",
+        OP_OR3 => "or3",
+        OP_XOR3 => "xor3",
+        OP_AND_IMM => "and_imm",
+        OP_OR_IMM => "or_imm",
+        OP_XOR_IMM => "xor_imm",
+        OP_ADD_IMM => "add_imm",
+        OP_EQ_IMM => "eq_imm",
+        OP_NE_IMM => "ne_imm",
+        OP_MUX_EQI => "mux_eqi",
+        OP_SHL_IMM => "shl_imm",
+        OP_REPACK => "repack",
+        OP_MUX_BIT => "mux_bit",
+        OP_ANDSHR => "andshr",
+        OP_CAT3 => "cat3",
+        OP_INC_IF => "inc_if",
+        OP_SELECT => "select",
+        _ => "invalid",
+    }
+}
+
+#[inline(always)]
+fn mask64(w: u32) -> u64 {
+    mask(w as u8)
+}
+
+/// Unpack an `OP_REPACK` descriptor: `(l1, l2, w2, m1, m2)`.
+#[inline(always)]
+fn repack_parts(c: u32) -> (u32, u32, u32, u64, u64) {
+    let (l1, l2) = (c & 0xff, (c >> 8) & 0xff);
+    let (w1, w2) = ((c >> 16) & 0xff, c >> 24);
+    (l1, l2, w2, mask64(w1), mask64(w2))
+}
+
+// ---- public configuration & statistics -----------------------------------
+
+/// Parallel / adaptive evaluation policy for the compiled engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelEval {
+    /// Always the serial per-op incremental path (the PR 1 behaviour).
+    Off,
+    /// Adaptive (the default): netlists below an op-count threshold keep
+    /// the serial fast path untouched; larger ones switch to dense
+    /// level-range sweeps when dirty populations are dense, partitioned
+    /// across available worker threads.
+    #[default]
+    Auto,
+    /// Adaptive with exactly this many partitions per level regardless of
+    /// netlist size (useful for tests and benchmarks).
+    Force(usize),
+}
+
+/// Knobs controlling how a design is lowered onto the compiled engine.
+///
+/// The default (`fuse` on, [`ParallelEval::Auto`]) is what `Sim::new`
+/// uses; `Sim::with_config` / `Fpga`-level integrators can override, and
+/// [`EngineConfig::set_global`] changes the process-wide default consulted
+/// by `Sim::new` (the `examples/serving.rs --partitioned` knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Run the peephole + superop fusion pass over the lowered stream.
+    pub fuse: bool,
+    /// Partitioned / adaptive evaluation policy.
+    pub parallel: ParallelEval,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            fuse: true,
+            parallel: ParallelEval::Auto,
+        }
+    }
+}
+
+const PAR_OFF: u8 = 0;
+const PAR_AUTO: u8 = 1;
+const PAR_FORCE: u8 = 2;
+static GLOBAL_FUSE: AtomicBool = AtomicBool::new(true);
+static GLOBAL_PAR: AtomicU8 = AtomicU8::new(PAR_AUTO);
+static GLOBAL_PARTS: AtomicUsize = AtomicUsize::new(2);
+
+impl EngineConfig {
+    /// Fusion on, parallel evaluation off — the serial fused engine.
+    pub fn serial() -> Self {
+        EngineConfig {
+            fuse: true,
+            parallel: ParallelEval::Off,
+        }
+    }
+
+    /// Fusion and parallel evaluation both off — the raw PR 1 lowering
+    /// (benchmark baseline).
+    pub fn unfused() -> Self {
+        EngineConfig {
+            fuse: false,
+            parallel: ParallelEval::Off,
+        }
+    }
+
+    /// Set the process-wide default consulted by `Sim::new` for sims
+    /// created afterwards. Existing sims are unaffected.
+    pub fn set_global(cfg: EngineConfig) {
+        GLOBAL_FUSE.store(cfg.fuse, Ordering::Relaxed);
+        let (mode, parts) = match cfg.parallel {
+            ParallelEval::Off => (PAR_OFF, 0),
+            ParallelEval::Auto => (PAR_AUTO, 0),
+            ParallelEval::Force(p) => (PAR_FORCE, p),
+        };
+        GLOBAL_PARTS.store(parts, Ordering::Relaxed);
+        GLOBAL_PAR.store(mode, Ordering::Relaxed);
+    }
+
+    /// The current process-wide default (see [`EngineConfig::set_global`]).
+    pub fn global() -> EngineConfig {
+        let parallel = match GLOBAL_PAR.load(Ordering::Relaxed) {
+            PAR_OFF => ParallelEval::Off,
+            PAR_FORCE => ParallelEval::Force(GLOBAL_PARTS.load(Ordering::Relaxed).max(1)),
+            _ => ParallelEval::Auto,
+        };
+        EngineConfig {
+            fuse: GLOBAL_FUSE.load(Ordering::Relaxed),
+            parallel,
+        }
+    }
+}
+
+/// Stream statistics reported by the compiled engine after lowering —
+/// exposed through `Sim::engine_stats` and tracked in the bench artifacts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Micro-ops lowered from the netlist before any transformation.
+    pub ops_lowered: usize,
+    /// Micro-ops in the final stream after fusion / elision.
+    pub ops_final: usize,
+    /// Ops whose inputs were all compile-time constants, folded away.
+    pub consts_folded: usize,
+    /// Ops rewritten in place to an immediate form (`x & imm`, `a + imm`…).
+    pub imm_rewrites: usize,
+    /// Producer ops absorbed into a consuming superop.
+    pub ops_fused: usize,
+    /// Dead ops elided (no surviving consumer, not externally referenced).
+    pub ops_elided: usize,
+    /// Logic levels in the final stream.
+    pub levels: usize,
+    /// Partitions per level used by partitioned evaluation (1 = serial).
+    pub partitions: usize,
+    /// Final-stream population of each fused superop mnemonic.
+    pub superops: Vec<(&'static str, usize)>,
+    /// Full final-stream opcode histogram (superops and plain ops alike),
+    /// sorted by descending count.
+    pub opcodes: Vec<(&'static str, usize)>,
+}
+
+// ---- shared lowering & scalar execution ----------------------------------
+//
+// These two helpers are the single source of truth for opcode semantics:
+// the compiled engine, the tree-walking interpreter in `sim.rs`, the
+// on-demand observability path for fused-away nodes, and the constant
+// folder in `opt.rs` all lower and execute through them.
+
+/// One lowered micro-op, before it is appended to the stream.
+pub(crate) struct LoweredOp {
+    pub code: u8,
+    pub a: u32,
+    pub b: u32,
+    pub c: u32,
+    pub imm: u64,
+}
+
+/// Lower one combinational node. Returns `None` for value sources (inputs,
+/// constants) and state nodes (registers, sync read ports), which emit no
+/// op.
+pub(crate) fn lower_op(nodes: &[Node], idx: u32) -> Option<LoweredOp> {
+    let (code, a, b, c, imm) = match &nodes[idx as usize] {
+        Node::Unop { op, a, width } => {
+            let aw = node_width(&nodes[*a as usize]);
+            match op {
+                UnOp::Not => (OP_NOT, *a, NONE, NONE, mask(*width)),
+                // RED_AND compares against the operand's all-ones value.
+                UnOp::ReduceAnd => (OP_RED_AND, *a, NONE, NONE, mask(aw)),
+                UnOp::ReduceOr => (OP_RED_OR, *a, NONE, NONE, 0),
+                UnOp::ReduceXor => (OP_RED_XOR, *a, NONE, NONE, 0),
+            }
+        }
+        Node::Binop { op, a, b, width } => {
+            let m = mask(*width);
+            let aw = node_width(&nodes[*a as usize]) as u32;
+            match op {
+                BinOp::And => (OP_AND, *a, *b, NONE, 0),
+                BinOp::Or => (OP_OR, *a, *b, NONE, 0),
+                BinOp::Xor => (OP_XOR, *a, *b, NONE, 0),
+                BinOp::Add => (OP_ADD, *a, *b, NONE, m),
+                BinOp::Sub => (OP_SUB, *a, *b, NONE, m),
+                BinOp::Mul => (OP_MUL, *a, *b, NONE, m),
+                BinOp::Eq => (OP_EQ, *a, *b, NONE, 0),
+                BinOp::Ne => (OP_NE, *a, *b, NONE, 0),
+                BinOp::Lt => (OP_LT, *a, *b, NONE, 0),
+                BinOp::Le => (OP_LE, *a, *b, NONE, 0),
+                // Shifts also carry the operand width for the ≥width check.
+                BinOp::Shl => (OP_SHL, *a, *b, aw, m),
+                BinOp::Shr => (OP_SHR, *a, *b, aw, 0),
+            }
+        }
+        Node::Mux { sel, t, f, .. } => (OP_MUX, *sel, *t, *f, 0),
+        Node::Slice { a, lo, width } => (OP_SLICE, *a, NONE, *lo as u32, mask(*width)),
+        Node::Concat { hi, lo, .. } => {
+            let lo_w = node_width(&nodes[*lo as usize]) as u32;
+            (OP_CONCAT, *hi, *lo, lo_w, 0)
+        }
+        Node::ReadPort {
+            mem,
+            addr,
+            sync: false,
+            ..
+        } => (OP_READ_ASYNC, *addr, NONE, *mem, 0),
+        Node::Input { .. }
+        | Node::Const { .. }
+        | Node::Reg { .. }
+        | Node::ReadPort { sync: true, .. } => return None,
+    };
+    Some(LoweredOp { code, a, b, c, imm })
+}
+
+/// Execute one micro-op given its operand fetch and memory read closures.
+/// `val` is called once per value operand actually consumed; `mem` is
+/// called as `mem(mem_index, address)` (out-of-range reads return 0 at the
+/// caller's discretion).
+#[inline(always)]
+pub(crate) fn exec_scalar(
+    code: u8,
+    a: u32,
+    b: u32,
+    c: u32,
+    imm: u64,
+    val: &mut impl FnMut(u32) -> u64,
+    mem: &mut impl FnMut(u32, u64) -> u64,
+) -> u64 {
+    match code {
+        OP_NOT => !val(a) & imm,
+        OP_RED_AND => u64::from(val(a) == imm),
+        OP_RED_OR => u64::from(val(a) != 0),
+        OP_RED_XOR => u64::from(val(a).count_ones() & 1 == 1),
+        OP_AND => val(a) & val(b),
+        OP_OR => val(a) | val(b),
+        OP_XOR => val(a) ^ val(b),
+        OP_ADD => val(a).wrapping_add(val(b)) & imm,
+        OP_SUB => val(a).wrapping_sub(val(b)) & imm,
+        OP_MUL => val(a).wrapping_mul(val(b)) & imm,
+        OP_EQ => u64::from(val(a) == val(b)),
+        OP_NE => u64::from(val(a) != val(b)),
+        OP_LT => u64::from(val(a) < val(b)),
+        OP_LE => u64::from(val(a) <= val(b)),
+        OP_SHL => {
+            let sh = val(b);
+            if sh >= c as u64 {
+                0
+            } else {
+                (val(a) << sh) & imm
+            }
+        }
+        OP_SHR => {
+            let sh = val(b);
+            if sh >= c as u64 {
+                0
+            } else {
+                val(a) >> sh
+            }
+        }
+        OP_MUX => {
+            if val(a) != 0 {
+                val(b)
+            } else {
+                val(c)
+            }
+        }
+        OP_SLICE => (val(a) >> c) & imm,
+        OP_CONCAT => (val(a) << c) | val(b),
+        OP_READ_ASYNC => {
+            let addr = val(a);
+            mem(c, addr)
+        }
+        OP_NAND => !(val(a) & val(b)) & imm,
+        OP_NOR => !(val(a) | val(b)) & imm,
+        OP_XNOR => !(val(a) ^ val(b)) & imm,
+        OP_ANDN => val(a) & !val(b) & imm,
+        OP_AND3 => val(a) & val(b) & val(c),
+        OP_OR3 => val(a) | val(b) | val(c),
+        OP_XOR3 => val(a) ^ val(b) ^ val(c),
+        OP_AND_IMM => val(a) & imm,
+        OP_OR_IMM => val(a) | imm,
+        OP_XOR_IMM => val(a) ^ imm,
+        OP_ADD_IMM => val(a).wrapping_add(imm) & mask64(c),
+        OP_EQ_IMM => u64::from(val(a) == imm),
+        OP_NE_IMM => u64::from(val(a) != imm),
+        OP_MUX_EQI => {
+            if val(a) == imm {
+                val(b)
+            } else {
+                val(c)
+            }
+        }
+        OP_SHL_IMM => (val(a) << c) & imm,
+        OP_REPACK => {
+            let (l1, l2, w2, m1, m2) = repack_parts(c);
+            (((val(a) >> l1) & m1) << w2) | ((val(b) >> l2) & m2)
+        }
+        OP_MUX_BIT => {
+            if (val(a) >> imm) & 1 != 0 {
+                val(b)
+            } else {
+                val(c)
+            }
+        }
+        OP_ANDSHR => val(a) & ((val(b) >> c) & imm),
+        OP_CAT3 => {
+            let (s1, s2) = (imm & 0xff, (imm >> 8) & 0xff);
+            (((val(a) << s1) | val(b)) << s2) | val(c)
+        }
+        OP_INC_IF => {
+            let q = val(b);
+            if val(a) != 0 {
+                q.wrapping_add(imm) & mask64(c)
+            } else {
+                q
+            }
+        }
+        _ => unreachable!("invalid opcode"),
+    }
+}
+
+/// Visit the value-operand node indices of an op given its fields.
+#[inline]
+fn visit_code_operands(code: u8, a: u32, b: u32, c: u32, mut f: impl FnMut(u32)) {
+    f(a);
+    match code {
+        OP_AND | OP_OR | OP_XOR | OP_ADD | OP_SUB | OP_MUL | OP_EQ | OP_NE | OP_LT | OP_LE
+        | OP_SHL | OP_SHR | OP_CONCAT | OP_NAND | OP_NOR | OP_XNOR | OP_ANDN | OP_REPACK
+        | OP_ANDSHR | OP_INC_IF => f(b),
+        OP_MUX | OP_MUX_EQI | OP_MUX_BIT | OP_AND3 | OP_OR3 | OP_XOR3 | OP_CAT3 => {
+            f(b);
+            f(c);
+        }
+        _ => {}
+    }
+}
+
+// ---- adaptive / partitioned evaluation tuning ----------------------------
+
+/// A level whose entire op range is queued cascades into straight-line
+/// execution of everything at and below it, skipping queue bookkeeping —
+/// but only when the range is big enough for bookkeeping to matter.
+const CASCADE_MIN_SPAN: usize = 128;
+/// A level at least half-queued is swept densely (with change detection)
+/// instead of drained per-op, when at least this many ops wide.
+const DENSE_MIN_SPAN: usize = 64;
+/// Minimum ops in a sweep before it is fanned out across partitions.
+const PAR_MIN_OPS: usize = 2048;
+/// `ParallelEval::Auto` engages the adaptive sweep heuristics at this op
+/// count; below it the serial per-op fast path is untouched.
+const ADAPT_MIN_OPS: usize = 256;
+/// Under `Auto`, netlists at least this big also fan dense sweeps out
+/// across the worker pool (smaller ones sweep single-partition).
+const AUTO_MIN_OPS: usize = 4096;
+/// Partition-count ceiling under `Auto` (diminishing returns past this).
+const MAX_AUTO_PARTS: usize = 8;
+/// A straight-line sweep of the remaining stream replaces queue draining
+/// when at least `1/SWEEP_DENSITY` of it is already queued — per-op queue
+/// bookkeeping (flag writes, successor walks, dedupe checks) costs about
+/// this multiple of a raw execute-and-store.
+const SWEEP_DENSITY: usize = 3;
+/// This many *consecutive* density escapes lock the engine into steady-state
+/// sweep mode: per-edge consumer walks and queue pushes are replaced by an
+/// O(1) shallowest-dirty-level update, since the next eval straight-lines
+/// the stream anyway.
+const SWEEP_ENTER: u32 = 4;
+/// Sweeps held in steady-state mode before dropping back to fine-grained
+/// dirty tracking for one eval to re-measure density (hysteresis: one
+/// bookkeeping-paying cycle per `SWEEP_HOLD` amortizes to noise).
+const SWEEP_HOLD: u32 = 64;
+
+/// One partition's compute buffer for two-phase parallel sweeps: phase A
+/// executes `ops[lo..hi]` (a range of op indices, or a slice of a dirty
+/// queue) against the shared pre-level values and stages results in `out`;
+/// phase B commits `out` serially in ascending op order.
+#[derive(Debug, Clone, Default)]
+struct PartBuf {
+    lo: usize,
+    hi: usize,
+    out: Vec<u64>,
+}
 
 /// The lowered form of one design: micro-op stream, level sets, consumer
 /// adjacency and the state-commit plan. Operates on the `vals`/`mems`
@@ -68,11 +555,15 @@ pub(crate) struct CompiledEngine {
     op_a: Vec<u32>,
     op_b: Vec<u32>,
     /// Third operand / small auxiliary: mux else-branch, slice shift,
-    /// concat lo-width, shift operand width, read-port memory index.
+    /// concat lo-width, shift operand width, read-port memory index,
+    /// repack descriptor.
     op_c: Vec<u32>,
-    /// Precomputed mask (or, for `RED_AND`, the operand's all-ones value).
+    /// Precomputed mask or immediate (opcode-dependent).
     op_imm: Vec<u64>,
     op_level: Vec<u32>,
+    /// Leaf node ids of collapsed select trees: an `OP_SELECT` op reads
+    /// `sel_tab[op_c .. op_c + op_imm + 1]` as its lookup table.
+    sel_tab: Vec<u32>,
 
     // ---- incremental re-evaluation ----
     /// Per-op "queued" flag (deduplicates queue pushes).
@@ -89,12 +580,57 @@ pub(crate) struct CompiledEngine {
     /// Async read-port ops per memory (recompute targets after pokes/writes).
     mem_cons: Vec<Vec<u32>>,
 
+    // ---- adaptive / partitioned evaluation ----
+    /// Op-index boundary of each level: level `l` is
+    /// `level_start[l]..level_start[l+1]` (len = levels + 1).
+    level_start: Vec<u32>,
+    /// Partitions per dense sweep (1 = serial).
+    parts: usize,
+    /// Dense/cascade sweep heuristics enabled.
+    adaptive: bool,
+    /// Persistent per-partition compute buffers.
+    par_bufs: Vec<PartBuf>,
+    /// Per-node minimum consumer level (`levels` when unconsumed) — lets
+    /// sweep-mode marking run in O(1) instead of walking the consumer CSR.
+    node_min_lvl: Vec<u32>,
+    /// Per-memory minimum async-read-port level (same purpose).
+    mem_min_lvl: Vec<u32>,
+    /// Steady-state streaming: marks collapse to a shallowest-level update
+    /// and every eval straight-lines the stream from there.
+    sweep_mode: bool,
+    /// Shallowest level marked since the last sweep (`levels` when clean).
+    sweep_first: u32,
+    /// Consecutive density escapes (sweep mode engages at `SWEEP_ENTER`).
+    sweep_streak: u32,
+    /// Sweeps left before dropping out to re-measure density.
+    sweep_left: u32,
+
+    // ---- observability ----
+    /// Whether `vals[node]` is kept current by the engine (sources, state,
+    /// surviving op dsts, folded constants). Fused-away nodes are `false`
+    /// and evaluated on demand by `Sim::get_signal`.
+    computed: Vec<bool>,
+    /// Compile-time constant comb nodes `(node, value)`; `Sim` seeds
+    /// `vals` from this once after construction.
+    folded: Vec<(u32, u64)>,
+    stats: EngineStats,
+
     // ---- state-commit plan ----
+    // Registers are grouped by (clr, en) presence so each sampling loop is
+    // branch-free: `reg_kind_start` bounds the [plain, en-only, clr-only,
+    // clr+en] runs within the reg_* arrays.
     reg_dst: Vec<u32>,
     reg_d: Vec<u32>,
     reg_en: Vec<u32>,
     reg_clr: Vec<u32>,
     reg_init: Vec<u64>,
+    reg_kind_start: [usize; 5],
+    /// Within each kind class, regs whose d/en/clr are produced by the
+    /// state commit itself ("chained": shift-register shapes) come first
+    /// and round-trip through `scratch`; regs from `reg_dir_start[k]` to
+    /// the class end read only settled comb values and commit in a single
+    /// direct pass — no sample/store/reload per edge.
+    reg_dir_start: [usize; 4],
     sr_dst: Vec<u32>,
     sr_addr: Vec<u32>,
     sr_mem: Vec<u32>,
@@ -106,16 +642,49 @@ pub(crate) struct CompiledEngine {
     scratch: Vec<u64>,
 }
 
+/// Mutable working form of the op stream during compilation, before the
+/// surviving ops are frozen into the SoA arrays.
+struct WorkOps {
+    code: Vec<u8>,
+    dst: Vec<u32>,
+    a: Vec<u32>,
+    b: Vec<u32>,
+    c: Vec<u32>,
+    imm: Vec<u64>,
+    level: Vec<u32>,
+    killed: Vec<bool>,
+    /// Leaf tables of collapsed select trees (frozen into `sel_tab`).
+    tab: Vec<u32>,
+}
+
+impl WorkOps {
+    fn visit_operands(&self, i: usize, mut f: impl FnMut(u32)) {
+        if self.code[i] == OP_SELECT {
+            f(self.a[i]);
+            let start = self.c[i] as usize;
+            for &leaf in &self.tab[start..start + self.imm[i] as usize + 1] {
+                f(leaf);
+            }
+            return;
+        }
+        visit_code_operands(self.code[i], self.a[i], self.b[i], self.c[i], f);
+    }
+}
+
 impl CompiledEngine {
     /// Lower a validated, topologically-sorted netlist. `order` is the
     /// combinational evaluation order produced by the simulator's Kahn
-    /// sort; `state_nodes` are registers and synchronous read ports.
+    /// sort; `state_nodes` are registers and synchronous read ports;
+    /// `protected[n]` marks nodes referenced from outside the netlist
+    /// (named signals, outputs) that fusion must leave observable.
     pub(crate) fn compile(
         nodes: &[Node],
         order: &[u32],
         state_nodes: &[u32],
         write_ports: &[WritePortDecl],
         mem_count: usize,
+        protected: &[bool],
+        config: EngineConfig,
     ) -> CompiledEngine {
         let n = nodes.len();
 
@@ -134,14 +703,76 @@ impl CompiledEngine {
         let mut emit_order: Vec<u32> = order.to_vec();
         emit_order.sort_by_key(|&idx| node_level[idx as usize]);
 
+        let mut w = WorkOps {
+            code: Vec::with_capacity(emit_order.len()),
+            dst: Vec::with_capacity(emit_order.len()),
+            a: Vec::with_capacity(emit_order.len()),
+            b: Vec::with_capacity(emit_order.len()),
+            c: Vec::with_capacity(emit_order.len()),
+            imm: Vec::with_capacity(emit_order.len()),
+            level: Vec::with_capacity(emit_order.len()),
+            killed: Vec::new(),
+            tab: Vec::new(),
+        };
+        for &idx in &emit_order {
+            if let Some(op) = lower_op(nodes, idx) {
+                w.code.push(op.code);
+                w.dst.push(idx);
+                w.a.push(op.a);
+                w.b.push(op.b);
+                w.c.push(op.c);
+                w.imm.push(op.imm);
+                w.level.push(node_level[idx as usize] - 1);
+            }
+        }
+        w.killed = vec![false; w.code.len()];
+
+        let mut stats = EngineStats {
+            ops_lowered: w.code.len(),
+            ..EngineStats::default()
+        };
+
+        // Nodes the stream must keep observable / writable in `vals`:
+        // named signals & outputs, plus everything the state-commit plan
+        // reads directly.
+        let mut ext_ref = protected.to_vec();
+        for &idx in state_nodes {
+            match &nodes[idx as usize] {
+                Node::Reg { d, en, clr, .. } => {
+                    ext_ref[*d as usize] = true;
+                    if let Some(en) = en {
+                        ext_ref[*en as usize] = true;
+                    }
+                    if let Some(clr) = clr {
+                        ext_ref[*clr as usize] = true;
+                    }
+                }
+                Node::ReadPort { addr, .. } => ext_ref[*addr as usize] = true,
+                _ => unreachable!("non-state node in state_nodes"),
+            }
+        }
+        for wp in write_ports {
+            ext_ref[wp.addr as usize] = true;
+            ext_ref[wp.data as usize] = true;
+            ext_ref[wp.we as usize] = true;
+        }
+
+        let mut folded: Vec<(u32, u64)> = Vec::new();
+        if config.fuse {
+            fuse_stream(nodes, &mut w, &ext_ref, &mut folded, &mut stats);
+        }
+
+        // Freeze the surviving ops into the SoA stream.
+        let survivors = w.killed.iter().filter(|&&k| !k).count();
         let mut eng = CompiledEngine {
-            op_code: Vec::with_capacity(emit_order.len()),
-            op_dst: Vec::with_capacity(emit_order.len()),
-            op_a: Vec::with_capacity(emit_order.len()),
-            op_b: Vec::with_capacity(emit_order.len()),
-            op_c: Vec::with_capacity(emit_order.len()),
-            op_imm: Vec::with_capacity(emit_order.len()),
-            op_level: Vec::with_capacity(emit_order.len()),
+            op_code: Vec::with_capacity(survivors),
+            op_dst: Vec::with_capacity(survivors),
+            op_a: Vec::with_capacity(survivors),
+            op_b: Vec::with_capacity(survivors),
+            op_c: Vec::with_capacity(survivors),
+            op_imm: Vec::with_capacity(survivors),
+            op_level: Vec::with_capacity(survivors),
+            sel_tab: std::mem::take(&mut w.tab),
             op_dirty: Vec::new(),
             level_queues: Vec::new(),
             full_dirty: true,
@@ -149,11 +780,26 @@ impl CompiledEngine {
             cons_start: Vec::new(),
             cons: Vec::new(),
             mem_cons: vec![Vec::new(); mem_count],
+            level_start: Vec::new(),
+            parts: 1,
+            adaptive: false,
+            par_bufs: Vec::new(),
+            node_min_lvl: Vec::new(),
+            mem_min_lvl: Vec::new(),
+            sweep_mode: false,
+            sweep_first: 0,
+            sweep_streak: 0,
+            sweep_left: 0,
+            computed: Vec::new(),
+            folded,
+            stats,
             reg_dst: Vec::new(),
             reg_d: Vec::new(),
             reg_en: Vec::new(),
             reg_clr: Vec::new(),
             reg_init: Vec::new(),
+            reg_kind_start: [0; 5],
+            reg_dir_start: [0; 4],
             sr_dst: Vec::new(),
             sr_addr: Vec::new(),
             sr_mem: Vec::new(),
@@ -163,13 +809,17 @@ impl CompiledEngine {
             wp_we: Vec::new(),
             scratch: Vec::new(),
         };
-
-        for &idx in &emit_order {
-            // Inputs and constants are value sources, not ops — only track
-            // a level for nodes that actually lowered to an op.
-            if eng.lower_node(nodes, idx) {
-                eng.op_level.push(node_level[idx as usize] - 1);
+        for i in 0..w.code.len() {
+            if w.killed[i] {
+                continue;
             }
+            eng.op_code.push(w.code[i]);
+            eng.op_dst.push(w.dst[i]);
+            eng.op_a.push(w.a[i]);
+            eng.op_b.push(w.b[i]);
+            eng.op_c.push(w.c[i]);
+            eng.op_imm.push(w.imm[i]);
+            eng.op_level.push(w.level[i]);
         }
 
         let level_count = eng
@@ -181,6 +831,31 @@ impl CompiledEngine {
         eng.level_queues = vec![Vec::new(); level_count];
         eng.op_dirty = vec![false; eng.op_code.len()];
 
+        // Level boundaries over the (level-sorted) final stream.
+        eng.level_start = vec![0; level_count + 1];
+        for &l in &eng.op_level {
+            eng.level_start[l as usize + 1] += 1;
+        }
+        for l in 0..level_count {
+            eng.level_start[l + 1] += eng.level_start[l];
+        }
+
+        // Observability: `vals[node]` stays current for everything except
+        // the dst of a fused-away op. Sources (inputs, constants) appear
+        // in `order` too but lower to no op — they carry their own value.
+        eng.computed = vec![true; n];
+        for &idx in order {
+            if lower_op(nodes, idx).is_some() {
+                eng.computed[idx as usize] = false;
+            }
+        }
+        for &dst in &eng.op_dst {
+            eng.computed[dst as usize] = true;
+        }
+        for &(node, _) in &eng.folded {
+            eng.computed[node as usize] = true;
+        }
+
         // Consumer CSR: node → ops reading it (counting sort by operand).
         let mut counts = vec![0u32; n + 1];
         for i in 0..eng.op_code.len() {
@@ -190,21 +865,16 @@ impl CompiledEngine {
             counts[i + 1] += counts[i];
         }
         eng.cons_start = counts;
-        eng.cons = vec![0; *eng.cons_start.last().unwrap() as usize];
+        let mut cons = vec![0u32; *eng.cons_start.last().unwrap() as usize];
         let mut cursor = eng.cons_start.clone();
         for i in 0..eng.op_code.len() {
-            let mut deps: [u32; 3] = [NONE; 3];
-            let mut nd = 0;
             Self::op_operands(&eng, i, |dep| {
-                deps[nd] = dep;
-                nd += 1;
+                let slot = &mut cursor[dep as usize];
+                cons[*slot as usize] = i as u32;
+                *slot += 1;
             });
-            for &dep in deps.iter().take(nd) {
-                let slot = cursor[dep as usize];
-                eng.cons[slot as usize] = i as u32;
-                cursor[dep as usize] += 1;
-            }
         }
+        eng.cons = cons;
 
         // Async read-port ops grouped per memory.
         for i in 0..eng.op_code.len() {
@@ -213,17 +883,55 @@ impl CompiledEngine {
             }
         }
 
-        // State-commit plan.
+        // Shallowest consumer level per node / memory, for O(1) marking in
+        // steady-state sweep mode.
+        let mut node_min_lvl = vec![level_count as u32; n];
+        for (node, ml) in node_min_lvl.iter_mut().enumerate() {
+            let lo = eng.cons_start[node] as usize;
+            let hi = eng.cons_start[node + 1] as usize;
+            for &op in &eng.cons[lo..hi] {
+                *ml = (*ml).min(eng.op_level[op as usize]);
+            }
+        }
+        eng.node_min_lvl = node_min_lvl;
+        let mut mem_min_lvl = vec![level_count as u32; mem_count];
+        for (m, ml) in mem_min_lvl.iter_mut().enumerate() {
+            for &op in &eng.mem_cons[m] {
+                *ml = (*ml).min(eng.op_level[op as usize]);
+            }
+        }
+        eng.mem_min_lvl = mem_min_lvl;
+        eng.sweep_first = level_count as u32;
+
+        // Partitioned / adaptive evaluation policy.
+        let ops_final = eng.op_code.len();
+        match config.parallel {
+            ParallelEval::Off => {}
+            ParallelEval::Auto => {
+                if ops_final >= ADAPT_MIN_OPS {
+                    eng.adaptive = true;
+                }
+                if ops_final >= AUTO_MIN_OPS {
+                    eng.parts = rayon::current_num_threads().clamp(1, MAX_AUTO_PARTS);
+                }
+            }
+            ParallelEval::Force(p) => {
+                eng.adaptive = true;
+                eng.parts = p.max(1);
+            }
+        }
+        if eng.parts > 1 {
+            eng.par_bufs = vec![PartBuf::default(); eng.parts];
+        }
+
+        // State-commit plan: registers grouped by (clr, en) presence so the
+        // per-cycle sampling loops are branch-free within each class.
+        let mut by_kind: [Vec<u32>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
         for &idx in state_nodes {
             match &nodes[idx as usize] {
-                Node::Reg {
-                    d, en, clr, init, ..
-                } => {
-                    eng.reg_dst.push(idx);
-                    eng.reg_d.push(*d);
-                    eng.reg_en.push(en.unwrap_or(NONE));
-                    eng.reg_clr.push(clr.unwrap_or(NONE));
-                    eng.reg_init.push(*init);
+                Node::Reg { en, clr, .. } => {
+                    let kind = usize::from(clr.is_some()) * 2 + usize::from(en.is_some());
+                    by_kind[kind].push(idx);
                 }
                 Node::ReadPort {
                     mem,
@@ -238,6 +946,42 @@ impl CompiledEngine {
                 _ => unreachable!("non-state node in state_nodes"),
             }
         }
+        // Class order: plain, en-only, clr-only, clr+en. Within each class
+        // chained regs come first (they must sample into scratch before any
+        // commit), then the direct tail (single-pass commit).
+        let mut is_state_dst = vec![false; n];
+        for &idx in state_nodes {
+            is_state_dst[idx as usize] = true;
+        }
+        let order_of = [0usize, 1, 2, 3];
+        eng.reg_kind_start[0] = 0;
+        for (slot, &kind) in order_of.iter().enumerate() {
+            for pass in 0..2 {
+                for &idx in &by_kind[kind] {
+                    let Node::Reg {
+                        d, en, clr, init, ..
+                    } = &nodes[idx as usize]
+                    else {
+                        unreachable!()
+                    };
+                    let chained = is_state_dst[*d as usize]
+                        || en.is_some_and(|e| is_state_dst[e as usize])
+                        || clr.is_some_and(|c| is_state_dst[c as usize]);
+                    if (pass == 0) != chained {
+                        continue;
+                    }
+                    eng.reg_dst.push(idx);
+                    eng.reg_d.push(*d);
+                    eng.reg_en.push(en.unwrap_or(NONE));
+                    eng.reg_clr.push(clr.unwrap_or(NONE));
+                    eng.reg_init.push(*init);
+                }
+                if pass == 0 {
+                    eng.reg_dir_start[slot] = eng.reg_dst.len();
+                }
+            }
+            eng.reg_kind_start[slot + 1] = eng.reg_dst.len();
+        }
         for wp in write_ports {
             eng.wp_mem.push(wp.mem);
             eng.wp_addr.push(wp.addr);
@@ -245,142 +989,83 @@ impl CompiledEngine {
             eng.wp_we.push(wp.we);
         }
         eng.scratch = vec![0; eng.reg_dst.len() + eng.sr_dst.len()];
+
+        // Final stream statistics.
+        eng.stats.ops_final = ops_final;
+        eng.stats.levels = level_count;
+        eng.stats.partitions = eng.parts;
+        let mut superops: Vec<(&'static str, usize)> = Vec::new();
+        let mut opcodes: Vec<(&'static str, usize)> = Vec::new();
+        let bump = |histo: &mut Vec<(&'static str, usize)>, name| match histo
+            .iter_mut()
+            .find(|(n, _)| *n == name)
+        {
+            Some((_, count)) => *count += 1,
+            None => histo.push((name, 1)),
+        };
+        for &code in &eng.op_code {
+            let name = op_name(code);
+            bump(&mut opcodes, name);
+            if code >= OP_NAND {
+                bump(&mut superops, name);
+            }
+        }
+        let by_count = |a: &(&str, usize), b: &(&str, usize)| b.1.cmp(&a.1).then(a.0.cmp(b.0));
+        superops.sort_by(by_count);
+        opcodes.sort_by(by_count);
+        eng.stats.superops = superops;
+        eng.stats.opcodes = opcodes;
         eng
     }
 
-    /// Lower one combinational node into the op stream. Returns `false`
-    /// for value sources (inputs, constants) that emit no op.
-    fn lower_node(&mut self, nodes: &[Node], idx: u32) -> bool {
-        let (code, a, b, c, imm) = match &nodes[idx as usize] {
-            Node::Unop { op, a, width } => {
-                let aw = node_width(&nodes[*a as usize]);
-                match op {
-                    UnOp::Not => (OP_NOT, *a, NONE, NONE, mask(*width)),
-                    // RED_AND compares against the operand's all-ones value.
-                    UnOp::ReduceAnd => (OP_RED_AND, *a, NONE, NONE, mask(aw)),
-                    UnOp::ReduceOr => (OP_RED_OR, *a, NONE, NONE, 0),
-                    UnOp::ReduceXor => (OP_RED_XOR, *a, NONE, NONE, 0),
-                }
-            }
-            Node::Binop { op, a, b, width } => {
-                let m = mask(*width);
-                let aw = node_width(&nodes[*a as usize]) as u32;
-                match op {
-                    BinOp::And => (OP_AND, *a, *b, NONE, 0),
-                    BinOp::Or => (OP_OR, *a, *b, NONE, 0),
-                    BinOp::Xor => (OP_XOR, *a, *b, NONE, 0),
-                    BinOp::Add => (OP_ADD, *a, *b, NONE, m),
-                    BinOp::Sub => (OP_SUB, *a, *b, NONE, m),
-                    BinOp::Mul => (OP_MUL, *a, *b, NONE, m),
-                    BinOp::Eq => (OP_EQ, *a, *b, NONE, 0),
-                    BinOp::Ne => (OP_NE, *a, *b, NONE, 0),
-                    BinOp::Lt => (OP_LT, *a, *b, NONE, 0),
-                    BinOp::Le => (OP_LE, *a, *b, NONE, 0),
-                    // Shifts also carry the operand width for the ≥width check.
-                    BinOp::Shl => (OP_SHL, *a, *b, aw, m),
-                    BinOp::Shr => (OP_SHR, *a, *b, aw, 0),
-                }
-            }
-            Node::Mux { sel, t, f, .. } => (OP_MUX, *sel, *t, *f, 0),
-            Node::Slice { a, lo, width } => (OP_SLICE, *a, NONE, *lo as u32, mask(*width)),
-            Node::Concat { hi, lo, .. } => {
-                let lo_w = node_width(&nodes[*lo as usize]) as u32;
-                (OP_CONCAT, *hi, *lo, lo_w, 0)
-            }
-            Node::ReadPort {
-                mem,
-                addr,
-                sync: false,
-                ..
-            } => (OP_READ_ASYNC, *addr, NONE, *mem, 0),
-            // Inputs and constants are value sources, not ops: their slots in
-            // `vals` are written by `set()` / seeded once at construction.
-            Node::Input { .. } | Node::Const { .. } => return false,
-            Node::Reg { .. } | Node::ReadPort { sync: true, .. } => {
-                unreachable!("state node in combinational order")
-            }
-        };
-        self.op_code.push(code);
-        self.op_dst.push(idx);
-        self.op_a.push(a);
-        self.op_b.push(b);
-        self.op_c.push(c);
-        self.op_imm.push(imm);
-        true
-    }
-
-    /// Visit the value-operand node indices of op `i`.
+    /// Visit the value-operand node indices of op `i` (for `OP_SELECT`,
+    /// the selector plus every leaf in its table slice).
     #[inline]
     fn op_operands(eng: &CompiledEngine, i: usize, mut f: impl FnMut(u32)) {
-        f(eng.op_a[i]);
-        match eng.op_code[i] {
-            OP_AND | OP_OR | OP_XOR | OP_ADD | OP_SUB | OP_MUL | OP_EQ | OP_NE | OP_LT | OP_LE
-            | OP_SHL | OP_SHR | OP_CONCAT => f(eng.op_b[i]),
-            OP_MUX => {
-                f(eng.op_b[i]);
-                f(eng.op_c[i]);
+        if eng.op_code[i] == OP_SELECT {
+            f(eng.op_a[i]);
+            let start = eng.op_c[i] as usize;
+            for &leaf in &eng.sel_tab[start..start + eng.op_imm[i] as usize + 1] {
+                f(leaf);
             }
-            _ => {}
+            return;
         }
+        visit_code_operands(eng.op_code[i], eng.op_a[i], eng.op_b[i], eng.op_c[i], f);
     }
 
     /// Execute op `i` against the value array. The single hot dispatch.
     #[inline(always)]
     fn exec_op(&self, i: usize, vals: &[u64], mems: &[Vec<u64>]) -> u64 {
-        let a = self.op_a[i] as usize;
-        let imm = self.op_imm[i];
-        match self.op_code[i] {
-            OP_NOT => !vals[a] & imm,
-            OP_RED_AND => u64::from(vals[a] == imm),
-            OP_RED_OR => u64::from(vals[a] != 0),
-            OP_RED_XOR => u64::from(vals[a].count_ones() & 1 == 1),
-            OP_AND => vals[a] & vals[self.op_b[i] as usize],
-            OP_OR => vals[a] | vals[self.op_b[i] as usize],
-            OP_XOR => vals[a] ^ vals[self.op_b[i] as usize],
-            OP_ADD => vals[a].wrapping_add(vals[self.op_b[i] as usize]) & imm,
-            OP_SUB => vals[a].wrapping_sub(vals[self.op_b[i] as usize]) & imm,
-            OP_MUL => vals[a].wrapping_mul(vals[self.op_b[i] as usize]) & imm,
-            OP_EQ => u64::from(vals[a] == vals[self.op_b[i] as usize]),
-            OP_NE => u64::from(vals[a] != vals[self.op_b[i] as usize]),
-            OP_LT => u64::from(vals[a] < vals[self.op_b[i] as usize]),
-            OP_LE => u64::from(vals[a] <= vals[self.op_b[i] as usize]),
-            OP_SHL => {
-                let sh = vals[self.op_b[i] as usize];
-                if sh >= self.op_c[i] as u64 {
-                    0
-                } else {
-                    (vals[a] << sh) & imm
-                }
-            }
-            OP_SHR => {
-                let sh = vals[self.op_b[i] as usize];
-                if sh >= self.op_c[i] as u64 {
-                    0
-                } else {
-                    vals[a] >> sh
-                }
-            }
-            OP_MUX => {
-                if vals[a] != 0 {
-                    vals[self.op_b[i] as usize]
-                } else {
-                    vals[self.op_c[i] as usize]
-                }
-            }
-            OP_SLICE => (vals[a] >> self.op_c[i]) & imm,
-            OP_CONCAT => (vals[a] << self.op_c[i]) | vals[self.op_b[i] as usize],
-            OP_READ_ASYNC => mems[self.op_c[i] as usize]
-                .get(vals[a] as usize)
-                .copied()
-                .unwrap_or(0),
-            _ => unreachable!("invalid opcode"),
+        if self.op_code[i] == OP_SELECT {
+            let idx = ((vals[self.op_a[i] as usize] >> self.op_b[i]) & self.op_imm[i]) as usize;
+            return vals[self.sel_tab[self.op_c[i] as usize + idx] as usize];
         }
+        exec_scalar(
+            self.op_code[i],
+            self.op_a[i],
+            self.op_b[i],
+            self.op_c[i],
+            self.op_imm[i],
+            &mut |n| vals[n as usize],
+            &mut |m, addr| mems[m as usize].get(addr as usize).copied().unwrap_or(0),
+        )
     }
 
     /// Mark every op consuming `node` dirty (queued at its level).
     pub(crate) fn mark_node_dirty(&mut self, node: u32) {
         if self.full_dirty {
             return; // everything recomputes anyway
+        }
+        if self.sweep_mode {
+            // Steady-state streaming: the next eval straight-lines every
+            // level from the shallowest mark, so per-consumer queueing
+            // would be wasted work.
+            let l = self.node_min_lvl[node as usize];
+            if l < self.sweep_first {
+                self.sweep_first = l;
+                self.any_dirty = true;
+            }
+            return;
         }
         let lo = self.cons_start[node as usize] as usize;
         let hi = self.cons_start[node as usize + 1] as usize;
@@ -400,6 +1085,14 @@ impl CompiledEngine {
         if self.full_dirty {
             return;
         }
+        if self.sweep_mode {
+            let l = self.mem_min_lvl[mem as usize];
+            if l < self.sweep_first {
+                self.sweep_first = l;
+                self.any_dirty = true;
+            }
+            return;
+        }
         // Iterate by index: `mem_cons` and the queue state are disjoint
         // fields, but the borrow checker can't see that through a shared
         // slice borrow.
@@ -413,28 +1106,142 @@ impl CompiledEngine {
         }
     }
 
+    /// Clear every queue and queued-op flag. The `op_dirty` flags are only
+    /// ever set together with a queue push, so draining the queues clears
+    /// exactly the set flags.
+    fn reset_dirty(&mut self) {
+        for lvl in 0..self.level_queues.len() {
+            let mut queue = std::mem::take(&mut self.level_queues[lvl]);
+            for &op in &queue {
+                self.op_dirty[op as usize] = false;
+            }
+            queue.clear();
+            self.level_queues[lvl] = queue;
+        }
+        self.any_dirty = false;
+    }
+
     /// Settle combinational values. Chooses the dense sweep when everything
-    /// is stale, otherwise drains the per-level dirty queues, pruning
-    /// propagation where values are unchanged.
+    /// is stale; otherwise drains the per-level dirty queues — and, when
+    /// the adaptive policy is engaged and a level's dirty population is
+    /// dense, switches to straight-line (optionally partitioned) sweeps of
+    /// whole level ranges, skipping per-op queue bookkeeping.
     pub(crate) fn eval(&mut self, vals: &mut [u64], mems: &[Vec<u64>]) {
         if self.full_dirty {
             self.eval_dense(vals, mems);
             self.full_dirty = false;
-            // Queues may hold entries from pokes made while fully dirty.
-            for q in &mut self.level_queues {
-                q.clear();
-            }
-            self.op_dirty.iter_mut().for_each(|d| *d = false);
-            self.any_dirty = false;
+            self.reset_dirty();
+            self.sweep_first = self.level_queues.len() as u32;
             return;
         }
         if !self.any_dirty {
             return;
         }
-        for lvl in 0..self.level_queues.len() {
-            // Take the queue out so `mark_node_dirty` (which only ever
-            // pushes to deeper levels) can borrow `self` freely.
-            let mut queue = std::mem::take(&mut self.level_queues[lvl]);
+        if self.sweep_mode {
+            self.exec_levels_raw(self.sweep_first as usize, vals, mems);
+            self.sweep_first = self.level_queues.len() as u32;
+            self.any_dirty = false;
+            self.sweep_left -= 1;
+            if self.sweep_left == 0 {
+                // Drop back to fine-grained tracking to re-measure dirty
+                // density (the workload may have gone sparse); a
+                // still-dense stream re-enters after SWEEP_ENTER escapes.
+                self.sweep_mode = false;
+                self.sweep_streak = 0;
+            }
+            return;
+        }
+        if !self.adaptive {
+            for lvl in 0..self.level_queues.len() {
+                self.drain_level(lvl, vals, mems);
+            }
+            self.any_dirty = false;
+            return;
+        }
+        let levels = self.level_queues.len();
+        // Global density check: the queues only hold the *direct* consumers
+        // of what changed so far, but when those alone already cover a big
+        // fraction of the remaining stream, propagation will reach most of
+        // it anyway — a straight-line sweep from the shallowest dirty level
+        // beats paying queue bookkeeping on every op.
+        let mut queued_total = 0;
+        let mut first_dirty = levels;
+        for lvl in 0..levels {
+            let q = self.level_queues[lvl].len();
+            if q > 0 {
+                queued_total += q;
+                first_dirty = first_dirty.min(lvl);
+            }
+        }
+        if first_dirty < levels {
+            let rest = self.op_code.len() - self.level_start[first_dirty] as usize;
+            if queued_total * SWEEP_DENSITY >= rest {
+                self.exec_levels_raw(first_dirty, vals, mems);
+                self.reset_dirty();
+                self.sweep_streak += 1;
+                if self.sweep_streak >= SWEEP_ENTER {
+                    self.sweep_mode = true;
+                    self.sweep_left = SWEEP_HOLD;
+                    self.sweep_first = levels as u32;
+                }
+                return;
+            }
+        }
+        self.sweep_streak = 0;
+        let mut cascade_from = None;
+        for lvl in 0..levels {
+            let queued = self.level_queues[lvl].len();
+            if queued == 0 {
+                continue;
+            }
+            let lo = self.level_start[lvl] as usize;
+            let hi = self.level_start[lvl + 1] as usize;
+            let span = hi - lo;
+            if queued == span && span >= CASCADE_MIN_SPAN {
+                // Everything at this level recomputes → everything deeper
+                // will too (to within change detection, which a span this
+                // size no longer pays for). Straight-line the rest.
+                cascade_from = Some(lvl);
+                break;
+            }
+            if queued * 2 >= span && span >= DENSE_MIN_SPAN {
+                // Dense-with-mark: sweep the whole level, keep change
+                // detection so propagation still prunes.
+                let mut queue = std::mem::take(&mut self.level_queues[lvl]);
+                for &op in &queue {
+                    self.op_dirty[op as usize] = false;
+                }
+                queue.clear();
+                self.level_queues[lvl] = queue;
+                self.exec_range(lo, hi, true, vals, mems);
+            } else {
+                self.drain_level(lvl, vals, mems);
+            }
+        }
+        match cascade_from {
+            Some(from) => {
+                self.exec_levels_raw(from, vals, mems);
+                self.reset_dirty();
+            }
+            None => self.any_dirty = false,
+        }
+    }
+
+    /// Drain one level's dirty queue per-op (the PR 1 incremental path).
+    /// Large queues are fanned out across partitions with the same
+    /// two-phase compute/commit scheme as the dense sweeps.
+    fn drain_level(&mut self, lvl: usize, vals: &mut [u64], mems: &[Vec<u64>]) {
+        // Take the queue out so `mark_node_dirty` (which only ever pushes
+        // to deeper levels) can borrow `self` freely.
+        let mut queue = std::mem::take(&mut self.level_queues[lvl]);
+        if self.parts > 1 && queue.len() >= PAR_MIN_OPS {
+            for &op in &queue {
+                self.op_dirty[op as usize] = false;
+            }
+            let mut bufs = self.compute_parallel(Some(&queue), 0, queue.len(), vals, mems);
+            self.commit_bufs(&mut bufs, Some(&queue), true, vals);
+            self.par_bufs = bufs;
+        } else {
             for &op32 in &queue {
                 let op = op32 as usize;
                 self.op_dirty[op] = false;
@@ -445,43 +1252,259 @@ impl CompiledEngine {
                     self.mark_node_dirty(dst);
                 }
             }
-            queue.clear();
-            self.level_queues[lvl] = queue; // keep the allocation
         }
-        self.any_dirty = false;
+        queue.clear();
+        self.level_queues[lvl] = queue; // keep the allocation
+    }
+
+    /// Execute ops `lo..hi` (one level). With `detect`, changed dsts mark
+    /// their consumers; without, values are stored unconditionally.
+    fn exec_range(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        detect: bool,
+        vals: &mut [u64],
+        mems: &[Vec<u64>],
+    ) {
+        if self.parts > 1 && hi - lo >= PAR_MIN_OPS {
+            let mut bufs = self.compute_parallel(None, lo, hi, vals, mems);
+            self.commit_bufs(&mut bufs, None, detect, vals);
+            self.par_bufs = bufs;
+        } else if detect {
+            for op in lo..hi {
+                let new = self.exec_op(op, vals, mems);
+                let dst = self.op_dst[op];
+                if vals[dst as usize] != new {
+                    vals[dst as usize] = new;
+                    self.mark_node_dirty(dst);
+                }
+            }
+        } else {
+            for op in lo..hi {
+                vals[self.op_dst[op] as usize] = self.exec_op(op, vals, mems);
+            }
+        }
+    }
+
+    /// Straight-line execute every level from `from` down, no bookkeeping.
+    fn exec_levels_raw(&mut self, from: usize, vals: &mut [u64], mems: &[Vec<u64>]) {
+        if self.parts > 1 {
+            for lvl in from..self.level_queues.len() {
+                let lo = self.level_start[lvl] as usize;
+                let hi = self.level_start[lvl + 1] as usize;
+                self.exec_range(lo, hi, false, vals, mems);
+            }
+        } else {
+            // Serially the stream is already topological — one flat sweep.
+            // Equal-length sub-slices let the optimizer hoist the op-array
+            // bounds checks out of the (hot) loop.
+            let lo = self.level_start[from] as usize;
+            let len = self.op_code.len() - lo;
+            let codes = &self.op_code[lo..lo + len];
+            let dsts = &self.op_dst[lo..lo + len];
+            let aa = &self.op_a[lo..lo + len];
+            let bb = &self.op_b[lo..lo + len];
+            let cc = &self.op_c[lo..lo + len];
+            let imms = &self.op_imm[lo..lo + len];
+            let tab = &self.sel_tab;
+            for k in 0..len {
+                let new = if codes[k] == OP_SELECT {
+                    let idx = ((vals[aa[k] as usize] >> bb[k]) & imms[k]) as usize;
+                    vals[tab[cc[k] as usize + idx] as usize]
+                } else {
+                    exec_scalar(
+                        codes[k],
+                        aa[k],
+                        bb[k],
+                        cc[k],
+                        imms[k],
+                        &mut |n| vals[n as usize],
+                        &mut |m, addr| mems[m as usize].get(addr as usize).copied().unwrap_or(0),
+                    )
+                };
+                vals[dsts[k] as usize] = new;
+            }
+        }
+    }
+
+    /// Phase A of a partitioned sweep: split the work (an op-index range,
+    /// or a dirty-queue slice) into contiguous partitions and execute them
+    /// across the worker pool. Reads shared pre-level values only — level
+    /// membership guarantees no task reads another's destination — and
+    /// stages results in per-partition buffers.
+    fn compute_parallel(
+        &mut self,
+        queue: Option<&[u32]>,
+        lo: usize,
+        hi: usize,
+        vals: &[u64],
+        mems: &[Vec<u64>],
+    ) -> Vec<PartBuf> {
+        use rayon::prelude::*;
+        let mut bufs = std::mem::take(&mut self.par_bufs);
+        let span = hi - lo;
+        let k = bufs.len();
+        let (base, extra) = (span / k, span % k);
+        let mut start = lo;
+        for (w, b) in bufs.iter_mut().enumerate() {
+            let size = base + usize::from(w < extra);
+            b.lo = start;
+            b.hi = start + size;
+            b.out.clear();
+            start += size;
+        }
+        let eng = &*self;
+        bufs.par_iter_mut().for_each(|b| {
+            b.out.reserve(b.hi - b.lo);
+            match queue {
+                Some(q) => {
+                    for &op in &q[b.lo..b.hi] {
+                        b.out.push(eng.exec_op(op as usize, vals, mems));
+                    }
+                }
+                None => {
+                    for op in b.lo..b.hi {
+                        b.out.push(eng.exec_op(op, vals, mems));
+                    }
+                }
+            }
+        });
+        bufs
+    }
+
+    /// Phase B: commit partition results serially in ascending op order
+    /// (deterministic regardless of worker count or schedule).
+    fn commit_bufs(
+        &mut self,
+        bufs: &mut [PartBuf],
+        queue: Option<&[u32]>,
+        detect: bool,
+        vals: &mut [u64],
+    ) {
+        for b in bufs.iter_mut() {
+            for (j, slot) in (b.lo..b.hi).enumerate() {
+                let op = match queue {
+                    Some(q) => q[slot] as usize,
+                    None => slot,
+                };
+                let new = b.out[j];
+                let dst = self.op_dst[op];
+                if detect {
+                    if vals[dst as usize] != new {
+                        vals[dst as usize] = new;
+                        self.mark_node_dirty(dst);
+                    }
+                } else {
+                    vals[dst as usize] = new;
+                }
+            }
+            b.out.clear();
+        }
     }
 
     /// Dense sweep: execute every op in level/topological order.
     #[inline]
-    fn eval_dense(&self, vals: &mut [u64], mems: &[Vec<u64>]) {
-        for i in 0..self.op_code.len() {
-            vals[self.op_dst[i] as usize] = self.exec_op(i, vals, mems);
+    fn eval_dense(&mut self, vals: &mut [u64], mems: &[Vec<u64>]) {
+        if self.parts > 1 {
+            self.exec_levels_raw(0, vals, mems);
+        } else {
+            for i in 0..self.op_code.len() {
+                vals[self.op_dst[i] as usize] = self.exec_op(i, vals, mems);
+            }
         }
     }
 
     /// Sample next-state into the persistent scratch buffer (phase 1:
-    /// everything still shows pre-edge values).
+    /// everything still shows pre-edge values). Only *chained* registers —
+    /// those whose d/en/clr is itself a state destination — need this
+    /// round-trip; the direct majority commits straight from the settled
+    /// comb values in [`CompiledEngine::commit_direct`]. Sync read ports
+    /// always sample here so they observe pre-write memory contents.
     #[inline]
     fn sample_state(&mut self, vals: &[u64], mems: &[Vec<u64>]) {
-        let nregs = self.reg_dst.len();
-        for r in 0..nregs {
-            let cur = vals[self.reg_dst[r] as usize];
-            let clr = self.reg_clr[r];
-            let en = self.reg_en[r];
-            self.scratch[r] = if clr != NONE && vals[clr as usize] != 0 {
-                self.reg_init[r]
-            } else if en != NONE && vals[en as usize] == 0 {
-                cur
+        let [k0, k1, k2, k3, _] = self.reg_kind_start;
+        let [d0, d1, d2, d3] = self.reg_dir_start;
+        for r in k0..d0 {
+            self.scratch[r] = vals[self.reg_d[r] as usize];
+        }
+        for r in k1..d1 {
+            self.scratch[r] = if vals[self.reg_en[r] as usize] == 0 {
+                vals[self.reg_dst[r] as usize]
             } else {
                 vals[self.reg_d[r] as usize]
             };
         }
+        for r in k2..d2 {
+            self.scratch[r] = if vals[self.reg_clr[r] as usize] != 0 {
+                self.reg_init[r]
+            } else {
+                vals[self.reg_d[r] as usize]
+            };
+        }
+        for r in k3..d3 {
+            self.scratch[r] = if vals[self.reg_clr[r] as usize] != 0 {
+                self.reg_init[r]
+            } else if vals[self.reg_en[r] as usize] == 0 {
+                vals[self.reg_dst[r] as usize]
+            } else {
+                vals[self.reg_d[r] as usize]
+            };
+        }
+        let nregs = self.reg_dst.len();
         for s in 0..self.sr_dst.len() {
             let addr = vals[self.sr_addr[s] as usize] as usize;
             self.scratch[nregs + s] = mems[self.sr_mem[s] as usize]
                 .get(addr)
                 .copied()
                 .unwrap_or(0);
+        }
+    }
+
+    /// Commit one direct register: write-if-changed plus dirty marking.
+    #[inline(always)]
+    fn commit_reg(&mut self, dst: u32, new: u64, vals: &mut [u64]) {
+        if vals[dst as usize] != new {
+            vals[dst as usize] = new;
+            self.mark_node_dirty(dst);
+        }
+    }
+
+    /// Single-pass commit of the direct registers: their inputs are all
+    /// settled comb values no other commit can disturb, so next-state is
+    /// computed and latched in place — no scratch store/reload per edge.
+    #[inline]
+    fn commit_direct(&mut self, vals: &mut [u64]) {
+        let [_, k1, k2, k3, k4] = self.reg_kind_start;
+        let [d0, d1, d2, d3] = self.reg_dir_start;
+        for r in d0..k1 {
+            let new = vals[self.reg_d[r] as usize];
+            self.commit_reg(self.reg_dst[r], new, vals);
+        }
+        for r in d1..k2 {
+            if vals[self.reg_en[r] as usize] == 0 {
+                continue; // gated off: holds its value, nothing to mark
+            }
+            let new = vals[self.reg_d[r] as usize];
+            self.commit_reg(self.reg_dst[r], new, vals);
+        }
+        for r in d2..k3 {
+            let new = if vals[self.reg_clr[r] as usize] != 0 {
+                self.reg_init[r]
+            } else {
+                vals[self.reg_d[r] as usize]
+            };
+            self.commit_reg(self.reg_dst[r], new, vals);
+        }
+        for r in d3..k4 {
+            let new = if vals[self.reg_clr[r] as usize] != 0 {
+                self.reg_init[r]
+            } else if vals[self.reg_en[r] as usize] == 0 {
+                continue;
+            } else {
+                vals[self.reg_d[r] as usize]
+            };
+            self.commit_reg(self.reg_dst[r], new, vals);
         }
     }
 
@@ -512,18 +1535,20 @@ impl CompiledEngine {
         self.eval(vals, mems);
         self.sample_state(vals, mems);
         self.apply_writes(vals, mems);
-        let nstate = self.scratch.len();
-        for k in 0..nstate {
-            let dst = if k < self.reg_dst.len() {
-                self.reg_dst[k]
-            } else {
-                self.sr_dst[k - self.reg_dst.len()]
-            };
-            let new = self.scratch[k];
-            if vals[dst as usize] != new {
-                vals[dst as usize] = new;
-                self.mark_node_dirty(dst);
+        self.commit_direct(vals);
+        // Chained regs and sync read ports latch their pre-sampled values.
+        let [k0, k1, k2, k3, _] = self.reg_kind_start;
+        let [d0, d1, d2, d3] = self.reg_dir_start;
+        for (lo, hi) in [(k0, d0), (k1, d1), (k2, d2), (k3, d3)] {
+            for r in lo..hi {
+                let new = self.scratch[r];
+                self.commit_reg(self.reg_dst[r], new, vals);
             }
+        }
+        let nregs = self.reg_dst.len();
+        for s in 0..self.sr_dst.len() {
+            let new = self.scratch[nregs + s];
+            self.commit_reg(self.sr_dst[s], new, vals);
         }
     }
 
@@ -549,6 +1574,52 @@ impl CompiledEngine {
         self.level_queues.len()
     }
 
+    /// Lowering / fusion statistics for this stream.
+    pub(crate) fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Whether `vals[node]` is kept current by the engine. Nodes fused or
+    /// elided out of the stream return `false` and must be evaluated on
+    /// demand from their (still-computed) cone.
+    pub(crate) fn is_computed(&self, node: u32) -> bool {
+        self.computed[node as usize]
+    }
+
+    /// Compile-time constant comb nodes `(node, value)`; the owner seeds
+    /// its value storage from this once after construction.
+    pub(crate) fn folded_consts(&self) -> &[(u32, u64)] {
+        &self.folded
+    }
+
+    /// Test hook: every operand of every op must come from a strictly
+    /// shallower level (sources are level-less), i.e. fusion never absorbs
+    /// across a level boundary in a way that would break the level-sweep
+    /// execution order, and the stream is sorted by level.
+    #[cfg(test)]
+    pub(crate) fn check_level_invariant(&self) {
+        let n = self.cons_start.len() - 1;
+        let mut produced_level = vec![None; n];
+        for i in 0..self.op_code.len() {
+            produced_level[self.op_dst[i] as usize] = Some(self.op_level[i]);
+        }
+        for i in 0..self.op_code.len() {
+            assert!(
+                i == 0 || self.op_level[i - 1] <= self.op_level[i],
+                "stream not sorted by level at op {i}"
+            );
+            let lvl = self.op_level[i];
+            Self::op_operands(self, i, |dep| {
+                if let Some(pl) = produced_level[dep as usize] {
+                    assert!(
+                        pl < lvl,
+                        "op {i} (level {lvl}) consumes node {dep} produced at level {pl}"
+                    );
+                }
+            });
+        }
+    }
+
     // ---- lane-batched execution -----------------------------------------
     //
     // The multi-lane mode steps L independent instances of the design
@@ -562,6 +1633,11 @@ impl CompiledEngine {
     // chunked `lane_map*` helpers below stage operands through fixed-size
     // stack arrays, which gives LLVM alias-free loops it auto-vectorizes
     // to SIMD.
+    //
+    // The laned paths run the *same fused stream* as the scalar engine and
+    // honor the same adaptive dense/cascade heuristics, but execute them
+    // serially (the lane inner loops already saturate the memory ports) —
+    // a documented bit-exact fallback from cross-partition threading.
 
     /// Execute op `i` across every lane. Returns whether any lane's
     /// destination value changed.
@@ -651,41 +1727,237 @@ impl CompiledEngine {
                 }
                 diff != 0
             }
+            OP_NAND => lane_map2(vals, d0, a0, b0 * lanes, lanes, |a, b| !(a & b) & imm),
+            OP_NOR => lane_map2(vals, d0, a0, b0 * lanes, lanes, |a, b| !(a | b) & imm),
+            OP_XNOR => lane_map2(vals, d0, a0, b0 * lanes, lanes, |a, b| !(a ^ b) & imm),
+            OP_ANDN => lane_map2(vals, d0, a0, b0 * lanes, lanes, |a, b| a & !b & imm),
+            OP_AND3 => lane_map3(
+                vals,
+                d0,
+                a0,
+                b0 * lanes,
+                self.op_c[i] as usize * lanes,
+                lanes,
+                |a, b, c| a & b & c,
+            ),
+            OP_OR3 => lane_map3(
+                vals,
+                d0,
+                a0,
+                b0 * lanes,
+                self.op_c[i] as usize * lanes,
+                lanes,
+                |a, b, c| a | b | c,
+            ),
+            OP_XOR3 => lane_map3(
+                vals,
+                d0,
+                a0,
+                b0 * lanes,
+                self.op_c[i] as usize * lanes,
+                lanes,
+                |a, b, c| a ^ b ^ c,
+            ),
+            OP_AND_IMM => lane_map1(vals, d0, a0, lanes, |a| a & imm),
+            OP_OR_IMM => lane_map1(vals, d0, a0, lanes, |a| a | imm),
+            OP_XOR_IMM => lane_map1(vals, d0, a0, lanes, |a| a ^ imm),
+            OP_ADD_IMM => {
+                let m = mask64(self.op_c[i]);
+                lane_map1(vals, d0, a0, lanes, |a| a.wrapping_add(imm) & m)
+            }
+            OP_EQ_IMM => lane_map1(vals, d0, a0, lanes, |a| u64::from(a == imm)),
+            OP_NE_IMM => lane_map1(vals, d0, a0, lanes, |a| u64::from(a != imm)),
+            OP_MUX_EQI => lane_map3(
+                vals,
+                d0,
+                a0,
+                b0 * lanes,
+                self.op_c[i] as usize * lanes,
+                lanes,
+                |s, t, f| if s == imm { t } else { f },
+            ),
+            OP_SHL_IMM => {
+                let sh = self.op_c[i];
+                lane_map1(vals, d0, a0, lanes, |a| (a << sh) & imm)
+            }
+            OP_REPACK => {
+                let (l1, l2, w2, m1, m2) = repack_parts(self.op_c[i]);
+                lane_map2(vals, d0, a0, b0 * lanes, lanes, |x, y| {
+                    (((x >> l1) & m1) << w2) | ((y >> l2) & m2)
+                })
+            }
+            OP_MUX_BIT => lane_map3(
+                vals,
+                d0,
+                a0,
+                b0 * lanes,
+                self.op_c[i] as usize * lanes,
+                lanes,
+                |s, t, f| if (s >> imm) & 1 != 0 { t } else { f },
+            ),
+            OP_ANDSHR => {
+                let sh = self.op_c[i];
+                lane_map2(vals, d0, a0, b0 * lanes, lanes, |a, b| {
+                    a & ((b >> sh) & imm)
+                })
+            }
+            OP_CAT3 => {
+                let (s1, s2) = (imm & 0xff, (imm >> 8) & 0xff);
+                lane_map3(
+                    vals,
+                    d0,
+                    a0,
+                    b0 * lanes,
+                    self.op_c[i] as usize * lanes,
+                    lanes,
+                    |a, b, c| (((a << s1) | b) << s2) | c,
+                )
+            }
+            OP_INC_IF => {
+                let m = mask64(self.op_c[i]);
+                lane_map2(vals, d0, a0, b0 * lanes, lanes, |s, q| {
+                    if s != 0 {
+                        q.wrapping_add(imm) & m
+                    } else {
+                        q
+                    }
+                })
+            }
+            OP_SELECT => {
+                // Per-lane table gather: each lane's selector picks its own
+                // leaf row. `b` is the selector shift, not a node id.
+                let start = self.op_c[i] as usize;
+                let sh = b0 as u32;
+                let mut diff = 0u64;
+                for l in 0..lanes {
+                    let idx = ((vals[a0 + l] >> sh) & imm) as usize;
+                    let v = vals[self.sel_tab[start + idx] as usize * lanes + l];
+                    diff |= v ^ vals[d0 + l];
+                    vals[d0 + l] = v;
+                }
+                diff != 0
+            }
             _ => unreachable!("invalid opcode"),
         }
     }
 
     /// Laned [`CompiledEngine::eval`]: settle combinational values for
     /// every lane, draining the shared dirty queues once for all lanes.
+    /// Honors the same adaptive dense/cascade heuristics as the scalar
+    /// path, executed serially (bit-exact by construction).
     pub(crate) fn eval_lanes(&mut self, st: &mut LaneState) {
         if self.full_dirty {
             for i in 0..self.op_code.len() {
                 self.exec_op_lanes(i, st);
             }
             self.full_dirty = false;
-            for q in &mut self.level_queues {
-                q.clear();
-            }
-            self.op_dirty.iter_mut().for_each(|d| *d = false);
-            self.any_dirty = false;
+            self.reset_dirty();
+            self.sweep_first = self.level_queues.len() as u32;
             return;
         }
         if !self.any_dirty {
             return;
         }
-        for lvl in 0..self.level_queues.len() {
-            let mut queue = std::mem::take(&mut self.level_queues[lvl]);
-            for &op32 in &queue {
-                let op = op32 as usize;
-                self.op_dirty[op] = false;
-                if self.exec_op_lanes(op, st) {
-                    self.mark_node_dirty(self.op_dst[op]);
-                }
+        if self.sweep_mode {
+            for op in self.level_start[self.sweep_first as usize] as usize..self.op_code.len() {
+                self.exec_op_lanes(op, st);
             }
-            queue.clear();
-            self.level_queues[lvl] = queue; // keep the allocation
+            self.sweep_first = self.level_queues.len() as u32;
+            self.any_dirty = false;
+            self.sweep_left -= 1;
+            if self.sweep_left == 0 {
+                self.sweep_mode = false;
+                self.sweep_streak = 0;
+            }
+            return;
         }
-        self.any_dirty = false;
+        if !self.adaptive {
+            for lvl in 0..self.level_queues.len() {
+                self.drain_level_lanes(lvl, st);
+            }
+            self.any_dirty = false;
+            return;
+        }
+        let levels = self.level_queues.len();
+        // Same global density escape as the scalar path (see `eval`).
+        let mut queued_total = 0;
+        let mut first_dirty = levels;
+        for lvl in 0..levels {
+            let q = self.level_queues[lvl].len();
+            if q > 0 {
+                queued_total += q;
+                first_dirty = first_dirty.min(lvl);
+            }
+        }
+        if first_dirty < levels {
+            let rest = self.op_code.len() - self.level_start[first_dirty] as usize;
+            if queued_total * SWEEP_DENSITY >= rest {
+                for op in self.level_start[first_dirty] as usize..self.op_code.len() {
+                    self.exec_op_lanes(op, st);
+                }
+                self.reset_dirty();
+                self.sweep_streak += 1;
+                if self.sweep_streak >= SWEEP_ENTER {
+                    self.sweep_mode = true;
+                    self.sweep_left = SWEEP_HOLD;
+                    self.sweep_first = levels as u32;
+                }
+                return;
+            }
+        }
+        self.sweep_streak = 0;
+        let mut cascade_from = None;
+        for lvl in 0..levels {
+            let queued = self.level_queues[lvl].len();
+            if queued == 0 {
+                continue;
+            }
+            let lo = self.level_start[lvl] as usize;
+            let hi = self.level_start[lvl + 1] as usize;
+            let span = hi - lo;
+            if queued == span && span >= CASCADE_MIN_SPAN {
+                cascade_from = Some(lvl);
+                break;
+            }
+            if queued * 2 >= span && span >= DENSE_MIN_SPAN {
+                let mut queue = std::mem::take(&mut self.level_queues[lvl]);
+                for &op in &queue {
+                    self.op_dirty[op as usize] = false;
+                }
+                queue.clear();
+                self.level_queues[lvl] = queue;
+                for op in lo..hi {
+                    if self.exec_op_lanes(op, st) {
+                        self.mark_node_dirty(self.op_dst[op]);
+                    }
+                }
+            } else {
+                self.drain_level_lanes(lvl, st);
+            }
+        }
+        match cascade_from {
+            Some(from) => {
+                for op in self.level_start[from] as usize..self.op_code.len() {
+                    self.exec_op_lanes(op, st);
+                }
+                self.reset_dirty();
+            }
+            None => self.any_dirty = false,
+        }
+    }
+
+    /// Drain one level's dirty queue across all lanes.
+    fn drain_level_lanes(&mut self, lvl: usize, st: &mut LaneState) {
+        let mut queue = std::mem::take(&mut self.level_queues[lvl]);
+        for &op32 in &queue {
+            let op = op32 as usize;
+            self.op_dirty[op] = false;
+            if self.exec_op_lanes(op, st) {
+                self.mark_node_dirty(self.op_dst[op]);
+            }
+        }
+        queue.clear();
+        self.level_queues[lvl] = queue; // keep the allocation
     }
 
     /// Laned next-state sampling into the group's persistent scratch
@@ -832,6 +2104,612 @@ impl CompiledEngine {
     pub(crate) fn run_batch_lanes(&mut self, n: u64, st: &mut LaneState) {
         for _ in 0..n {
             self.step_lanes(st);
+        }
+    }
+}
+
+// ---- peephole + superop fusion -------------------------------------------
+
+/// Kill op `i` and release its operand references (for a collapsed
+/// `OP_SELECT`, one reference per table leaf plus the selector).
+fn kill_op(w: &mut WorkOps, i: usize, cnt: &mut [u32]) {
+    w.killed[i] = true;
+    if w.code[i] == OP_SELECT {
+        cnt[w.a[i] as usize] -= 1;
+        let start = w.c[i] as usize;
+        for k in start..start + w.imm[i] as usize + 1 {
+            cnt[w.tab[k] as usize] -= 1;
+        }
+        return;
+    }
+    visit_code_operands(w.code[i], w.a[i], w.b[i], w.c[i], |dep| {
+        cnt[dep as usize] -= 1;
+    });
+}
+
+/// Fold op `i` to the compile-time constant `v`.
+fn fold_to_const(
+    w: &mut WorkOps,
+    i: usize,
+    v: u64,
+    cnt: &mut [u32],
+    konst: &mut [Option<u64>],
+    folded: &mut Vec<(u32, u64)>,
+    stats: &mut EngineStats,
+) {
+    kill_op(w, i, cnt);
+    konst[w.dst[i] as usize] = Some(v);
+    folded.push((w.dst[i], v));
+    stats.consts_folded += 1;
+}
+
+/// Deepest selector bit a collapsed select tree may test: bit 7 bounds the
+/// leaf table at 256 entries, past which the gather's cache footprint beats
+/// the dispatches it saves.
+const SELECT_MAX_BIT: u64 = 7;
+
+/// Collect, in selector order, the leaves of a complete `MUX_BIT` subtree:
+/// `node` must be produced by a sole-consumer, non-external mux testing
+/// `sel` bit `bit`, recursing down to bit 0; at `bit == -1` the node itself
+/// is a leaf. Interior ops are recorded in `kill` for the caller to apply
+/// only if the whole tree gathers — nothing is mutated here, so a partial
+/// (non-power-of-two) tree aborts without damage.
+#[allow(clippy::too_many_arguments)]
+fn gather_select_tree(
+    w: &WorkOps,
+    dst_op: &[u32],
+    cnt: &[u32],
+    ext_ref: &[bool],
+    sel: u32,
+    node: u32,
+    bit: i64,
+    leaves: &mut Vec<u32>,
+    kill: &mut Vec<usize>,
+) -> bool {
+    if bit < 0 {
+        leaves.push(node);
+        return true;
+    }
+    let Some(p) = fusable(w, dst_op, cnt, ext_ref, node) else {
+        return false;
+    };
+    if w.code[p] != OP_MUX_BIT || w.a[p] != sel || w.imm[p] != bit as u64 {
+        return false;
+    }
+    kill.push(p);
+    gather_select_tree(w, dst_op, cnt, ext_ref, sel, w.c[p], bit - 1, leaves, kill)
+        && gather_select_tree(w, dst_op, cnt, ext_ref, sel, w.b[p], bit - 1, leaves, kill)
+}
+
+/// Is `node` a producer op that can be absorbed into its sole consumer?
+/// Requires a live producing op, exactly one consuming op, and no external
+/// reference (named signal, output, state-plan read).
+fn fusable(w: &WorkOps, dst_op: &[u32], cnt: &[u32], ext_ref: &[bool], node: u32) -> Option<usize> {
+    let p = dst_op[node as usize];
+    if p == NONE {
+        return None;
+    }
+    let p = p as usize;
+    if w.killed[p] || cnt[node as usize] != 1 || ext_ref[node as usize] {
+        return None;
+    }
+    Some(p)
+}
+
+/// The peephole + fusion pipeline over the lowered stream, in three
+/// passes (all in emit order, which is level order, so operand facts are
+/// final before any consumer inspects them):
+///
+/// **A. constant peephole** — ops whose inputs are all compile-time
+/// constants fold away entirely (recorded in `folded` so `Sim` can seed
+/// their values); a constant on one side of a binop rewrites in place to
+/// an immediate form (`AND_IMM`, `ADD_IMM`, `EQ_IMM`, `SHL_IMM`, …).
+///
+/// **B. superop fusion** — a producer with exactly one consumer and no
+/// external reference is absorbed into that consumer as a fused superop:
+/// op→NOT chains (`NAND`/`NOR`/`XNOR`, comparison inversions), AND/OR/XOR
+/// trees (`AND3`…), `ANDN`, compare-and-select (`MUX_EQI`, mux arm
+/// swaps), SLICE-of-SLICE collapse and SLICE+CONCAT re-packs (`REPACK`).
+/// The fused op keeps its original level, and absorbed operands come from
+/// strictly shallower levels, so fusion never reaches across a level
+/// boundary (asserted by `check_level_invariant`).
+///
+/// **C. dead elision** — a reverse sweep removes ops whose destination
+/// has no remaining consumer and no external reference (cascading).
+fn fuse_stream(
+    nodes: &[Node],
+    w: &mut WorkOps,
+    ext_ref: &[bool],
+    folded: &mut Vec<(u32, u64)>,
+    stats: &mut EngineStats,
+) {
+    let n = nodes.len();
+    let mut konst: Vec<Option<u64>> = vec![None; n];
+    for (idx, node) in nodes.iter().enumerate() {
+        if let Node::Const { value, .. } = node {
+            konst[idx] = Some(*value);
+        }
+    }
+    let mut cnt = vec![0u32; n];
+    let mut dst_op = vec![NONE; n];
+    for i in 0..w.code.len() {
+        w.visit_operands(i, |dep| cnt[dep as usize] += 1);
+        dst_op[w.dst[i] as usize] = i as u32;
+    }
+
+    // ---- pass A: constant folding & immediate rewrites ----
+    for i in 0..w.code.len() {
+        let code = w.code[i];
+        if code != OP_READ_ASYNC {
+            let mut all_const = true;
+            w.visit_operands(i, |dep| all_const &= konst[dep as usize].is_some());
+            if all_const {
+                let v = exec_scalar(
+                    code,
+                    w.a[i],
+                    w.b[i],
+                    w.c[i],
+                    w.imm[i],
+                    &mut |nd| konst[nd as usize].unwrap(),
+                    &mut |_, _| unreachable!("const fold never reads memory"),
+                );
+                fold_to_const(w, i, v, &mut cnt, &mut konst, folded, stats);
+                continue;
+            }
+        }
+        let (ka, kb) = (
+            konst[w.a[i] as usize],
+            if w.b[i] == NONE {
+                None
+            } else {
+                konst[w.b[i] as usize]
+            },
+        );
+        match code {
+            OP_AND | OP_OR | OP_XOR => {
+                let (var, k) = match (ka, kb) {
+                    (Some(k), None) => (w.b[i], k),
+                    (None, Some(k)) => (w.a[i], k),
+                    _ => continue,
+                };
+                if code == OP_AND && k == 0 {
+                    fold_to_const(w, i, 0, &mut cnt, &mut konst, folded, stats);
+                    continue;
+                }
+                let konst_side = if var == w.b[i] { w.a[i] } else { w.b[i] };
+                cnt[konst_side as usize] -= 1;
+                w.code[i] = match code {
+                    OP_AND => OP_AND_IMM,
+                    OP_OR => OP_OR_IMM,
+                    _ => OP_XOR_IMM,
+                };
+                w.a[i] = var;
+                w.b[i] = NONE;
+                w.imm[i] = k;
+                stats.imm_rewrites += 1;
+            }
+            OP_ADD | OP_SUB => {
+                // ADD commutes; SUB only folds a constant subtrahend
+                // (two's complement into the addend immediate).
+                let (var, k) = match (ka, kb, code) {
+                    (None, Some(k), OP_ADD) => (w.a[i], k),
+                    (Some(k), None, OP_ADD) => (w.b[i], k),
+                    (None, Some(k), OP_SUB) => (w.a[i], k.wrapping_neg()),
+                    _ => continue,
+                };
+                let konst_side = if var == w.a[i] { w.b[i] } else { w.a[i] };
+                cnt[konst_side as usize] -= 1;
+                let width = w.imm[i].count_ones();
+                w.code[i] = OP_ADD_IMM;
+                w.a[i] = var;
+                w.b[i] = NONE;
+                w.c[i] = width;
+                w.imm[i] = k;
+                stats.imm_rewrites += 1;
+            }
+            OP_EQ | OP_NE => {
+                let (var, k) = match (ka, kb) {
+                    (Some(k), None) => (w.b[i], k),
+                    (None, Some(k)) => (w.a[i], k),
+                    _ => continue,
+                };
+                let konst_side = if var == w.b[i] { w.a[i] } else { w.b[i] };
+                cnt[konst_side as usize] -= 1;
+                w.code[i] = if code == OP_EQ { OP_EQ_IMM } else { OP_NE_IMM };
+                w.a[i] = var;
+                w.b[i] = NONE;
+                w.imm[i] = k;
+                stats.imm_rewrites += 1;
+            }
+            OP_SHL | OP_SHR => {
+                let Some(k) = kb else { continue };
+                let aw = w.c[i] as u64;
+                if k >= aw {
+                    fold_to_const(w, i, 0, &mut cnt, &mut konst, folded, stats);
+                    continue;
+                }
+                cnt[w.b[i] as usize] -= 1;
+                if code == OP_SHL {
+                    w.code[i] = OP_SHL_IMM; // imm stays the result mask
+                } else {
+                    w.code[i] = OP_SLICE;
+                    w.imm[i] = mask64(aw as u32); // premasked operand ⇒ no-op mask
+                }
+                w.b[i] = NONE;
+                w.c[i] = k as u32;
+                stats.imm_rewrites += 1;
+            }
+            OP_MUL => {
+                let (var, k) = match (ka, kb) {
+                    (Some(k), None) => (w.b[i], k),
+                    (None, Some(k)) => (w.a[i], k),
+                    _ => continue,
+                };
+                if k == 0 {
+                    fold_to_const(w, i, 0, &mut cnt, &mut konst, folded, stats);
+                    continue;
+                }
+                if !k.is_power_of_two() {
+                    continue;
+                }
+                let konst_side = if var == w.b[i] { w.a[i] } else { w.b[i] };
+                cnt[konst_side as usize] -= 1;
+                w.code[i] = OP_SHL_IMM; // imm stays the result mask
+                w.a[i] = var;
+                w.b[i] = NONE;
+                w.c[i] = k.trailing_zeros();
+                stats.imm_rewrites += 1;
+            }
+            OP_CONCAT => {
+                // Constant hi half (the `zext` idiom) ORs in as an immediate
+                // over the lo half.
+                let Some(k) = ka else { continue };
+                cnt[w.a[i] as usize] -= 1;
+                w.code[i] = OP_OR_IMM;
+                w.imm[i] = k << w.c[i];
+                w.a[i] = w.b[i];
+                w.b[i] = NONE;
+                w.c[i] = NONE;
+                stats.imm_rewrites += 1;
+            }
+            OP_MUX => {
+                // Constant select: the mux is a wire to the taken arm.
+                let Some(k) = ka else { continue };
+                let (taken, dropped) = if k != 0 {
+                    (w.b[i], w.c[i])
+                } else {
+                    (w.c[i], w.b[i])
+                };
+                cnt[w.a[i] as usize] -= 1;
+                cnt[dropped as usize] -= 1;
+                w.code[i] = OP_OR_IMM;
+                w.a[i] = taken;
+                w.b[i] = NONE;
+                w.c[i] = NONE;
+                w.imm[i] = 0;
+                stats.imm_rewrites += 1;
+            }
+            _ => {}
+        }
+    }
+
+    // ---- pass B: superop fusion ----
+    for i in 0..w.code.len() {
+        if w.killed[i] {
+            continue;
+        }
+        // Absorb producer op `p` (destination `node`) into op `i`.
+        macro_rules! absorb {
+            ($p:expr, $node:expr) => {{
+                w.killed[$p] = true;
+                cnt[$node as usize] -= 1;
+                stats.ops_fused += 1;
+            }};
+        }
+        match w.code[i] {
+            OP_NOT => {
+                let x = w.a[i];
+                let Some(p) = fusable(w, &dst_op, &cnt, ext_ref, x) else {
+                    continue;
+                };
+                let m = w.imm[i];
+                let repl = match w.code[p] {
+                    OP_AND => Some((OP_NAND, w.a[p], w.b[p], m)),
+                    OP_OR => Some((OP_NOR, w.a[p], w.b[p], m)),
+                    OP_XOR => Some((OP_XNOR, w.a[p], w.b[p], m)),
+                    OP_EQ if m == 1 => Some((OP_NE, w.a[p], w.b[p], 0)),
+                    OP_NE if m == 1 => Some((OP_EQ, w.a[p], w.b[p], 0)),
+                    OP_LT if m == 1 => Some((OP_LE, w.b[p], w.a[p], 0)),
+                    OP_LE if m == 1 => Some((OP_LT, w.b[p], w.a[p], 0)),
+                    OP_RED_OR if m == 1 => Some((OP_EQ_IMM, w.a[p], NONE, 0)),
+                    OP_RED_AND if m == 1 => Some((OP_NE_IMM, w.a[p], NONE, w.imm[p])),
+                    OP_EQ_IMM if m == 1 => Some((OP_NE_IMM, w.a[p], NONE, w.imm[p])),
+                    OP_NE_IMM if m == 1 => Some((OP_EQ_IMM, w.a[p], NONE, w.imm[p])),
+                    // NOT(NOT(y) & m1) & m2 = y & m2 when m2 ⊆ m1.
+                    OP_NOT if m & !w.imm[p] == 0 => Some((OP_AND_IMM, w.a[p], NONE, m)),
+                    _ => None,
+                };
+                if let Some((c2, a2, b2, imm2)) = repl {
+                    w.code[i] = c2;
+                    w.a[i] = a2;
+                    w.b[i] = b2;
+                    w.imm[i] = imm2;
+                    absorb!(p, x);
+                }
+            }
+            OP_AND | OP_OR | OP_XOR => {
+                let (x, y) = (w.a[i], w.b[i]);
+                let same = w.code[i];
+                // A NOT on either side fuses into ANDN / XNOR first.
+                if same != OP_OR {
+                    let mut fused_not = false;
+                    for (not_side, keep) in [(y, x), (x, y)] {
+                        if let Some(p) = fusable(w, &dst_op, &cnt, ext_ref, not_side) {
+                            if w.code[p] == OP_NOT {
+                                w.code[i] = if same == OP_AND { OP_ANDN } else { OP_XNOR };
+                                w.a[i] = keep;
+                                w.b[i] = w.a[p];
+                                w.imm[i] = w.imm[p];
+                                absorb!(p, not_side);
+                                fused_not = true;
+                                break;
+                            }
+                        }
+                    }
+                    if fused_not {
+                        continue;
+                    }
+                }
+                // Same-op producer on either side widens to a 3-input op.
+                let three = match same {
+                    OP_AND => OP_AND3,
+                    OP_OR => OP_OR3,
+                    _ => OP_XOR3,
+                };
+                for (tree_side, keep) in [(x, y), (y, x)] {
+                    if let Some(p) = fusable(w, &dst_op, &cnt, ext_ref, tree_side) {
+                        if w.code[p] == same {
+                            w.code[i] = three;
+                            w.a[i] = w.a[p];
+                            w.b[i] = w.b[p];
+                            w.c[i] = keep;
+                            absorb!(p, tree_side);
+                            break;
+                        }
+                    }
+                }
+                // Bit-gate idiom: `x & slice(y, l, w)` in one dispatch.
+                if w.code[i] == OP_AND {
+                    for (slice_side, keep) in [(y, x), (x, y)] {
+                        if let Some(p) = fusable(w, &dst_op, &cnt, ext_ref, slice_side) {
+                            if w.code[p] == OP_SLICE {
+                                w.code[i] = OP_ANDSHR;
+                                w.a[i] = keep;
+                                w.b[i] = w.a[p];
+                                w.c[i] = w.c[p];
+                                w.imm[i] = w.imm[p];
+                                absorb!(p, slice_side);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            OP_MUX => {
+                let sel = w.a[i];
+                if let Some(p) = fusable(w, &dst_op, &cnt, ext_ref, sel) {
+                    match w.code[p] {
+                        OP_EQ_IMM => {
+                            w.code[i] = OP_MUX_EQI;
+                            w.a[i] = w.a[p];
+                            w.imm[i] = w.imm[p];
+                            absorb!(p, sel);
+                        }
+                        OP_NE_IMM => {
+                            w.code[i] = OP_MUX_EQI;
+                            w.a[i] = w.a[p];
+                            w.imm[i] = w.imm[p];
+                            let (t, f) = (w.b[i], w.c[i]);
+                            w.b[i] = f;
+                            w.c[i] = t;
+                            absorb!(p, sel);
+                        }
+                        OP_RED_AND => {
+                            w.code[i] = OP_MUX_EQI;
+                            w.a[i] = w.a[p];
+                            w.imm[i] = w.imm[p];
+                            absorb!(p, sel);
+                        }
+                        OP_RED_OR => {
+                            // mux tests `!= 0` anyway — drop the reduction.
+                            w.a[i] = w.a[p];
+                            absorb!(p, sel);
+                        }
+                        // Select-tree idiom: the select is one extracted bit.
+                        OP_SLICE if w.imm[p] == 1 => {
+                            w.code[i] = OP_MUX_BIT;
+                            w.a[i] = w.a[p];
+                            w.imm[i] = w.c[p] as u64;
+                            absorb!(p, sel);
+                        }
+                        OP_NOT if w.imm[p] == 1 => {
+                            w.a[i] = w.a[p];
+                            let (t, f) = (w.b[i], w.c[i]);
+                            w.b[i] = f;
+                            w.c[i] = t;
+                            absorb!(p, sel);
+                        }
+                        _ => {}
+                    }
+                }
+                // Counter idiom: the taken arm adds a constant to the other
+                // arm — `mux(en, q + k, q)` becomes one guarded increment.
+                if w.code[i] == OP_MUX {
+                    let (t, f) = (w.b[i], w.c[i]);
+                    if let Some(p) = fusable(w, &dst_op, &cnt, ext_ref, t) {
+                        if w.code[p] == OP_ADD_IMM && w.a[p] == f {
+                            w.code[i] = OP_INC_IF;
+                            w.b[i] = f;
+                            w.c[i] = w.c[p];
+                            w.imm[i] = w.imm[p];
+                            absorb!(p, t);
+                            // The absorbed add's `f` reference merges with
+                            // the mux's own else-arm reference.
+                            cnt[f as usize] -= 1;
+                        }
+                    }
+                }
+            }
+            OP_SLICE => {
+                let x = w.a[i];
+                let Some(p) = fusable(w, &dst_op, &cnt, ext_ref, x) else {
+                    continue;
+                };
+                if w.code[p] == OP_SLICE {
+                    // slice(slice(y, l1) & m1, l2) & m2 = slice(y, l1+l2) &
+                    // ((m1 >> l2) & m2); l1+l2 < 64 because the inner slice
+                    // must still cover the outer range.
+                    w.imm[i] &= w.imm[p] >> w.c[i];
+                    w.c[i] += w.c[p];
+                    w.a[i] = w.a[p];
+                    absorb!(p, x);
+                }
+            }
+            OP_CONCAT => {
+                let (hi, lo) = (w.a[i], w.b[i]);
+                let lo_w = w.c[i];
+                // A CONCAT feeding a CONCAT (the left-fold `cat` chain)
+                // collapses into a three-part CAT3 re-pack.
+                if let Some(p) = fusable(w, &dst_op, &cnt, ext_ref, hi) {
+                    if w.code[p] == OP_CONCAT {
+                        // ((pa << pc) | pb) << lo_w | lo
+                        w.imm[i] = u64::from(w.c[p]) | (u64::from(lo_w) << 8);
+                        w.a[i] = w.a[p];
+                        w.b[i] = w.b[p];
+                        w.c[i] = lo;
+                        w.code[i] = OP_CAT3;
+                        absorb!(p, hi);
+                        continue;
+                    }
+                }
+                if let Some(p) = fusable(w, &dst_op, &cnt, ext_ref, lo) {
+                    if w.code[p] == OP_CONCAT {
+                        // (hi << lo_w) | (pa << pc) | pb, with the hi shift
+                        // split as (hi << (lo_w - pc)) | pa, then << pc.
+                        let pc = w.c[p];
+                        w.imm[i] = u64::from(lo_w - pc) | (u64::from(pc) << 8);
+                        w.b[i] = w.a[p];
+                        w.c[i] = w.b[p];
+                        w.code[i] = OP_CAT3;
+                        absorb!(p, lo);
+                        continue;
+                    }
+                }
+                let hi_w = node_width(&nodes[w.dst[i] as usize]) as u32 - lo_w;
+                let mut l1 = 0u32;
+                let mut l2 = 0u32;
+                let (mut na, mut nb) = (hi, lo);
+                let mut any = false;
+                if let Some(p) = fusable(w, &dst_op, &cnt, ext_ref, hi) {
+                    if w.code[p] == OP_SLICE {
+                        na = w.a[p];
+                        l1 = w.c[p];
+                        absorb!(p, hi);
+                        any = true;
+                    }
+                }
+                if let Some(p) = fusable(w, &dst_op, &cnt, ext_ref, lo) {
+                    if w.code[p] == OP_SLICE {
+                        nb = w.a[p];
+                        l2 = w.c[p];
+                        absorb!(p, lo);
+                        any = true;
+                    }
+                }
+                if any {
+                    w.code[i] = OP_REPACK;
+                    w.a[i] = na;
+                    w.b[i] = nb;
+                    w.c[i] = l1 | (l2 << 8) | (hi_w << 16) | (lo_w << 24);
+                    w.imm[i] = 0;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ---- pass B2: select-tree collapse ----
+    // `Design::select` lowers an N-way readout into a balanced tree of
+    // MUX_BITs testing successive selector bits; pass B has already turned
+    // every interior mux into that shape. When a complete tree survives
+    // with one consumer per interior mux and the same selector throughout,
+    // the whole tree is a single table lookup — dst = leaves[sel & mask] —
+    // and all 2^depth - 2 interior dispatches die. The reverse sweep hits
+    // outermost roots first, so nested subtrees collapse into their
+    // largest enclosing tree rather than fragmenting.
+    for i in (0..w.code.len()).rev() {
+        if w.killed[i] || w.code[i] != OP_MUX_BIT {
+            continue;
+        }
+        let bit = w.imm[i];
+        if !(1..=SELECT_MAX_BIT).contains(&bit) {
+            continue;
+        }
+        let sel = w.a[i];
+        let mut leaves = Vec::with_capacity(2usize << bit);
+        let mut kill = Vec::new();
+        // Selector order: bit clear → `c` arm, so the low half gathers first.
+        let lo = w.c[i];
+        let hi = w.b[i];
+        if !gather_select_tree(
+            w,
+            &dst_op,
+            &cnt,
+            ext_ref,
+            sel,
+            lo,
+            bit as i64 - 1,
+            &mut leaves,
+            &mut kill,
+        ) || !gather_select_tree(
+            w,
+            &dst_op,
+            &cnt,
+            ext_ref,
+            sel,
+            hi,
+            bit as i64 - 1,
+            &mut leaves,
+            &mut kill,
+        ) {
+            continue;
+        }
+        for &p in &kill {
+            w.killed[p] = true;
+            // The parent's reference to this mux's dst is gone; leaf arm
+            // references transfer to the table unchanged, but each interior
+            // mux also read the selector once.
+            cnt[w.dst[p] as usize] -= 1;
+            cnt[sel as usize] -= 1;
+            stats.ops_fused += 1;
+        }
+        let start = w.tab.len() as u32;
+        w.tab.extend_from_slice(&leaves);
+        w.code[i] = OP_SELECT;
+        w.b[i] = 0; // selector shift: gathered trees always bottom at bit 0
+        w.c[i] = start;
+        w.imm[i] = (leaves.len() - 1) as u64;
+    }
+
+    // ---- pass C: dead elision (reverse sweep, cascading) ----
+    for i in (0..w.code.len()).rev() {
+        if w.killed[i] {
+            continue;
+        }
+        let dst = w.dst[i] as usize;
+        if cnt[dst] == 0 && !ext_ref[dst] {
+            kill_op(w, i, &mut cnt);
+            stats.ops_elided += 1;
         }
     }
 }
@@ -987,5 +2865,96 @@ pub(crate) fn for_each_operand(node: &Node, mut f: impl FnMut(u32)) {
             addr, sync: false, ..
         } => f(*addr),
         Node::Reg { .. } | Node::ReadPort { sync: true, .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repack_parts_round_trip() {
+        let (l1, l2, w2) = (13u32, 7u32, 24u32);
+        let w1 = 40u32;
+        let c = l1 | (l2 << 8) | (w1 << 16) | (w2 << 24);
+        let (rl1, rl2, rw2, m1, m2) = repack_parts(c);
+        assert_eq!((rl1, rl2, rw2), (l1, l2, w2));
+        assert_eq!(m1, mask64(w1));
+        assert_eq!(m2, mask64(w2));
+    }
+
+    #[test]
+    fn every_opcode_has_a_name() {
+        for code in 0..=OP_SELECT {
+            assert_ne!(op_name(code), "invalid", "opcode {code} unnamed");
+        }
+        assert_eq!(op_name(OP_SELECT + 1), "invalid");
+    }
+
+    #[test]
+    fn exec_scalar_superop_semantics() {
+        let vals = [0u64, 0b1100, 0b1010, 3];
+        let mut val = |n: u32| vals[n as usize];
+        let mut mem = |_: u32, _: u64| unreachable!();
+        let m = mask64(4);
+        assert_eq!(exec_scalar(OP_NAND, 1, 2, 0, m, &mut val, &mut mem), 0b0111);
+        assert_eq!(exec_scalar(OP_NOR, 1, 2, 0, m, &mut val, &mut mem), 0b0001);
+        assert_eq!(exec_scalar(OP_XNOR, 1, 2, 0, m, &mut val, &mut mem), 0b1001);
+        assert_eq!(exec_scalar(OP_ANDN, 1, 2, 0, m, &mut val, &mut mem), 0b0100);
+        assert_eq!(
+            exec_scalar(OP_AND3, 1, 2, 3, 0, &mut val, &mut mem),
+            0b1100 & 0b1010 & 3
+        );
+        assert_eq!(
+            exec_scalar(OP_ADD_IMM, 1, NONE, 4, 7, &mut val, &mut mem),
+            (0b1100 + 7) & 0xf
+        );
+        assert_eq!(
+            exec_scalar(OP_EQ_IMM, 1, NONE, 0, 0b1100, &mut val, &mut mem),
+            1
+        );
+        assert_eq!(
+            exec_scalar(OP_NE_IMM, 1, NONE, 0, 0b1100, &mut val, &mut mem),
+            0
+        );
+        assert_eq!(
+            exec_scalar(OP_MUX_EQI, 1, 2, 3, 0b1100, &mut val, &mut mem),
+            0b1010
+        );
+        assert_eq!(
+            exec_scalar(OP_SHL_IMM, 3, NONE, 2, mask64(4), &mut val, &mut mem),
+            0b1100
+        );
+        // repack: hi = vals[1][2..6) (w1=4, l1=2), lo = vals[2][1..4) (w2=3)
+        let c = 2 | (1 << 8) | (4 << 16) | (3 << 24);
+        assert_eq!(
+            exec_scalar(OP_REPACK, 1, 2, c, 0, &mut val, &mut mem),
+            (0b0011 << 3) | 0b101
+        );
+        // mux_bit: bit 3 of vals[1] = 1 → taken arm; bit 0 = 0 → else arm.
+        assert_eq!(
+            exec_scalar(OP_MUX_BIT, 1, 2, 3, 3, &mut val, &mut mem),
+            0b1010
+        );
+        assert_eq!(exec_scalar(OP_MUX_BIT, 1, 2, 3, 0, &mut val, &mut mem), 3);
+        // andshr: vals[1] & ((vals[2] >> 1) & 0b111)
+        assert_eq!(
+            exec_scalar(OP_ANDSHR, 1, 2, 1, 0b111, &mut val, &mut mem),
+            0b1100 & 0b101
+        );
+        // cat3: ((vals[3] << 4) | vals[1]) << 4 | vals[2]
+        assert_eq!(
+            exec_scalar(OP_CAT3, 3, 1, 2, 4 | (4 << 8), &mut val, &mut mem),
+            (3 << 8) | (0b1100 << 4) | 0b1010
+        );
+        // inc_if: vals[1] != 0 → (vals[2] + 7) & 0xf; vals[0] == 0 → pass-through.
+        assert_eq!(
+            exec_scalar(OP_INC_IF, 1, 2, 4, 7, &mut val, &mut mem),
+            (0b1010 + 7) & 0xf
+        );
+        assert_eq!(
+            exec_scalar(OP_INC_IF, 0, 2, 4, 7, &mut val, &mut mem),
+            0b1010
+        );
     }
 }

@@ -36,7 +36,7 @@
 //! }
 //! ```
 
-use crate::engine::{CompiledEngine, LaneState};
+use crate::engine::{exec_scalar, for_each_operand, lower_op, CompiledEngine, LaneState};
 use crate::error::ChdlError;
 use crate::netlist::{MemId, Node};
 use crate::signal::{mask, Signal};
@@ -136,11 +136,59 @@ impl LaneGroup {
     }
 
     /// Read any signal on one lane by handle after settling
-    /// combinational logic.
+    /// combinational logic. An unnamed intermediate the fusion pass
+    /// absorbed or elided is recomputed on demand from its materialized
+    /// ancestors, exactly like [`Sim::get_signal`](crate::Sim::get_signal).
     pub fn get_signal(&mut self, lane: usize, sig: Signal) -> u64 {
         self.check_lane(lane);
         self.eval();
+        if !self.engine.is_computed(sig.node) {
+            return self.eval_elided(lane, sig.node);
+        }
         self.state.vals[sig.node as usize * self.state.lanes + lane]
+    }
+
+    /// Recompute a fused-away node for one lane (iterative post-order
+    /// walk with a local memo; see `Sim::eval_elided`).
+    fn eval_elided(&self, lane: usize, root: u32) -> u64 {
+        let lanes = self.state.lanes;
+        let mut memo: HashMap<u32, u64> = HashMap::new();
+        let mut stack = vec![(root, false)];
+        while let Some((n, ready)) = stack.pop() {
+            if memo.contains_key(&n) {
+                continue;
+            }
+            if self.engine.is_computed(n) {
+                memo.insert(n, self.state.vals[n as usize * lanes + lane]);
+                continue;
+            }
+            if ready {
+                let op = lower_op(&self.nodes, n).expect("uncomputed node is always a lowered op");
+                let v = exec_scalar(
+                    op.code,
+                    op.a,
+                    op.b,
+                    op.c,
+                    op.imm,
+                    &mut |nd| memo[&nd],
+                    &mut |m, a| {
+                        let words = self.state.mem_words[m as usize];
+                        let bank = &self.state.mems[m as usize];
+                        let a = a as usize;
+                        if a < words {
+                            bank[lane * words + a]
+                        } else {
+                            0
+                        }
+                    },
+                );
+                memo.insert(n, v);
+            } else {
+                stack.push((n, true));
+                for_each_operand(&self.nodes[n as usize], |dep| stack.push((dep, false)));
+            }
+        }
+        memo[&root]
     }
 
     /// Settle combinational logic for all lanes. Idempotent; called

@@ -13,7 +13,8 @@
 //! local identity) and verified by equivalence tests that co-simulate the
 //! original and optimized netlists on shared stimuli.
 
-use crate::netlist::{BinOp, Design, Node, UnOp};
+use crate::engine::{exec_scalar, lower_op};
+use crate::netlist::{BinOp, Design, Node};
 use crate::signal::mask;
 
 /// Statistics of one optimization run.
@@ -47,6 +48,21 @@ impl Design {
             }
             i
         };
+        // All-const evaluation goes through the engine's lowering, so the
+        // optimizer, interpreter and compiled engine share one source of
+        // truth for op semantics (`engine::exec_scalar`).
+        let eval_const = |i: usize, constant: &[Option<u64>], alias: &[u32]| -> u64 {
+            let op = lower_op(&self.nodes, i as u32).expect("const-eval target is a lowered op");
+            exec_scalar(
+                op.code,
+                op.a,
+                op.b,
+                op.c,
+                op.imm,
+                &mut |nd| constant[resolve(alias, nd) as usize].unwrap(),
+                &mut |_, _| unreachable!("read ports are never const-folded"),
+            )
+        };
         for i in 0..n {
             let node = &self.nodes[i];
             let c = |idx: u32, constant: &[Option<u64>], alias: &[u32]| {
@@ -54,52 +70,18 @@ impl Design {
             };
             match node {
                 Node::Const { value, .. } => constant[i] = Some(*value),
-                Node::Unop { op, a, width } => {
-                    if let Some(av) = c(*a, &constant, &alias) {
-                        let aw = self.node_width_of(*a);
-                        let v = match op {
-                            UnOp::Not => !av & mask(*width),
-                            UnOp::ReduceAnd => u64::from(av == mask(aw)),
-                            UnOp::ReduceOr => u64::from(av != 0),
-                            UnOp::ReduceXor => u64::from(av.count_ones() & 1 == 1),
-                        };
-                        constant[i] = Some(v);
+                Node::Unop { a, .. } => {
+                    if c(*a, &constant, &alias).is_some() {
+                        constant[i] = Some(eval_const(i, &constant, &alias));
                     }
                 }
                 Node::Binop { op, a, b, width } => {
                     let av = c(*a, &constant, &alias);
                     let bv = c(*b, &constant, &alias);
                     let m = mask(*width);
-                    let aw = self.node_width_of(*a);
                     match (av, bv) {
-                        (Some(x), Some(y)) => {
-                            let v = match op {
-                                BinOp::And => x & y,
-                                BinOp::Or => x | y,
-                                BinOp::Xor => x ^ y,
-                                BinOp::Add => x.wrapping_add(y) & m,
-                                BinOp::Sub => x.wrapping_sub(y) & m,
-                                BinOp::Mul => x.wrapping_mul(y) & m,
-                                BinOp::Eq => u64::from(x == y),
-                                BinOp::Ne => u64::from(x != y),
-                                BinOp::Lt => u64::from(x < y),
-                                BinOp::Le => u64::from(x <= y),
-                                BinOp::Shl => {
-                                    if y >= aw as u64 {
-                                        0
-                                    } else {
-                                        (x << y) & m
-                                    }
-                                }
-                                BinOp::Shr => {
-                                    if y >= aw as u64 {
-                                        0
-                                    } else {
-                                        x >> y
-                                    }
-                                }
-                            };
-                            constant[i] = Some(v);
+                        (Some(_), Some(_)) => {
+                            constant[i] = Some(eval_const(i, &constant, &alias));
                         }
                         // Identity rewrites producing aliases.
                         (Some(0), None) if matches!(op, BinOp::Or | BinOp::Xor | BinOp::Add) => {
@@ -166,18 +148,15 @@ impl Design {
                     }
                 }
                 Node::Slice { a, lo, width } => {
-                    if let Some(av) = c(*a, &constant, &alias) {
-                        constant[i] = Some((av >> lo) & mask(*width));
+                    if c(*a, &constant, &alias).is_some() {
+                        constant[i] = Some(eval_const(i, &constant, &alias));
                     } else if *lo == 0 && *width == self.node_width_of(*a) {
                         alias[i] = resolve(&alias, *a); // full-width slice
                     }
                 }
                 Node::Concat { hi, lo, .. } => {
-                    if let (Some(h), Some(l)) =
-                        (c(*hi, &constant, &alias), c(*lo, &constant, &alias))
-                    {
-                        let lw = self.node_width_of(*lo);
-                        constant[i] = Some((h << lw) | l);
+                    if c(*hi, &constant, &alias).is_some() && c(*lo, &constant, &alias).is_some() {
+                        constant[i] = Some(eval_const(i, &constant, &alias));
                     }
                 }
                 Node::Input { .. } | Node::Reg { .. } | Node::ReadPort { .. } => {}

@@ -23,10 +23,12 @@
 //! Combinational loops are detected at construction and reported as
 //! [`ChdlError::CombinationalLoop`].
 
-use crate::engine::{for_each_operand, CompiledEngine, LaneState};
+use crate::engine::{
+    exec_scalar, for_each_operand, lower_op, CompiledEngine, EngineConfig, EngineStats, LaneState,
+};
 use crate::error::ChdlError;
 use crate::lanes::LaneGroup;
-use crate::netlist::{node_width, BinOp, Design, MemId, Node, UnOp, WritePortDecl, UNDRIVEN};
+use crate::netlist::{Design, MemId, Node, WritePortDecl, UNDRIVEN};
 use crate::signal::{mask, Signal};
 use std::collections::HashMap;
 
@@ -56,6 +58,9 @@ pub struct Sim {
     dirty: bool,
     cycle: u64,
     mode: ExecMode,
+    /// Engine tuning this instance was compiled with (inherited by
+    /// [`Sim::fork_lanes`] so lane groups fuse identically).
+    config: EngineConfig,
     engine: Option<CompiledEngine>,
     /// Interpreter-mode persistent next-state buffer (one slot per state
     /// node) so `step()` performs no per-edge heap allocation.
@@ -81,8 +86,26 @@ impl Sim {
             .unwrap_or_else(|e| panic!("elaboration of '{}': {e}", design.name()))
     }
 
-    /// Elaborate and instantiate with an explicit execution engine.
+    /// Elaborate and instantiate with an explicit execution engine, using
+    /// the process-wide default [`EngineConfig`].
     pub fn try_with_mode(design: &Design, mode: ExecMode) -> Result<Self, ChdlError> {
+        Self::try_with_config(design, mode, EngineConfig::global())
+    }
+
+    /// Elaborate and instantiate with explicit engine tuning. Panics on
+    /// elaboration errors; use [`Sim::try_with_config`] to handle them.
+    pub fn with_config(design: &Design, mode: ExecMode, config: EngineConfig) -> Self {
+        Self::try_with_config(design, mode, config)
+            .unwrap_or_else(|e| panic!("elaboration of '{}': {e}", design.name()))
+    }
+
+    /// Elaborate and instantiate with an explicit execution engine and
+    /// explicit engine tuning (fusion on/off, parallel partitioning).
+    pub fn try_with_config(
+        design: &Design,
+        mode: ExecMode,
+        config: EngineConfig,
+    ) -> Result<Self, ChdlError> {
         let nodes = design.nodes.clone();
         // Every register must have been driven.
         for node in &nodes {
@@ -153,6 +176,14 @@ impl Sim {
             }
         }
 
+        // Externally referenced nodes: everything with a name (outputs are
+        // always named too). The fusion pass must keep these observable —
+        // it may neither absorb nor elide them.
+        let mut protected = vec![false; n];
+        for sig in design.names.values() {
+            protected[sig.node as usize] = true;
+        }
+
         let engine = match mode {
             ExecMode::Compiled => Some(CompiledEngine::compile(
                 &nodes,
@@ -160,9 +191,18 @@ impl Sim {
                 &state_nodes,
                 &design.write_ports,
                 mems.len(),
+                &protected,
+                config,
             )),
             ExecMode::Interpreted => None,
         };
+        // Ops the peephole folded away are pre-seeded like elaborated
+        // constants; their producing ops no longer exist in the stream.
+        if let Some(e) = &engine {
+            for &(node, v) in e.folded_consts() {
+                vals[node as usize] = v;
+            }
+        }
         let state_scratch = vec![0u64; state_nodes.len()];
 
         Ok(Sim {
@@ -176,6 +216,7 @@ impl Sim {
             dirty: true,
             cycle: 0,
             mode,
+            config,
             engine,
             state_scratch,
         })
@@ -230,9 +271,56 @@ impl Sim {
     }
 
     /// Read any signal by handle after settling combinational logic.
+    ///
+    /// Named signals are always materialized. An unnamed intermediate the
+    /// fusion pass absorbed or elided is recomputed on demand from its
+    /// nearest materialized ancestors — observability is preserved, the
+    /// hot loop just doesn't pay for it.
     pub fn get_signal(&mut self, sig: Signal) -> u64 {
         self.eval();
+        if let Some(e) = &self.engine {
+            if !e.is_computed(sig.node) {
+                return self.eval_elided(sig.node);
+            }
+        }
         self.vals[sig.node as usize]
+    }
+
+    /// Recompute a fused-away node from materialized values. Iterative
+    /// post-order walk with a local memo, so arbitrarily deep elided
+    /// chains cannot overflow the stack; the walk bottoms out wherever
+    /// `CompiledEngine::is_computed` holds (sources, state, live op dsts,
+    /// folded constants).
+    fn eval_elided(&self, root: u32) -> u64 {
+        let engine = self.engine.as_ref().expect("compiled mode");
+        let mut memo: HashMap<u32, u64> = HashMap::new();
+        let mut stack = vec![(root, false)];
+        while let Some((n, ready)) = stack.pop() {
+            if memo.contains_key(&n) {
+                continue;
+            }
+            if engine.is_computed(n) {
+                memo.insert(n, self.vals[n as usize]);
+                continue;
+            }
+            if ready {
+                let op = lower_op(&self.nodes, n).expect("uncomputed node is always a lowered op");
+                let v = exec_scalar(
+                    op.code,
+                    op.a,
+                    op.b,
+                    op.c,
+                    op.imm,
+                    &mut |nd| memo[&nd],
+                    &mut |m, a| self.mems[m as usize].get(a as usize).copied().unwrap_or(0),
+                );
+                memo.insert(n, v);
+            } else {
+                stack.push((n, true));
+                for_each_operand(&self.nodes[n as usize], |dep| stack.push((dep, false)));
+            }
+        }
+        memo[&root]
     }
 
     /// Settle combinational logic for the current inputs and state.
@@ -253,77 +341,24 @@ impl Sim {
         }
     }
 
+    /// Interpreter-mode single-node evaluation. Lowers the node through
+    /// the engine's [`lower_op`]/[`exec_scalar`] pair, so interpreter and
+    /// compiled engine share one source of truth for op semantics — a new
+    /// opcode needs exactly one eval implementation.
     fn eval_node(&self, idx: usize) -> u64 {
-        match &self.nodes[idx] {
-            Node::Input { .. } => self.vals[idx],
-            Node::Const { value, .. } => *value,
-            Node::Unop { op, a, width } => {
-                let av = self.vals[*a as usize];
-                let aw = node_width(&self.nodes[*a as usize]);
-                match op {
-                    UnOp::Not => !av & mask(*width),
-                    UnOp::ReduceAnd => u64::from(av == mask(aw)),
-                    UnOp::ReduceOr => u64::from(av != 0),
-                    UnOp::ReduceXor => u64::from(av.count_ones() & 1 == 1),
-                }
-            }
-            Node::Binop { op, a, b, width } => {
-                let av = self.vals[*a as usize];
-                let bv = self.vals[*b as usize];
-                let m = mask(*width);
-                match op {
-                    BinOp::And => av & bv,
-                    BinOp::Or => av | bv,
-                    BinOp::Xor => av ^ bv,
-                    BinOp::Add => av.wrapping_add(bv) & m,
-                    BinOp::Sub => av.wrapping_sub(bv) & m,
-                    BinOp::Mul => av.wrapping_mul(bv) & m,
-                    BinOp::Eq => u64::from(av == bv),
-                    BinOp::Ne => u64::from(av != bv),
-                    BinOp::Lt => u64::from(av < bv),
-                    BinOp::Le => u64::from(av <= bv),
-                    BinOp::Shl => {
-                        let aw = node_width(&self.nodes[*a as usize]);
-                        if bv >= aw as u64 {
-                            0
-                        } else {
-                            (av << bv) & m
-                        }
-                    }
-                    BinOp::Shr => {
-                        let aw = node_width(&self.nodes[*a as usize]);
-                        if bv >= aw as u64 {
-                            0
-                        } else {
-                            av >> bv
-                        }
-                    }
-                }
-            }
-            Node::Mux { sel, t, f, .. } => {
-                if self.vals[*sel as usize] != 0 {
-                    self.vals[*t as usize]
-                } else {
-                    self.vals[*f as usize]
-                }
-            }
-            Node::Slice { a, lo, width } => (self.vals[*a as usize] >> lo) & mask(*width),
-            Node::Concat { hi, lo, .. } => {
-                let lo_w = node_width(&self.nodes[*lo as usize]);
-                (self.vals[*hi as usize] << lo_w) | self.vals[*lo as usize]
-            }
-            Node::ReadPort {
-                mem,
-                addr,
-                sync: false,
-                ..
-            } => {
-                let a = self.vals[*addr as usize] as usize;
-                self.mems[*mem as usize].get(a).copied().unwrap_or(0)
-            }
-            Node::Reg { .. } | Node::ReadPort { sync: true, .. } => {
-                unreachable!("state node in combinational order")
-            }
+        match lower_op(&self.nodes, idx as u32) {
+            Some(op) => exec_scalar(
+                op.code,
+                op.a,
+                op.b,
+                op.c,
+                op.imm,
+                &mut |n| self.vals[n as usize],
+                &mut |m, a| self.mems[m as usize].get(a as usize).copied().unwrap_or(0),
+            ),
+            // Sources (inputs, constants) and state nodes carry their own
+            // current value; constants were seeded at construction.
+            None => self.vals[idx],
         }
     }
 
@@ -511,6 +546,20 @@ impl Sim {
             .map(|e| (e.op_count(), e.level_count()))
     }
 
+    /// Full compile-time stream statistics — ops before/after fusion,
+    /// peephole counters, the superop histogram and the partition count —
+    /// or `None` in interpreter mode. Benches serialize these so fusion
+    /// rates are tracked over time.
+    pub fn engine_stats(&self) -> Option<&EngineStats> {
+        self.engine.as_ref().map(|e| e.stats())
+    }
+
+    /// Test-only access to the compiled engine (level-invariant checks).
+    #[cfg(test)]
+    pub(crate) fn engine(&self) -> Option<&CompiledEngine> {
+        self.engine.as_ref()
+    }
+
     /// Fork `lanes` independent instances of this design into a
     /// [`LaneGroup`] stepped together by the compiled engine's
     /// lane-batched (SIMD) execution paths.
@@ -522,17 +571,31 @@ impl Sim {
     /// stream, so it works from either execution mode.
     pub fn fork_lanes(&self, lanes: usize) -> LaneGroup {
         assert!(lanes > 0, "a lane group needs at least one lane");
+        // Same protected set and config as our own engine, so the lane
+        // group's stream fuses identically (bit-exact with the scalar
+        // engine by construction).
+        let mut protected = vec![false; self.nodes.len()];
+        for sig in self.names.values() {
+            protected[sig.node as usize] = true;
+        }
         let engine = CompiledEngine::compile(
             &self.nodes,
             &self.order,
             &self.state_nodes,
             &self.write_ports,
             self.mems.len(),
+            &protected,
+            self.config,
         );
         let n = self.nodes.len();
         let mut vals = vec![0u64; n * lanes];
         for (node, &v) in self.vals.iter().enumerate() {
             vals[node * lanes..(node + 1) * lanes].fill(v);
+        }
+        // Seed peephole-folded constants into every lane: in interpreter
+        // mode (or before a first eval) the source slots may be stale.
+        for &(node, v) in engine.folded_consts() {
+            vals[node as usize * lanes..(node as usize + 1) * lanes].fill(v);
         }
         let mem_words: Vec<usize> = self.mems.iter().map(Vec::len).collect();
         let mems: Vec<Vec<u64>> = self
@@ -580,6 +643,7 @@ fn describe_node(node: &Node, idx: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::netlist::BinOp;
 
     #[test]
     fn adder_adds() {
@@ -1069,5 +1133,154 @@ mod tests {
         assert!(levels >= 2, "kitchen sink has logic depth, got {levels}");
         let oracle = Sim::with_mode(&d, ExecMode::Interpreted);
         assert_eq!(oracle.compiled_stats(), None);
+        assert!(oracle.engine_stats().is_none());
+    }
+
+    /// A design with plenty of fusable shapes: NAND/NOR chains, a 3-input
+    /// AND tree, compare-and-select, slice+concat repacking, a complete
+    /// 8-way select tree, and constant subexpressions for the peephole.
+    fn fusion_playground() -> Design {
+        let mut d = Design::new("fusion_playground");
+        let a = d.input("a", 16);
+        let b = d.input("b", 16);
+        let c = d.input("c", 16);
+        let ab = d.and(a, b);
+        let nand = d.not(ab);
+        let ac = d.or(a, c);
+        let nor = d.not(ac);
+        let ab2 = d.and(a, b);
+        let tree = d.and(ab2, c);
+        let k = d.lit(7, 16);
+        let masked = d.and(a, k); // -> AND_IMM
+        let kk = d.add(k, k); // all-const -> folded
+        let sel = d.eq(b, k); // -> EQ_IMM, then MUX_EQI
+        let picked = d.mux(sel, nand, nor);
+        let hi = d.slice(a, 8, 8);
+        let lo = d.slice(b, 0, 8);
+        let packed = d.concat(hi, lo); // -> REPACK
+        let sbit = d.bit(c, 3);
+        let stepped = d.mux(sbit, a, b); // -> MUX_BIT
+        let cb = d.bit(c, 5);
+        let bb = d.bit(b, 1);
+        let gated = d.and(cb, bb); // -> ANDSHR
+        let three = d.cat(&[a, b, c]); // CONCAT of CONCAT -> CAT3
+        let one = d.lit(3, 16);
+        let inc = d.add(tree, one);
+        let counted = d.mux(gated, inc, tree); // -> INC_IF
+        let sel3 = d.slice(c, 4, 3);
+        let leaves = [a, b, nand, nor, ab2, masked, packed, tree];
+        let table = d.select(sel3, &leaves); // complete mux tree -> SELECT
+        let s1 = d.add(picked, tree);
+        let s2 = d.add(masked, packed);
+        let s3 = d.add(s1, s2);
+        let s4 = d.add(s3, kk);
+        let s5 = d.add(s4, stepped);
+        let three16 = d.slice(three, 0, 16);
+        let s6 = d.add(s5, three16);
+        let s7 = d.add(s6, table);
+        let out = d.add(s7, counted);
+        d.expose_output("out", out);
+        d
+    }
+
+    #[test]
+    fn fusion_fires_and_respects_level_boundaries() {
+        let d = fusion_playground();
+        let sim = Sim::new(&d);
+        let stats = sim.engine_stats().unwrap().clone();
+        assert!(stats.ops_fused > 0, "no superops formed: {stats:?}");
+        assert!(stats.consts_folded > 0, "const peephole idle: {stats:?}");
+        assert!(stats.imm_rewrites > 0, "imm peephole idle: {stats:?}");
+        assert!(
+            stats.ops_final < stats.ops_lowered,
+            "fusion should shrink the stream: {stats:?}"
+        );
+        assert!(
+            !stats.superops.is_empty(),
+            "superop histogram empty: {stats:?}"
+        );
+        for need in [
+            "nand", "nor", "mux_eqi", "repack", "mux_bit", "andshr", "cat3", "inc_if", "select",
+        ] {
+            assert!(
+                stats.superops.iter().any(|(n, _)| *n == need),
+                "playground should form {need}: {stats:?}"
+            );
+        }
+        // Fusion must never reach across a level boundary: every operand
+        // of every op is produced at a strictly shallower level.
+        sim.engine().unwrap().check_level_invariant();
+    }
+
+    #[test]
+    fn fused_and_partitioned_match_unfused_serial() {
+        let d = fusion_playground();
+        let configs = [
+            EngineConfig::default(),
+            EngineConfig::serial(),
+            EngineConfig::unfused(),
+            EngineConfig {
+                fuse: true,
+                parallel: crate::ParallelEval::Force(3),
+            },
+        ];
+        let mut oracle = Sim::with_mode(&d, ExecMode::Interpreted);
+        let mut sims: Vec<Sim> = (configs.iter())
+            .map(|&c| Sim::with_config(&d, ExecMode::Compiled, c))
+            .collect();
+        for cycle in 0..64u64 {
+            let (a, b, c) = (
+                cycle * 7919 % 65536,
+                cycle * 104729 % 65536,
+                cycle * 31 % 65536,
+            );
+            oracle.set("a", a);
+            oracle.set("b", b);
+            oracle.set("c", c);
+            let want = oracle.get("out");
+            for (k, sim) in sims.iter_mut().enumerate() {
+                sim.set("a", a);
+                sim.set("b", b);
+                sim.set("c", c);
+                assert_eq!(sim.get("out"), want, "config {k} diverged at cycle {cycle}");
+            }
+            oracle.step();
+            for sim in &mut sims {
+                sim.step();
+            }
+        }
+    }
+
+    #[test]
+    fn elided_intermediates_stay_observable() {
+        let d = fusion_playground();
+        let mut sim = Sim::new(&d);
+        let mut oracle = Sim::with_mode(&d, ExecMode::Interpreted);
+        sim.set("a", 0xBEEF);
+        sim.set("b", 0x1234);
+        sim.set("c", 0x0F0F);
+        oracle.set("a", 0xBEEF);
+        oracle.set("b", 0x1234);
+        oracle.set("c", 0x0F0F);
+        // Probe EVERY node by handle — fused-away intermediates must
+        // still read back exactly what the interpreter computes.
+        for idx in 0..sim.nodes.len() {
+            if matches!(
+                sim.nodes[idx],
+                Node::Reg { .. } | Node::ReadPort { sync: true, .. }
+            ) {
+                continue;
+            }
+            let w = crate::netlist::node_width(&sim.nodes[idx]);
+            let sig = Signal {
+                node: idx as u32,
+                width: w,
+            };
+            assert_eq!(
+                sim.get_signal(sig),
+                oracle.get_signal(sig),
+                "node {idx} mismatch"
+            );
+        }
     }
 }

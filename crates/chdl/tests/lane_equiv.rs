@@ -7,7 +7,9 @@
 mod netgen;
 
 use atlantis_chdl::prelude::*;
-use netgen::{build_design, XorShift, MEM_WORDS, N_INPUTS};
+use atlantis_chdl::sim::ExecMode;
+use atlantis_chdl::EngineConfig;
+use netgen::{build_design, build_design_with_chain, XorShift, MEM_WORDS, N_INPUTS};
 use proptest::prelude::*;
 
 proptest! {
@@ -79,6 +81,65 @@ proptest! {
             prop_assert_eq!(group.dump_mem(lane, mem), scalar.dump_mem(mem));
         }
         prop_assert_eq!(group.cycle(), scalars[0].cycle());
+    }
+
+    /// The lane engine consumes the same fused stream as the scalar
+    /// engine (fork inherits the parent's `EngineConfig`). On deep-chain
+    /// netlists, a fused lane group must stay bit-exact with unfused
+    /// scalar sims under divergent per-lane stimulus.
+    #[test]
+    fn fused_lanes_match_unfused_scalars(
+        recipes in proptest::collection::vec(
+            (any::<u8>(), any::<u16>(), any::<u16>(), any::<u8>()), 8..20),
+        depth in 48usize..128,
+        seed in any::<u64>(),
+        lanes in 2usize..8,
+    ) {
+        let (design, outputs) = build_design_with_chain(&recipes, depth);
+        let mem = design.find_memory("m").unwrap();
+
+        // Scalars deliberately run the raw (unfused) stream so the two
+        // sides cannot share a lowering bug.
+        let mut scalars: Vec<Sim> = (0..lanes)
+            .map(|_| Sim::with_config(&design, ExecMode::Compiled, EngineConfig::unfused()))
+            .collect();
+        let mut group = Sim::new(&design).fork_lanes(lanes);
+
+        let mut stim = XorShift(seed);
+        for cycle in 0..120u32 {
+            for (lane, scalar) in scalars.iter_mut().enumerate() {
+                for i in 0..N_INPUTS {
+                    let v = stim.next();
+                    scalar.set(&format!("in{i}"), v);
+                    group.set(lane, &format!("in{i}"), v);
+                }
+            }
+            for (lane, scalar) in scalars.iter_mut().enumerate() {
+                for name in &outputs {
+                    prop_assert_eq!(
+                        group.get(lane, name),
+                        scalar.get(name),
+                        "output {} lane {} cycle {}", name, lane, cycle
+                    );
+                }
+            }
+            for scalar in &mut scalars {
+                scalar.step();
+            }
+            group.step();
+        }
+        group.run_batch(80);
+        for (lane, scalar) in scalars.iter_mut().enumerate() {
+            scalar.run(80);
+            for name in &outputs {
+                prop_assert_eq!(
+                    group.get(lane, name),
+                    scalar.get(name),
+                    "post-batch output {} lane {}", name, lane
+                );
+            }
+            prop_assert_eq!(group.dump_mem(lane, mem), scalar.dump_mem(mem));
+        }
     }
 
     /// Forking mid-run must broadcast the scalar sim's state exactly:

@@ -32,6 +32,80 @@ fn fit(d: &mut Design, s: Signal, w: u8) -> Signal {
 /// Grow a design from recipes. Every generated signal goes into the pool so
 /// later components can reference it; a rolling subset is exposed as outputs.
 pub fn build_design(recipes: &[Recipe]) -> (Design, Vec<String>) {
+    let (d, outputs, _) = build_pool(recipes);
+    (d, outputs)
+}
+
+/// Like [`build_design`], then grow a deep combinational chain of `depth`
+/// ops from the pool, exposed as `chain_out`. The chain drives level
+/// counts far past the recipe mix alone, exercising the engines'
+/// dense/cascade sweeps and partitioned evaluation, and its op→op runs
+/// (NOT→AND, const sides, slice/concat re-packs) give the fusion pass
+/// real absorption targets in a randomized setting.
+#[allow(dead_code)] // each equivalence suite uses its own subset of netgen
+pub fn build_design_with_chain(recipes: &[Recipe], depth: usize) -> (Design, Vec<String>) {
+    let (mut d, mut outputs, pool) = build_pool(recipes);
+    let seed = pool[pool.len() - 1];
+    let mut cur = fit(&mut d, seed, IN_WIDTH);
+    let x = fit(&mut d, pool[0], IN_WIDTH);
+    for k in 0..depth {
+        cur = match k % 10 {
+            0 => d.add(cur, x),
+            1 => {
+                // NOT feeding AND — the ANDN superop shape.
+                let n = d.not(cur);
+                d.and(n, x)
+            }
+            2 => d.xor(cur, x),
+            3 => {
+                // Constant operand — the OR_IMM peephole shape.
+                let c = d.lit((k as u64).wrapping_mul(0x9E37) & 0x7FF, IN_WIDTH);
+                d.or(cur, c)
+            }
+            4 => {
+                // Slice+concat — the REPACK superop shape.
+                let hi = d.slice(cur, 6, 6);
+                let lo = d.slice(cur, 0, 6);
+                d.concat(hi, lo)
+            }
+            5 => {
+                let s = d.eq(cur, x);
+                d.mux(s, cur, x)
+            }
+            6 => {
+                // AND of two bit-extracts — the ANDSHR superop shape.
+                let cb = d.bit(cur, ((k / 7) % usize::from(IN_WIDTH)) as u8);
+                let xb = d.bit(x, (k % usize::from(IN_WIDTH)) as u8);
+                let g = d.and(cb, xb);
+                fit(&mut d, g, IN_WIDTH)
+            }
+            7 => {
+                // A 1-bit slice selecting a mux — the MUX_BIT shape.
+                let s = d.bit(cur, ((k / 10) % usize::from(IN_WIDTH)) as u8);
+                d.mux(s, x, cur)
+            }
+            8 => {
+                // CONCAT feeding CONCAT — the CAT3 left-fold `cat` shape.
+                let a = d.slice(cur, 8, 4);
+                let b = d.slice(cur, 4, 4);
+                let c = d.slice(cur, 0, 4);
+                d.cat(&[a, b, c])
+            }
+            _ => {
+                // Guarded counter increment — the INC_IF shape.
+                let en = d.bit(x, (k % usize::from(IN_WIDTH)) as u8);
+                let one = d.lit(1 + (k as u64 % 5), IN_WIDTH);
+                let inc = d.add(cur, one);
+                d.mux(en, inc, cur)
+            }
+        };
+    }
+    d.expose_output("chain_out", cur);
+    outputs.push("chain_out".to_string());
+    (d, outputs)
+}
+
+fn build_pool(recipes: &[Recipe]) -> (Design, Vec<String>, Vec<Signal>) {
     let mut d = Design::new("generated");
     let mut pool: Vec<Signal> = (0..N_INPUTS)
         .map(|i| d.input(format!("in{i}"), IN_WIDTH))
@@ -148,7 +222,7 @@ pub fn build_design(recipes: &[Recipe]) -> (Design, Vec<String>) {
         d.expose_output("o_last", pool[n - 1]);
         outputs.push("o_last".to_string());
     }
-    (d, outputs)
+    (d, outputs, pool)
 }
 
 /// Cheap deterministic stimulus shared across all sims in a case.

@@ -22,13 +22,22 @@
 //! quarantine — and the final stats show the detection and repair
 //! ledger. `--scrub-interval MS` tunes the deep-scrub period.
 //!
+//! The simulation-engine knob: `--partitioned [N]` sets the process-wide
+//! CHDL engine default to fused, partitioned evaluation with `N` forced
+//! partitions per logic level (omit `N` for the automatic size-based
+//! policy, which is also the default; DESIGN.md §12). `--no-fusion`
+//! reverts to the raw PR 1 micro-op stream for comparison.
+//!
 //! Run with: `cargo run --release --example serving` (pipelined, 8 lanes)
 //!       or: `cargo run --release --example serving -- --serial`
 //!       or: `cargo run --release --example serving -- --lanes 16`
+//!       or: `cargo run --release --example serving -- --partitioned 4`
+//!       or: `cargo run --release --example serving -- --no-fusion`
 //!       or: `cargo run --release --example serving -- --upset-rate 2000`
 //!       or: `cargo run --release --example serving -- --upset-rate 2000 --scrub-interval 100`
 
 use atlantis::apps::jobs::JobSpec;
+use atlantis::chdl::{EngineConfig, ParallelEval};
 use atlantis::core::AtlantisSystem;
 use atlantis::runtime::{GuardConfig, JobRequest, Priority, Runtime, RuntimeConfig, RuntimeError};
 use atlantis::simcore::SimDuration;
@@ -83,6 +92,20 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .expect("--lanes takes a positive integer");
     }
+    // The engine knobs: pick the process-wide CHDL engine default before
+    // any design is compiled. `--partitioned` without a count keeps the
+    // automatic policy; with one it forces that many partitions per level.
+    let mut engine = EngineConfig::default();
+    if let Some(i) = args.iter().position(|a| a == "--partitioned") {
+        engine.parallel = match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n > 0 => ParallelEval::Force(n),
+            _ => ParallelEval::Auto,
+        };
+    }
+    if args.iter().any(|a| a == "--no-fusion") {
+        engine = EngineConfig::unfused();
+    }
+    EngineConfig::set_global(engine);
     // The reliability knobs: any of them switches the runtime to the
     // protected posture with the requested overrides.
     let upset_rate = flag_value(&args, "--upset-rate");
@@ -99,11 +122,17 @@ fn main() {
     let system = AtlantisSystem::builder().with_acbs(4).build();
     let rt = Arc::new(Runtime::serve(system, config).expect("system has ACBs to serve on"));
     println!(
-        "serving on {} ACBs, queue capacity {}, pipeline {}, lanes {}{}\n",
+        "serving on {} ACBs, queue capacity {}, pipeline {}, lanes {}, engine {}{}\n",
         rt.devices(),
         rt.queue_capacity(),
         if config.pipeline { "on" } else { "off" },
         config.lanes,
+        match (engine.fuse, engine.parallel) {
+            (false, _) => "raw".to_string(),
+            (true, ParallelEval::Off) => "fused/serial".to_string(),
+            (true, ParallelEval::Auto) => "fused/auto".to_string(),
+            (true, ParallelEval::Force(n)) => format!("fused/{n}-way"),
+        },
         if config.guard.is_active() {
             format!(
                 ", guard on ({}/s upsets, scrub every {})",
