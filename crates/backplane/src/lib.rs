@@ -24,9 +24,36 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use atlantis_simcore::{Bandwidth, Frequency, SimTime};
+use atlantis_simcore::{Bandwidth, Frequency, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Per-slot transfer accounting: every transfer touching a slot (as
+/// either endpoint) accumulates here. The cluster router consumes this
+/// to weigh a shard's backplane pressure alongside its queue depth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlotStats {
+    /// Bytes streamed through the slot's reserved channels.
+    pub bytes_moved: u64,
+    /// Virtual time the slot's channels were occupied by transfers.
+    pub busy: SimDuration,
+    /// Transfers that touched the slot.
+    pub transfers: u64,
+}
+
+impl SlotStats {
+    /// Fraction of `elapsed` the slot spent transferring (clamped to 1;
+    /// a slot whose independent channels overlap can momentarily exceed
+    /// the wall fraction, which still reads as "saturated").
+    pub fn utilization(&self, elapsed: SimDuration) -> f64 {
+        let t = elapsed.as_secs_f64();
+        if t <= 0.0 {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / t).min(1.0)
+        }
+    }
+}
 
 /// How the 128 data lines of a slot are divided into channels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -164,6 +191,7 @@ pub struct Aab {
     config: ChannelConfig,
     connections: Vec<Connection>,
     free_channels: Vec<usize>,
+    slot_stats: Vec<SlotStats>,
 }
 
 impl Aab {
@@ -183,6 +211,7 @@ impl Aab {
             config,
             connections: Vec::new(),
             free_channels: vec![config.channels(); slots],
+            slot_stats: vec![SlotStats::default(); slots],
         }
     }
 
@@ -308,12 +337,34 @@ impl Aab {
         let done = start + clock.cycles(cycles + latency);
         conn.busy_until = done;
         conn.bytes_moved += bytes;
+        let (from, to) = (conn.from, conn.to);
+        let occupied = done.since(start);
+        for slot in [from, to] {
+            let s = &mut self.slot_stats[slot];
+            s.bytes_moved += bytes;
+            s.busy += occupied;
+            s.transfers += 1;
+        }
         Ok((start, done))
     }
 
     /// Total bytes moved over a connection.
     pub fn bytes_moved(&self, id: ConnectionId) -> u64 {
         self.connections[id.0].bytes_moved
+    }
+
+    /// Per-slot transfer accounting (bytes, occupancy, transfer count).
+    pub fn slot_stats(&self, slot: usize) -> SlotStats {
+        self.slot_stats[slot]
+    }
+
+    /// The busiest slot's occupancy over `elapsed` — the backplane
+    /// pressure signal the cluster router folds into its load metric.
+    pub fn peak_slot_utilization(&self, elapsed: SimDuration) -> f64 {
+        self.slot_stats
+            .iter()
+            .map(|s| s.utilization(elapsed))
+            .fold(0.0, f64::max)
     }
 
     /// The aggregate bandwidth of all live connections.
@@ -458,6 +509,27 @@ mod tests {
             aab.transfer(c, SimTime::ZERO, 8).is_err(),
             "dead connection"
         );
+    }
+
+    #[test]
+    fn slot_stats_account_both_endpoints() {
+        let mut aab = Aab::new(BackplaneKind::Configurable, 4);
+        let c01 = aab.connect(0, 1, 4).unwrap();
+        let c23 = aab.connect(2, 3, 4).unwrap();
+        let (_, d1) = aab.transfer(c01, SimTime::ZERO, 4096).unwrap();
+        aab.transfer(c01, SimTime::ZERO, 4096).unwrap();
+        aab.transfer(c23, SimTime::ZERO, 1024).unwrap();
+        let s0 = aab.slot_stats(0);
+        assert_eq!(s0.bytes_moved, 8192);
+        assert_eq!(s0.transfers, 2);
+        assert!(s0.busy >= d1.since(SimTime::ZERO));
+        assert_eq!(aab.slot_stats(0), aab.slot_stats(1), "both endpoints");
+        assert_eq!(aab.slot_stats(2).bytes_moved, 1024);
+        // A slot busy the whole elapsed window reads as saturated.
+        let elapsed = s0.busy;
+        assert!((aab.slot_stats(0).utilization(elapsed) - 1.0).abs() < 1e-9);
+        assert!(aab.peak_slot_utilization(elapsed * 4) < 0.6);
+        assert_eq!(aab.slot_stats(0).utilization(SimDuration::ZERO), 0.0);
     }
 
     #[test]

@@ -1,0 +1,524 @@
+//! # atlantis-cluster — sharded multi-host serving over the AAB
+//!
+//! The paper scales one crate at a time: a single ACB serves one
+//! workload (§3), a backplane of boards serves several (§2.3), and the
+//! runtime crate serves concurrent tenants on one simulated host. This
+//! crate takes the last step the hardware was designed for but the
+//! paper never measured: **many hosts**. A [`Cluster`] is a set of
+//! shards — each one a full ATLANTIS machine: a backplane of ACB+AIB
+//! pairs under the deterministic
+//! [`ShardScheduler`](atlantis_runtime::ShardScheduler) — fronted by
+//! three cooperating policies:
+//!
+//! * **Admission control** ([`admission`]): per-tenant outstanding-job
+//!   quotas and priority-class watermarks shed work *before* it queues,
+//!   with a typed [`Overloaded`] reason carrying queue depth and a
+//!   retry-after hint.
+//! * **SLO-aware routing** ([`router`]): weighted rendezvous hashing on
+//!   the job's FPGA design keeps each design's traffic on the shard
+//!   whose boards already hold its bitstream (reconfiguration is the
+//!   enemy — §2.2), spilling to the least-loaded shard when the
+//!   preferred one is saturated.
+//! * **Elastic capacity** ([`shard`]): the guard's seeded degradation
+//!   model ([`QuarantinePlan`](atlantis_guard::QuarantinePlan))
+//!   quarantines boards on the virtual clock; a degraded shard
+//!   advertises less capacity and the router re-weights live.
+//!
+//! Everything advances on the deterministic virtual clock, so a whole
+//! overload campaign — millions of virtual jobs, sheds, quarantines —
+//! [fingerprints](Cluster::fingerprint) byte-identically across runs.
+//! The open-loop [`LoadGen`] drives offered load past saturation; the
+//! `table12_cluster` bench sweeps it and locates the latency knee.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod loadgen;
+pub mod router;
+pub mod shard;
+
+pub use admission::{AdmissionConfig, AdmissionController, Overloaded, ShedReason};
+pub use loadgen::{Arrival, LoadGen, LoadGenConfig};
+pub use router::{RouteKind, Router, RoutingPolicy, ShardView};
+pub use shard::Shard;
+
+use atlantis_apps::jobs::JobKind;
+use atlantis_fabric::Device;
+use atlantis_guard::DegradationConfig;
+use atlantis_runtime::{
+    BitstreamCache, LogHistogram, Priority, RuntimeError, ShardCompletion, ShardConfig, ShardJob,
+    ShardStats,
+};
+use atlantis_simcore::{SimDuration, SimTime};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Cluster-level tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Shard hosts.
+    pub shards: usize,
+    /// Per-shard board and queue configuration.
+    pub shard: ShardConfig,
+    /// How jobs are routed to shards.
+    pub routing: RoutingPolicy,
+    /// Admission tunables.
+    pub admission: AdmissionConfig,
+    /// The guard degradation model (inactive by default).
+    pub degradation: DegradationConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            shards: 4,
+            shard: ShardConfig::default(),
+            routing: RoutingPolicy::default(),
+            admission: AdmissionConfig::default(),
+            degradation: DegradationConfig::default(),
+        }
+    }
+}
+
+/// One retired job, tagged with the shard that served it.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterCompletion {
+    /// The serving shard.
+    pub shard: usize,
+    /// The shard-level completion record.
+    pub inner: ShardCompletion,
+}
+
+/// Deterministic cluster-wide counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterStats {
+    /// Jobs offered to the cluster.
+    pub offered: u64,
+    /// Jobs admitted to a shard queue.
+    pub admitted: u64,
+    /// Jobs retired.
+    pub completed: u64,
+    /// Jobs refused.
+    pub shed: u64,
+    /// Refusals by [`ShedReason::index`].
+    pub shed_by_reason: [u64; 3],
+    /// Refusals by priority class.
+    pub shed_by_class: [u64; 3],
+    /// Routing decisions kept on the rendezvous-preferred shard.
+    pub routed_affinity: u64,
+    /// Routing decisions spilled off the preferred shard.
+    pub routed_spill: u64,
+    /// End-to-end virtual latency across every completion.
+    pub latency: LogHistogram,
+    /// Completions per shard.
+    pub per_shard_completed: Vec<u64>,
+    /// Boards quarantined across the cluster.
+    pub quarantined: u64,
+    /// The latest completion instant.
+    pub last_done: SimTime,
+}
+
+impl ClusterStats {
+    /// Completed / offered — the fraction of offered load that became
+    /// useful work.
+    pub fn goodput(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.offered as f64
+        }
+    }
+
+    /// Shed / offered.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// The sharded serving layer — see the crate docs.
+#[derive(Debug)]
+pub struct Cluster {
+    shards: Vec<Shard>,
+    router: Router,
+    admission: AdmissionController,
+    stats: ClusterStats,
+    next_id: u64,
+}
+
+impl Cluster {
+    /// Build a cluster: one shared prefit bitstream cache, `cfg.shards`
+    /// shard hosts, a router and an admission controller.
+    pub fn new(cfg: ClusterConfig) -> Result<Self, RuntimeError> {
+        if cfg.shards == 0 {
+            return Err(RuntimeError::NoDevices);
+        }
+        let cache = Arc::new(BitstreamCache::new(Device::orca_3t125()));
+        cache
+            .prefit_all()
+            .expect("every serving-scale workload design fits the ORCA 3T125");
+        let mut shards = (0..cfg.shards)
+            .map(|i| Shard::new(i, cfg.shard, Arc::clone(&cache), &cfg.degradation))
+            .collect::<Result<Vec<_>, _>>()?;
+        // Boot provisioning: configure every shard's boards with its
+        // homed designs (round-robin when a shard homes several), the
+        // way the paper's host software loads initial configurations at
+        // setup — so the serving clock starts with bitstreams resident
+        // instead of every shard paying a full-configuration stampede
+        // at first arrival. Policy-independent: the random-routing
+        // control arm boots identically.
+        let views: Vec<ShardView> = shards.iter().map(|s| s.view(SimTime::ZERO)).collect();
+        let map = Router::home_map(&views);
+        for (si, shard) in shards.iter_mut().enumerate() {
+            let homes: Vec<JobKind> = JobKind::ALL
+                .iter()
+                .zip(map.iter())
+                .filter(|&(_, &home)| home == si)
+                .map(|(&k, _)| k)
+                .collect();
+            if homes.is_empty() {
+                continue;
+            }
+            for b in 0..cfg.shard.boards {
+                shard.engine.preload(b, homes[b % homes.len()]);
+            }
+        }
+        Ok(Cluster {
+            shards,
+            router: Router::new(cfg.routing),
+            admission: AdmissionController::new(cfg.admission),
+            stats: ClusterStats {
+                per_shard_completed: vec![0; cfg.shards],
+                ..ClusterStats::default()
+            },
+            next_id: 0,
+        })
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The current routing views, in shard order.
+    pub fn views(&self, now: SimTime) -> Vec<ShardView> {
+        self.shards.iter().map(|s| s.view(now)).collect()
+    }
+
+    /// A shard's deterministic counters.
+    pub fn shard_stats(&self, shard: usize) -> &ShardStats {
+        self.shards[shard].engine.stats()
+    }
+
+    /// Read access to a shard.
+    pub fn shard(&self, shard: usize) -> &Shard {
+        &self.shards[shard]
+    }
+
+    /// The cluster-wide counters accumulated so far.
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
+    }
+
+    /// Offer one job at virtual instant `now`: route, admit (or shed
+    /// with a typed [`Overloaded`]), and enqueue on the chosen shard.
+    /// Returns the cluster-assigned job id.
+    pub fn offer(
+        &mut self,
+        now: SimTime,
+        tenant: u32,
+        priority: Priority,
+        spec: atlantis_apps::jobs::JobSpec,
+    ) -> Result<u64, Overloaded> {
+        self.stats.offered += 1;
+        let views = self.views(now);
+        let (shard, route) = self.router.route(spec.kind, &views);
+        let view = &views[shard];
+        if let Err(reason) =
+            self.admission
+                .check(tenant, priority, view.queue_depth, view.queue_capacity)
+        {
+            return Err(self.shed(shard, reason, priority, view.queue_depth));
+        }
+        let id = self.next_id;
+        let job = ShardJob {
+            id,
+            tenant,
+            priority,
+            spec,
+        };
+        match self.shards[shard].engine.submit(now, job) {
+            Ok(()) => {
+                self.next_id += 1;
+                self.admission.note_admitted(tenant);
+                self.stats.admitted += 1;
+                match route {
+                    RouteKind::Affinity => self.stats.routed_affinity += 1,
+                    RouteKind::Spill => self.stats.routed_spill += 1,
+                    RouteKind::Direct => {}
+                }
+                Ok(id)
+            }
+            // The admission check mirrors the shard bound, so this arm
+            // is defensive: translate a raw shard rejection.
+            Err(r) => Err(self.shed(shard, ShedReason::QueueFull, r.priority, r.depth)),
+        }
+    }
+
+    fn shed(
+        &mut self,
+        shard: usize,
+        reason: ShedReason,
+        priority: Priority,
+        depth: usize,
+    ) -> Overloaded {
+        self.stats.shed += 1;
+        self.stats.shed_by_reason[reason.index()] += 1;
+        self.stats.shed_by_class[priority.index()] += 1;
+        Overloaded {
+            reason,
+            shard,
+            queue_depth: depth,
+            priority,
+            retry_after: self.shards[shard].engine.retry_after(depth),
+        }
+    }
+
+    /// The earliest pending event across the cluster — a completion or
+    /// a scheduled quarantine.
+    pub fn next_event(&self) -> Option<SimTime> {
+        self.shards
+            .iter()
+            .flat_map(|s| [s.engine.next_completion(), s.plan.peek_next()])
+            .flatten()
+            .min()
+    }
+
+    /// Advance the whole cluster to `now`: apply quarantine deltas and
+    /// retire completions in global `(time, kind, shard)` order, so
+    /// capacity changes and back-fill decisions interleave exactly as
+    /// they would on real hosts. Returns completions in retirement
+    /// order.
+    pub fn advance(&mut self, now: SimTime) -> Vec<ClusterCompletion> {
+        let mut out = Vec::new();
+        loop {
+            // (t, kind, shard): kind 0 = quarantine, 1 = completion —
+            // a capacity loss at instant t takes effect before work
+            // retiring at t can back-fill onto the dying board.
+            let next = self
+                .shards
+                .iter()
+                .enumerate()
+                .flat_map(|(i, s)| {
+                    [
+                        s.plan.peek_next().map(|t| (t, 0u8, i)),
+                        s.engine.next_completion().map(|t| (t, 1u8, i)),
+                    ]
+                })
+                .flatten()
+                .filter(|&(t, _, _)| t <= now)
+                .min();
+            let Some((t, kind, i)) = next else { break };
+            if kind == 0 {
+                self.stats.quarantined += self.shards[i].apply_quarantines(t) as u64;
+            } else {
+                for fin in self.shards[i].engine.advance(t) {
+                    self.admission.note_done(fin.tenant);
+                    self.stats.completed += 1;
+                    self.stats.per_shard_completed[i] += 1;
+                    self.stats.latency.record_virtual(fin.latency());
+                    self.stats.last_done = self.stats.last_done.max(fin.done);
+                    out.push(ClusterCompletion {
+                        shard: i,
+                        inner: fin,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Run the cluster to idle: retire everything queued and in flight.
+    /// Quarantines scheduled beyond the last completion never fire.
+    pub fn drain(&mut self) -> Vec<ClusterCompletion> {
+        let mut out = Vec::new();
+        while let Some(t) = self
+            .shards
+            .iter()
+            .filter_map(|s| s.engine.next_completion())
+            .min()
+        {
+            out.extend(self.advance(t));
+        }
+        out
+    }
+
+    /// Manually quarantine a board (fault injection / drain-for-repair).
+    /// Returns whether it took effect (a shard never loses its last
+    /// board).
+    pub fn quarantine_board(&mut self, shard: usize, board: usize) -> bool {
+        let took = self.shards[shard].engine.quarantine_board(board);
+        if took {
+            self.stats.quarantined += 1;
+        }
+        took
+    }
+
+    /// Drive the full open-loop campaign: interleave `arrivals` with
+    /// cluster events on the virtual clock, then drain. Sheds are
+    /// recorded in [`stats`](Self::stats); completions are returned.
+    pub fn run_open_loop(
+        &mut self,
+        arrivals: impl IntoIterator<Item = Arrival>,
+    ) -> Vec<ClusterCompletion> {
+        let mut out = Vec::new();
+        for a in arrivals {
+            out.extend(self.advance(a.at));
+            let _ = self.offer(a.at, a.tenant, a.priority, a.spec);
+        }
+        out.extend(self.drain());
+        out
+    }
+
+    /// A byte-stable digest of every deterministic counter in the
+    /// cluster — cluster stats plus each shard's stats in shard order.
+    /// Two runs of the same seeded campaign must produce identical
+    /// strings; the determinism tests assert exactly that.
+    pub fn fingerprint(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "cluster:{:?}", self.stats);
+        for (i, sh) in self.shards.iter().enumerate() {
+            let _ = write!(s, "|shard{}:{:?}", i, sh.engine.stats());
+        }
+        s
+    }
+
+    /// The rendezvous-preferred shard for each workload kind under the
+    /// current capacities — the design-to-shard home map.
+    pub fn home_map(&self, now: SimTime) -> [usize; 4] {
+        let views = self.views(now);
+        let mut map = [0usize; 4];
+        for (i, &k) in JobKind::ALL.iter().enumerate() {
+            map[i] = views[Router::preferred(k, &views)].index;
+        }
+        map
+    }
+
+    /// Aggregate affinity-hit rate: completions served without a
+    /// hardware task switch, across all shards.
+    pub fn affinity_hit_rate(&self) -> f64 {
+        let (hits, done) = self
+            .shards
+            .iter()
+            .map(|s| (s.engine.stats().affinity_hits, s.engine.stats().completed))
+            .fold((0, 0), |(h, d), (sh, sd)| (h + sh, d + sd));
+        if done == 0 {
+            0.0
+        } else {
+            hits as f64 / done as f64
+        }
+    }
+
+    /// Aggregate virtual-latency percentile (seconds) over completions.
+    pub fn latency_percentile_secs(&self, p: f64) -> f64 {
+        self.stats.latency.percentile(p) / 1e12
+    }
+
+    /// Mean retry-after currently advertised across shards (diagnostic).
+    pub fn mean_retry_after(&self) -> SimDuration {
+        let total: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.engine.retry_after(s.engine.queue_depth()).as_picos())
+            .sum();
+        SimDuration::from_picos(total / self.shards.len().max(1) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlantis_apps::jobs::JobSpec;
+
+    #[test]
+    fn refuses_zero_shards() {
+        let cfg = ClusterConfig {
+            shards: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(Cluster::new(cfg).is_err());
+    }
+
+    #[test]
+    fn offers_complete_and_release_quota() {
+        let mut c = Cluster::new(ClusterConfig {
+            shards: 2,
+            admission: AdmissionConfig {
+                tenant_quota: 4,
+                ..AdmissionConfig::default()
+            },
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        for i in 0..4u64 {
+            c.offer(SimTime::ZERO, 0, Priority::Normal, JobSpec::trt(i))
+                .unwrap();
+        }
+        let err = c
+            .offer(SimTime::ZERO, 0, Priority::Normal, JobSpec::trt(9))
+            .unwrap_err();
+        assert_eq!(err.reason, ShedReason::TenantQuota);
+        let fins = c.drain();
+        assert_eq!(fins.len(), 4);
+        assert_eq!(c.stats().completed, 4);
+        assert_eq!(c.stats().shed_by_reason[ShedReason::TenantQuota.index()], 1);
+        // Quota released: the tenant can submit again.
+        c.offer(c.stats().last_done, 0, Priority::Normal, JobSpec::trt(10))
+            .unwrap();
+    }
+
+    #[test]
+    fn affinity_routing_homes_designs() {
+        let mut c = Cluster::new(ClusterConfig::default()).unwrap();
+        let homes = c.home_map(SimTime::ZERO);
+        let mut t = SimTime::ZERO;
+        for i in 0..16u64 {
+            let spec = JobSpec::trt(i);
+            c.offer(t, 0, Priority::Normal, spec).unwrap();
+            t += SimDuration::from_millis(20);
+            c.advance(t);
+        }
+        c.drain();
+        let trt_home = homes[0];
+        assert_eq!(
+            c.stats().per_shard_completed[trt_home],
+            16,
+            "all TRT jobs land on the TRT home shard at low load"
+        );
+        // At most one full configuration per board; everything after
+        // rides the resident bitstream.
+        assert!(
+            c.affinity_hit_rate() >= 0.8,
+            "steady same-design traffic stays loaded"
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_replayable() {
+        let run = || {
+            let mut c = Cluster::new(ClusterConfig::default()).unwrap();
+            c.run_open_loop(LoadGen::new(LoadGenConfig {
+                jobs: 96,
+                ..LoadGenConfig::default()
+            }));
+            c.fingerprint()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.contains("cluster:") && a.contains("shard3:"));
+    }
+}

@@ -1,0 +1,210 @@
+//! The open-loop load generator: Poisson arrivals that do not wait for
+//! the cluster.
+//!
+//! A closed-loop driver (issue, wait, issue) can never push a system
+//! past saturation — the driver slows down with the system, which is
+//! exactly how benchmark latency curves end up flattering. Serving
+//! systems are measured *open loop*: arrivals come from a Poisson
+//! process at a configured offered rate whether or not the cluster is
+//! keeping up, and the latency distribution past the saturation knee is
+//! the number that matters. Everything here draws from seeded
+//! [`WorkloadRng`] streams on the virtual clock, so a sweep is exactly
+//! replayable.
+//!
+//! Tenants have *home* workloads (a tenant mostly submits one kind,
+//! with `1 − home_bias` stray traffic) — the structure that gives an
+//! affinity router something to exploit, as real multi-tenant traffic
+//! does.
+
+use atlantis_apps::jobs::{JobKind, JobSpec};
+use atlantis_runtime::Priority;
+use atlantis_simcore::rng::WorkloadRng;
+use atlantis_simcore::{SimDuration, SimTime};
+
+/// One offered job, timestamped on the virtual clock.
+#[derive(Debug, Clone, Copy)]
+pub struct Arrival {
+    /// When the job arrives.
+    pub at: SimTime,
+    /// The submitting tenant.
+    pub tenant: u32,
+    /// The job's class.
+    pub priority: Priority,
+    /// The work itself.
+    pub spec: JobSpec,
+}
+
+/// Load-generator tunables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadGenConfig {
+    /// Seed of every stream the generator forks.
+    pub seed: u64,
+    /// Offered load, jobs per virtual second.
+    pub rate: f64,
+    /// Total jobs to offer.
+    pub jobs: u64,
+    /// Distinct tenants, round-robin homed onto the workload kinds.
+    pub tenants: u32,
+    /// Probability a tenant submits its home kind (vs a uniform draw).
+    pub home_bias: f64,
+    /// Fraction of `High` arrivals.
+    pub high_fraction: f64,
+    /// Fraction of `Low` arrivals (the rest are `Normal`).
+    pub low_fraction: f64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            seed: 0xC1_0AD,
+            rate: 10_000.0,
+            jobs: 512,
+            tenants: 8,
+            home_bias: 0.9,
+            high_fraction: 0.1,
+            low_fraction: 0.2,
+        }
+    }
+}
+
+/// The generator: an iterator of [`Arrival`]s.
+#[derive(Debug)]
+pub struct LoadGen {
+    cfg: LoadGenConfig,
+    gaps: WorkloadRng,
+    shape: WorkloadRng,
+    clock: SimTime,
+    emitted: u64,
+}
+
+impl LoadGen {
+    /// A generator for `cfg`. Arrival *times* and job *shapes* draw
+    /// from separate forked streams, so changing the offered rate does
+    /// not change which jobs are offered — sweeps vary exactly one
+    /// thing.
+    pub fn new(cfg: LoadGenConfig) -> Self {
+        assert!(cfg.rate > 0.0, "open-loop rate must be positive");
+        assert!(cfg.tenants > 0, "at least one tenant");
+        let root = WorkloadRng::seed_from_u64(cfg.seed);
+        LoadGen {
+            cfg,
+            gaps: root.fork(1),
+            shape: root.fork(2),
+            clock: SimTime::ZERO,
+            emitted: 0,
+        }
+    }
+
+    /// The configured home kind of `tenant` (round-robin over
+    /// [`JobKind::ALL`]).
+    pub fn home_kind(tenant: u32) -> JobKind {
+        JobKind::ALL[tenant as usize % JobKind::ALL.len()]
+    }
+
+    fn spec_for(kind: JobKind, seed: u64) -> JobSpec {
+        match kind {
+            JobKind::TrtEvent => JobSpec::trt(seed),
+            JobKind::VolumeFrame => JobSpec::volume(32, seed),
+            JobKind::ImageFilter => JobSpec::image(32, seed),
+            JobKind::NBodyStep => JobSpec::nbody(32, seed),
+        }
+    }
+}
+
+impl Iterator for LoadGen {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        if self.emitted >= self.cfg.jobs {
+            return None;
+        }
+        self.clock += SimDuration::from_secs_f64(self.gaps.exp_gap(self.cfg.rate));
+        let tenant = self.shape.below(u64::from(self.cfg.tenants)) as u32;
+        let kind = if self.shape.chance(self.cfg.home_bias) {
+            Self::home_kind(tenant)
+        } else {
+            JobKind::ALL[self.shape.below(JobKind::ALL.len() as u64) as usize]
+        };
+        let u = self.shape.unit();
+        let priority = if u < self.cfg.high_fraction {
+            Priority::High
+        } else if u < self.cfg.high_fraction + self.cfg.low_fraction {
+            Priority::Low
+        } else {
+            Priority::Normal
+        };
+        let seed = self.cfg.seed ^ self.emitted.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.emitted += 1;
+        Some(Arrival {
+            at: self.clock,
+            tenant,
+            priority,
+            spec: Self::spec_for(kind, seed),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_trace() {
+        let cfg = LoadGenConfig::default();
+        let a: Vec<_> = LoadGen::new(cfg)
+            .map(|x| (x.at, x.tenant, x.priority, x.spec))
+            .collect();
+        let b: Vec<_> = LoadGen::new(cfg)
+            .map(|x| (x.at, x.tenant, x.priority, x.spec))
+            .collect();
+        assert_eq!(a.len() as u64, cfg.jobs);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rate_scales_arrival_times_not_shapes() {
+        let slow_cfg = LoadGenConfig {
+            rate: 1_000.0,
+            jobs: 256,
+            ..LoadGenConfig::default()
+        };
+        let fast_cfg = LoadGenConfig {
+            rate: 10_000.0,
+            ..slow_cfg
+        };
+        let slow: Vec<_> = LoadGen::new(slow_cfg).collect();
+        let fast: Vec<_> = LoadGen::new(fast_cfg).collect();
+        let shapes = |v: &[Arrival]| {
+            v.iter()
+                .map(|a| (a.tenant, a.priority, a.spec))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(shapes(&slow), shapes(&fast), "job mix is rate-invariant");
+        assert!(
+            slow.last().unwrap().at > fast.last().unwrap().at,
+            "10x rate compresses time"
+        );
+    }
+
+    #[test]
+    fn mix_matches_configured_fractions() {
+        let cfg = LoadGenConfig {
+            jobs: 4_000,
+            ..LoadGenConfig::default()
+        };
+        let arrivals: Vec<_> = LoadGen::new(cfg).collect();
+        let n = arrivals.len() as f64;
+        let frac = |p: Priority| arrivals.iter().filter(|a| a.priority == p).count() as f64 / n;
+        assert!((frac(Priority::High) - 0.1).abs() < 0.03);
+        assert!((frac(Priority::Low) - 0.2).abs() < 0.03);
+        let home = arrivals
+            .iter()
+            .filter(|a| a.spec.kind == LoadGen::home_kind(a.tenant))
+            .count() as f64
+            / n;
+        // home_bias plus the stray draws that land home by chance.
+        assert!(home > 0.88, "home fraction {home}");
+        // Arrival times strictly increase (exp gaps are positive).
+        assert!(arrivals.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+}

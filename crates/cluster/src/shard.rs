@@ -1,0 +1,73 @@
+//! One cluster member: a deterministic shard engine plus its guard
+//! degradation schedule.
+
+use crate::router::ShardView;
+use atlantis_guard::{DegradationConfig, QuarantinePlan};
+use atlantis_runtime::{BitstreamCache, RuntimeError, ShardConfig, ShardScheduler};
+use atlantis_simcore::SimTime;
+use std::sync::Arc;
+
+/// A shard host under cluster management: the virtual-time scheduler
+/// plus the precomputed quarantine schedule that erodes its capacity.
+#[derive(Debug)]
+pub struct Shard {
+    pub(crate) engine: ShardScheduler,
+    pub(crate) plan: QuarantinePlan,
+    index: usize,
+}
+
+impl Shard {
+    /// Build shard `index` with its own board set and its own fork of
+    /// the degradation model.
+    pub fn new(
+        index: usize,
+        cfg: ShardConfig,
+        cache: Arc<BitstreamCache>,
+        degradation: &DegradationConfig,
+    ) -> Result<Self, RuntimeError> {
+        let engine = ShardScheduler::new(cfg, cache)?;
+        let plan = QuarantinePlan::new(degradation, cfg.boards, index as u64);
+        Ok(Shard {
+            engine,
+            plan,
+            index,
+        })
+    }
+
+    /// The shard's cluster index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The routing-relevant snapshot at `now`. Backplane pressure is
+    /// the busiest slot's occupancy since the epoch.
+    pub fn view(&self, now: SimTime) -> ShardView {
+        ShardView {
+            index: self.index,
+            active_boards: self.engine.active_boards(),
+            queue_depth: self.engine.queue_depth(),
+            queue_capacity: self.engine.queue_capacity(),
+            in_flight: self.engine.in_flight(),
+            backplane_util: self
+                .engine
+                .backplane()
+                .peak_slot_utilization(now.since(SimTime::ZERO)),
+        }
+    }
+
+    /// Apply every quarantine delta scheduled at or before `now`. The
+    /// engine refuses to quarantine its last board, so a shard always
+    /// keeps serving. Returns how many boards actually went dark.
+    pub fn apply_quarantines(&mut self, now: SimTime) -> usize {
+        self.plan
+            .pending_until(now)
+            .into_iter()
+            .filter(|d| self.engine.quarantine_board(d.board))
+            .count()
+    }
+
+    /// Read access to the underlying engine.
+    pub fn engine(&self) -> &ShardScheduler {
+        &self.engine
+    }
+}

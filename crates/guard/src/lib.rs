@@ -48,6 +48,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod capacity;
+
+pub use capacity::{CapacityDelta, DegradationConfig, QuarantinePlan};
+
 use atlantis_apps::jobs::{JobSpec, WorkloadContext};
 use atlantis_core::AtlantisSystem;
 use atlantis_runtime::{

@@ -1,7 +1,9 @@
 //! Errors of the serving runtime.
 
+use crate::job::Priority;
 use atlantis_core::coprocessor::TaskError;
 use std::fmt;
+use std::time::Duration;
 
 /// Why the runtime refused or failed a request.
 #[derive(Debug)]
@@ -9,10 +11,22 @@ pub enum RuntimeError {
     /// The bounded admission queue is full — the caller must back off
     /// and retry. This is the graceful-degradation path: under overload
     /// the runtime rejects *new* work instead of growing without bound
-    /// or stalling accepted jobs.
+    /// or stalling accepted jobs. The rejection carries enough context
+    /// for the caller to act on it: how deep the rejecting queue was,
+    /// which priority class was refused, and an estimate of when a slot
+    /// is likely to free up.
     Overloaded {
         /// The queue capacity that was exhausted.
         capacity: usize,
+        /// Jobs queued at the moment of rejection (≥ `capacity`).
+        depth: usize,
+        /// The refused job's priority class.
+        priority: Priority,
+        /// Estimated wall time until the queue drains a slot: the
+        /// observed per-job service EWMA × depth ÷ workers. Zero until
+        /// the first completion calibrates the estimate — treat it as a
+        /// hint, not a guarantee.
+        retry_after: Duration,
     },
     /// The runtime is shutting down and accepts no new jobs.
     ShuttingDown,
@@ -36,8 +50,17 @@ pub enum RuntimeError {
 impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RuntimeError::Overloaded { capacity } => {
-                write!(f, "admission queue full ({capacity} jobs)")
+            RuntimeError::Overloaded {
+                capacity,
+                depth,
+                priority,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "admission queue full ({depth}/{capacity} jobs, {priority:?} class refused, \
+                     retry in ~{retry_after:?})"
+                )
             }
             RuntimeError::ShuttingDown => write!(f, "runtime is shutting down"),
             RuntimeError::NoDevices => write!(f, "system has no computing boards"),

@@ -43,6 +43,7 @@ mod error;
 mod guard;
 mod job;
 mod queue;
+mod shard;
 mod stats;
 mod worker;
 
@@ -51,7 +52,8 @@ pub use cache::BitstreamCache;
 pub use error::RuntimeError;
 pub use guard::GuardConfig;
 pub use job::{JobHandle, JobRequest, JobResult, JobTimings, Priority};
-pub use stats::{LatencyHistogram, RuntimeStats};
+pub use shard::{ShardCompletion, ShardConfig, ShardJob, ShardReject, ShardScheduler, ShardStats};
+pub use stats::{LatencyHistogram, LogHistogram, RuntimeStats};
 pub use worker::SchedPolicy;
 
 use atlantis_core::coprocessor::TaskError;
@@ -152,6 +154,7 @@ pub struct Runtime {
     next_id: AtomicU64,
     submitted: AtomicU64,
     rejected: AtomicU64,
+    rejected_by_class: [AtomicU64; 3],
     started: Instant,
     devices: usize,
 }
@@ -176,6 +179,7 @@ impl Runtime {
         cache.prefit_all().map_err(TaskError::Fit)?;
 
         let queue = Arc::new(JobQueue::new(config.queue_capacity));
+        queue.set_workers(devices);
         let pool = BufferPool::new();
         let shared = Arc::new(Mutex::new(SharedStats::new(devices)));
         let pick = PickConfig {
@@ -219,6 +223,7 @@ impl Runtime {
             next_id: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            rejected_by_class: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             started: Instant::now(),
             devices,
         })
@@ -231,6 +236,7 @@ impl Runtime {
     pub fn submit(&self, request: JobRequest) -> Result<JobHandle, RuntimeError> {
         let (tx, rx) = mpsc::channel();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let class = request.priority.index();
         let queued = QueuedJob {
             id,
             request,
@@ -246,6 +252,7 @@ impl Runtime {
             Err(e) => {
                 if matches!(e, RuntimeError::Overloaded { .. }) {
                     self.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.rejected_by_class[class].fetch_add(1, Ordering::Relaxed);
                 }
                 Err(e)
             }
@@ -277,6 +284,11 @@ impl Runtime {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: s.completed,
             rejected: self.rejected.load(Ordering::Relaxed),
+            rejected_by_class: [
+                self.rejected_by_class[0].load(Ordering::Relaxed),
+                self.rejected_by_class[1].load(Ordering::Relaxed),
+                self.rejected_by_class[2].load(Ordering::Relaxed),
+            ],
             failed: s.failed,
             per_kind: s.per_kind,
             full_loads: s.full_loads,
@@ -321,6 +333,7 @@ impl Runtime {
             cache_hits,
             cache_misses,
             latency: s.latency.clone(),
+            virt_latency: s.virt_latency.clone(),
             wall_elapsed: self.started.elapsed(),
         }
     }

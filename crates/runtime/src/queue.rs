@@ -10,7 +10,9 @@
 use crate::error::RuntimeError;
 use crate::job::{Priority, QueuedJob};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 /// What a worker's pop returned.
 #[derive(Debug)]
@@ -54,6 +56,12 @@ pub(crate) struct JobQueue {
     inner: Mutex<Inner>,
     not_empty: Condvar,
     capacity: usize,
+    /// EWMA of per-job wall service time in nanoseconds, updated by
+    /// workers on every completion; zero until the first completion.
+    /// Feeds the `retry_after` hint in `Overloaded` rejections.
+    service_ewma_ns: AtomicU64,
+    /// Worker threads draining the queue (set once at serve time).
+    workers: AtomicUsize,
 }
 
 impl JobQueue {
@@ -62,7 +70,36 @@ impl JobQueue {
             inner: Mutex::new(Inner::default()),
             not_empty: Condvar::new(),
             capacity: capacity.max(1),
+            service_ewma_ns: AtomicU64::new(0),
+            workers: AtomicUsize::new(1),
         }
+    }
+
+    /// Record how many workers drain the queue — the divisor of the
+    /// retry-after estimate.
+    pub fn set_workers(&self, workers: usize) {
+        self.workers.store(workers.max(1), Ordering::Relaxed);
+    }
+
+    /// Fold one completed job's wall service time into the EWMA that
+    /// backs the retry-after hint (weight 1/4 on the new sample — quick
+    /// to warm up, stable under bursts).
+    pub fn note_service(&self, service: Duration) {
+        let ns = service.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let prev = self.service_ewma_ns.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            ns
+        } else {
+            prev - prev / 4 + ns / 4
+        };
+        self.service_ewma_ns.store(next, Ordering::Relaxed);
+    }
+
+    /// Estimated wall time until `depth` queued jobs drain one slot.
+    fn retry_after(&self, depth: usize) -> Duration {
+        let ewma = self.service_ewma_ns.load(Ordering::Relaxed);
+        let workers = self.workers.load(Ordering::Relaxed) as u64;
+        Duration::from_nanos(ewma.saturating_mul(depth as u64) / workers.max(1))
     }
 
     pub fn capacity(&self) -> usize {
@@ -83,6 +120,9 @@ impl JobQueue {
         if inner.len >= self.capacity {
             return Err(RuntimeError::Overloaded {
                 capacity: self.capacity,
+                depth: inner.len,
+                priority: job.request.priority,
+                retry_after: self.retry_after(inner.len),
             });
         }
         inner.classes[job.request.priority.index()].push_back(Entry { job, skips: 0 });

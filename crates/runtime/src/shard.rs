@@ -1,0 +1,797 @@
+//! The embeddable per-shard scheduler: a deterministic, virtual-time
+//! twin of the threaded [`Runtime`](crate::Runtime).
+//!
+//! The threaded runtime serves real client threads — wall clocks,
+//! condvars, OS scheduling — which is the right shape for a live
+//! process but the wrong shape for a cluster simulation that must
+//! produce byte-identical statistics on every run. A [`ShardScheduler`]
+//! is one simulated host: a backplane of ACB+AIB board pairs (payload
+//! in and result out stream over the shard's own
+//! [`Aab`](atlantis_backplane::Aab) connections, per the paper's §2.3
+//! topology) plus the *same* scheduling semantics the threaded workers
+//! use — a bounded admission queue with three priority classes and the
+//! reconfiguration-aware pick (bounded look-ahead, bounded batch
+//! window, bounded skip aging), per-board
+//! [`Coprocessor`](atlantis_core::Coprocessor) hardware task switching
+//! against the shared [`BitstreamCache`], and
+//! [`WorkloadContext`](atlantis_apps::jobs::WorkloadContext) execution
+//! for bit-exact outcomes.
+//!
+//! Everything advances on an explicit discrete-event clock: `submit`
+//! admits (or sheds) at a virtual instant, `advance` retires
+//! completions up to an instant and back-fills freed boards in
+//! deterministic `(time, board index)` order. Two runs over the same
+//! submission sequence produce identical completions, identical
+//! histograms, identical everything — the property the cluster layer's
+//! determinism fingerprints assert.
+
+use crate::cache::BitstreamCache;
+use crate::error::RuntimeError;
+use crate::job::Priority;
+use crate::stats::LogHistogram;
+use crate::worker::SchedPolicy;
+use atlantis_apps::jobs::{JobKind, JobSpec, WorkloadContext};
+use atlantis_backplane::{Aab, BackplaneKind, ConnectionId};
+use atlantis_core::coprocessor::TaskStats;
+use atlantis_core::Coprocessor;
+use atlantis_fabric::Device;
+use atlantis_simcore::{SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Tunables for one simulated shard host.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// ACB+AIB board pairs on the shard's backplane.
+    pub boards: usize,
+    /// Hard bound on queued (not yet running) jobs.
+    pub queue_capacity: usize,
+    /// The scheduling policy (same semantics as the threaded runtime).
+    pub policy: SchedPolicy,
+    /// Look-ahead distance of the reconfiguration-aware pick.
+    pub scan_depth: usize,
+    /// Starvation bound: a job skipped this many times is served next.
+    pub aging_limit: u32,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            boards: 2,
+            queue_capacity: 64,
+            policy: SchedPolicy::ReconfigAware { batch_window: 32 },
+            scan_depth: 64,
+            aging_limit: 8,
+        }
+    }
+}
+
+/// One job submitted to a shard.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardJob {
+    /// Caller-assigned id, echoed into the completion.
+    pub id: u64,
+    /// The tenant the job belongs to.
+    pub tenant: u32,
+    /// Admission priority class.
+    pub priority: Priority,
+    /// The deterministic work description.
+    pub spec: JobSpec,
+}
+
+/// Why a shard refused a job — the virtual-clock analogue of
+/// [`RuntimeError::Overloaded`], carrying the same context (depth,
+/// class, retry-after) in virtual time.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardReject {
+    /// The queue capacity that was exhausted.
+    pub capacity: usize,
+    /// Jobs queued at the moment of rejection.
+    pub depth: usize,
+    /// The refused job's priority class.
+    pub priority: Priority,
+    /// Estimated virtual time until a queue slot frees: per-job service
+    /// EWMA × depth ÷ active boards. Zero until the first completion.
+    pub retry_after: SimDuration,
+}
+
+/// One retired job with its full virtual-time decomposition.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardCompletion {
+    /// Caller-assigned id.
+    pub id: u64,
+    /// The tenant the job belonged to.
+    pub tenant: u32,
+    /// Admission priority class.
+    pub priority: Priority,
+    /// The work that was done.
+    pub spec: JobSpec,
+    /// The shard-local board that served the job.
+    pub board: usize,
+    /// Deterministic digest of the job's output.
+    pub checksum: u64,
+    /// FPGA cycles consumed.
+    pub cycles: u64,
+    /// When the job was admitted.
+    pub submitted: SimTime,
+    /// When a board picked it up.
+    pub started: SimTime,
+    /// When its result finished streaming off the backplane.
+    pub done: SimTime,
+    /// Virtual payload-in + result-out time on the shard's backplane.
+    pub dma: SimDuration,
+    /// Virtual reconfiguration time (zero on an affinity hit).
+    pub reconfig: SimDuration,
+    /// Virtual execution time at the design clock.
+    pub execute: SimDuration,
+    /// Whether serving required a hardware task switch. `false` is a
+    /// *shard cache hit*: the design was already on the board's fabric —
+    /// the affinity the cluster router exists to exploit.
+    pub switched: bool,
+}
+
+impl ShardCompletion {
+    /// Queue wait: admission → pickup.
+    pub fn queue_wait(&self) -> SimDuration {
+        self.started.since(self.submitted)
+    }
+
+    /// End-to-end virtual latency: admission → result out.
+    pub fn latency(&self) -> SimDuration {
+        self.done.since(self.submitted)
+    }
+
+    /// Virtual time the job occupied its board.
+    pub fn service(&self) -> SimDuration {
+        self.dma + self.reconfig + self.execute
+    }
+}
+
+/// Deterministic counters of one shard. Every field derives from the
+/// virtual clock, so fixed-seed campaigns fingerprint byte-identically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardStats {
+    /// Jobs admitted.
+    pub submitted: u64,
+    /// Jobs retired.
+    pub completed: u64,
+    /// Jobs refused with [`ShardReject`].
+    pub rejected: u64,
+    /// Refusals per priority class.
+    pub rejected_by_class: [u64; 3],
+    /// Completions per workload kind (indexed like [`JobKind::ALL`]).
+    pub per_kind: [u64; 4],
+    /// Jobs served without a hardware task switch — the shard's
+    /// bitstream-affinity hits.
+    pub affinity_hits: u64,
+    /// Full FPGA configurations across the shard's boards.
+    pub full_loads: u64,
+    /// Partial-reconfiguration switches across the shard's boards.
+    pub partial_switches: u64,
+    /// Virtual time spent reconfiguring.
+    pub reconfig_time: SimDuration,
+    /// Virtual time payloads and results spent on the backplane.
+    pub dma_time: SimDuration,
+    /// Virtual execution time.
+    pub execute_time: SimDuration,
+    /// Per-board busy time.
+    pub board_busy: Vec<SimDuration>,
+    /// End-to-end virtual latency histogram (picoseconds).
+    pub latency: LogHistogram,
+    /// Queue-wait histogram (picoseconds).
+    pub queue_wait: LogHistogram,
+    /// Boards quarantined out of the advertised capacity.
+    pub quarantined: u64,
+    /// The latest completion instant seen.
+    pub last_done: SimTime,
+}
+
+impl ShardStats {
+    /// Fraction of completions served without a task switch.
+    pub fn affinity_hit_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.affinity_hits as f64 / self.completed as f64
+        }
+    }
+}
+
+/// One board pair: the ACB-side coprocessor plus its reserved
+/// backplane connection to the AIB that feeds it.
+#[derive(Debug)]
+struct Board {
+    coproc: Coprocessor,
+    conn: ConnectionId,
+    /// The design currently on the fabric (mirrors
+    /// `coproc.current_task()` without the borrow).
+    loaded: Option<JobKind>,
+    /// Consecutive same-design jobs — the batching window's counter.
+    batch_len: usize,
+    free_at: SimTime,
+    in_flight: Option<ShardCompletion>,
+    quarantined: bool,
+}
+
+#[derive(Debug)]
+struct QueueEntry {
+    job: ShardJob,
+    submitted: SimTime,
+    skips: u32,
+}
+
+/// One simulated shard host — see the module docs.
+#[derive(Debug)]
+pub struct ShardScheduler {
+    cfg: ShardConfig,
+    boards: Vec<Board>,
+    aab: Aab,
+    classes: [VecDeque<QueueEntry>; Priority::CLASSES],
+    queued: usize,
+    cache: Arc<BitstreamCache>,
+    ctx: WorkloadContext,
+    stats: ShardStats,
+    /// EWMA of per-job virtual service time, integer picoseconds.
+    service_ewma_ps: u64,
+}
+
+impl ShardScheduler {
+    /// Build a shard: `cfg.boards` ACB+AIB pairs on a fresh backplane
+    /// (ACB in slot `2i`, its AIB in slot `2i+1`, one full-width
+    /// connection each — the §2.3 pairing that yields 1 GB/s per pair).
+    /// `cache` is the cluster-wide fitted-bitstream cache; call
+    /// [`BitstreamCache::prefit_all`] once before sharing it.
+    pub fn new(cfg: ShardConfig, cache: Arc<BitstreamCache>) -> Result<Self, RuntimeError> {
+        if cfg.boards == 0 {
+            return Err(RuntimeError::NoDevices);
+        }
+        let mut aab = Aab::new(BackplaneKind::Configurable, 2 * cfg.boards);
+        let mut boards = Vec::with_capacity(cfg.boards);
+        for i in 0..cfg.boards {
+            let conn = aab
+                .connect(2 * i, 2 * i + 1, aab.config().channels())
+                .expect("fresh backplane has free channels");
+            boards.push(Board {
+                coproc: Coprocessor::new(Device::orca_3t125()),
+                conn,
+                loaded: None,
+                batch_len: 0,
+                free_at: SimTime::ZERO,
+                in_flight: None,
+                quarantined: false,
+            });
+        }
+        let stats = ShardStats {
+            board_busy: vec![SimDuration::ZERO; cfg.boards],
+            ..ShardStats::default()
+        };
+        Ok(ShardScheduler {
+            cfg,
+            boards,
+            aab,
+            classes: Default::default(),
+            queued: 0,
+            cache,
+            ctx: WorkloadContext::new(),
+            stats,
+            service_ewma_ps: 0,
+        })
+    }
+
+    /// Admit `job` at virtual instant `now`, or shed it when the queue
+    /// bound is reached. Admission immediately back-fills any idle
+    /// board.
+    pub fn submit(&mut self, now: SimTime, job: ShardJob) -> Result<(), ShardReject> {
+        if self.queued >= self.cfg.queue_capacity {
+            self.stats.rejected += 1;
+            self.stats.rejected_by_class[job.priority.index()] += 1;
+            return Err(ShardReject {
+                capacity: self.cfg.queue_capacity,
+                depth: self.queued,
+                priority: job.priority,
+                retry_after: self.retry_after(self.queued),
+            });
+        }
+        self.stats.submitted += 1;
+        self.classes[job.priority.index()].push_back(QueueEntry {
+            job,
+            submitted: now,
+            skips: 0,
+        });
+        self.queued += 1;
+        self.schedule(now);
+        Ok(())
+    }
+
+    /// Estimated virtual time until `depth` queued jobs free one slot.
+    pub fn retry_after(&self, depth: usize) -> SimDuration {
+        let boards = self.active_boards().max(1) as u64;
+        SimDuration::from_picos(self.service_ewma_ps.saturating_mul(depth as u64) / boards)
+    }
+
+    /// Retire every completion at or before `now` (cascading freed
+    /// boards onto queued work at the exact completion instants) and
+    /// return them ordered by `(done, board)`.
+    pub fn advance(&mut self, now: SimTime) -> Vec<ShardCompletion> {
+        let mut out = Vec::new();
+        loop {
+            let next = self
+                .boards
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| b.in_flight.as_ref().map(|f| (f.done, i)))
+                .filter(|&(done, _)| done <= now)
+                .min();
+            let Some((done, i)) = next else { break };
+            let fin = self.boards[i].in_flight.take().expect("board has work");
+            self.note_completion(&fin);
+            out.push(fin);
+            self.schedule(done);
+        }
+        self.schedule(now);
+        out
+    }
+
+    /// The earliest in-flight completion instant, if any — the shard's
+    /// contribution to the cluster's event horizon.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.boards
+            .iter()
+            .filter_map(|b| b.in_flight.as_ref().map(|f| f.done))
+            .min()
+    }
+
+    /// Run the shard to idle: retire everything queued and in flight.
+    pub fn drain(&mut self) -> Vec<ShardCompletion> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next_completion() {
+            out.extend(self.advance(t));
+        }
+        out
+    }
+
+    /// Boot-time provisioning: configure `board` with `kind`'s design
+    /// before serving begins, the way the paper's host software loads
+    /// initial configurations at setup (§2.2). The configuration is
+    /// counted in the task-switch stats, but the board is free
+    /// immediately — boot precedes the serving clock. Returns `false`
+    /// for an unknown, busy, or quarantined board.
+    pub fn preload(&mut self, board: usize, kind: JobKind) -> bool {
+        if board >= self.boards.len()
+            || self.boards[board].quarantined
+            || self.boards[board].in_flight.is_some()
+        {
+            return false;
+        }
+        let _ = self.switch_board(board, kind);
+        // The serving batch window starts fresh.
+        self.boards[board].batch_len = 0;
+        true
+    }
+
+    /// Quarantine a board (a guard capacity delta): it finishes its
+    /// in-flight job but is never scheduled again, shrinking the
+    /// shard's advertised capacity. Refuses to quarantine the last
+    /// active board — a shard always keeps serving. Returns whether the
+    /// quarantine took effect.
+    pub fn quarantine_board(&mut self, board: usize) -> bool {
+        if board >= self.boards.len() || self.boards[board].quarantined {
+            return false;
+        }
+        if self.active_boards() <= 1 {
+            return false;
+        }
+        self.boards[board].quarantined = true;
+        self.stats.quarantined += 1;
+        true
+    }
+
+    /// Boards still serving (total minus quarantined) — the advertised
+    /// capacity the router weighs.
+    pub fn active_boards(&self) -> usize {
+        self.boards.iter().filter(|b| !b.quarantined).count()
+    }
+
+    /// Total board pairs, quarantined or not.
+    pub fn boards(&self) -> usize {
+        self.boards.len()
+    }
+
+    /// Jobs queued (excluding in-flight work).
+    pub fn queue_depth(&self) -> usize {
+        self.queued
+    }
+
+    /// The admission bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.cfg.queue_capacity
+    }
+
+    /// Jobs currently executing on boards.
+    pub fn in_flight(&self) -> usize {
+        self.boards.iter().filter(|b| b.in_flight.is_some()).count()
+    }
+
+    /// Outstanding work (queued + in flight) per active board — the
+    /// load metric the router's spill decision compares.
+    pub fn load(&self) -> f64 {
+        (self.queued + self.in_flight()) as f64 / self.active_boards().max(1) as f64
+    }
+
+    /// The shard's deterministic counters.
+    pub fn stats(&self) -> &ShardStats {
+        &self.stats
+    }
+
+    /// The shard's backplane (per-slot accounting lives here).
+    pub fn backplane(&self) -> &Aab {
+        &self.aab
+    }
+
+    // ---- internals -----------------------------------------------------
+
+    fn note_completion(&mut self, fin: &ShardCompletion) {
+        let s = &mut self.stats;
+        s.completed += 1;
+        s.per_kind[JobKind::ALL
+            .iter()
+            .position(|&k| k == fin.spec.kind)
+            .expect("kind is one of ALL")] += 1;
+        if !fin.switched {
+            s.affinity_hits += 1;
+        }
+        s.latency.record_virtual(fin.latency());
+        s.queue_wait.record_virtual(fin.queue_wait());
+        s.last_done = s.last_done.max(fin.done);
+        let v = fin.service().as_picos();
+        self.service_ewma_ps = if self.service_ewma_ps == 0 {
+            v
+        } else {
+            self.service_ewma_ps - self.service_ewma_ps / 4 + v / 4
+        };
+    }
+
+    /// Back-fill every board idle at `t` from the queue. Among idle
+    /// boards, prefer one whose fabric already holds the head job's
+    /// design (so two designs resident on two boards serve side by
+    /// side instead of ping-ponging); otherwise lowest index. Jobs are
+    /// then chosen by the priority-classed affinity pick.
+    fn schedule(&mut self, t: SimTime) {
+        loop {
+            if self.queued == 0 {
+                break;
+            }
+            let idle = |b: &Board| !b.quarantined && b.in_flight.is_none() && b.free_at <= t;
+            let Some(first) = self.boards.iter().position(idle) else {
+                break;
+            };
+            let head_kind = self
+                .classes
+                .iter()
+                .find_map(|c| c.front())
+                .expect("queued > 0")
+                .job
+                .spec
+                .kind;
+            let bi = self
+                .boards
+                .iter()
+                .position(|b| idle(b) && b.loaded == Some(head_kind))
+                .unwrap_or(first);
+            let entry = self.pick(bi);
+            self.start(bi, t, entry);
+        }
+    }
+
+    /// The threaded queue's pick, per board: urgent-most non-empty
+    /// class; within it, prefer the board's loaded design inside the
+    /// scan window unless the batch window closed or the head aged out.
+    fn pick(&mut self, bi: usize) -> QueueEntry {
+        let board = &self.boards[bi];
+        let batch_window = match self.cfg.policy {
+            SchedPolicy::Fifo => 0,
+            SchedPolicy::ReconfigAware { batch_window } => batch_window,
+        };
+        let prefer = board.loaded.filter(|_| board.batch_len < batch_window);
+        let class = self
+            .classes
+            .iter_mut()
+            .find(|c| !c.is_empty())
+            .expect("pick on a non-empty queue");
+        self.queued -= 1;
+        if let Some(kind) = prefer {
+            let head_aged = class
+                .front()
+                .is_some_and(|e| e.skips >= self.cfg.aging_limit);
+            if !head_aged {
+                let j = class
+                    .iter()
+                    .take(self.cfg.scan_depth)
+                    .position(|e| e.job.spec.kind == kind);
+                if let Some(j) = j {
+                    for e in class.iter_mut().take(j) {
+                        e.skips += 1;
+                    }
+                    return class.remove(j).expect("index in range");
+                }
+            }
+        }
+        class.pop_front().expect("class is non-empty")
+    }
+
+    /// Serve `entry` on board `bi` starting at `t`: payload DMA over
+    /// the pair's backplane connection, hardware task switch, execute,
+    /// result DMA back. The board is occupied for the serial sum — the
+    /// shard engine models the paper's base (un-pipelined) serving path.
+    fn start(&mut self, bi: usize, t: SimTime, entry: QueueEntry) {
+        let spec = entry.job.spec;
+        let (_, dma_in_done) = self
+            .aab
+            .transfer(self.boards[bi].conn, t, spec.payload_bytes())
+            .expect("pair connection is live");
+        let dma_in = dma_in_done.since(t);
+        let (reconfig, switched) = self.switch_board(bi, spec.kind);
+        let outcome = self.ctx.execute(&spec);
+        let exec_end = dma_in_done + reconfig + outcome.compute;
+        let (_, done) = self
+            .aab
+            .transfer(self.boards[bi].conn, exec_end, spec.result_bytes())
+            .expect("pair connection is live");
+        let dma = dma_in + done.since(exec_end);
+
+        let s = &mut self.stats;
+        s.dma_time += dma;
+        s.reconfig_time += reconfig;
+        s.execute_time += outcome.compute;
+        s.board_busy[bi] += done.since(t);
+
+        let board = &mut self.boards[bi];
+        board.free_at = done;
+        board.in_flight = Some(ShardCompletion {
+            id: entry.job.id,
+            tenant: entry.job.tenant,
+            priority: entry.job.priority,
+            spec,
+            board: bi,
+            checksum: outcome.checksum,
+            cycles: outcome.cycles,
+            submitted: entry.submitted,
+            started: t,
+            done,
+            dma,
+            reconfig,
+            execute: outcome.compute,
+            switched,
+        });
+    }
+
+    /// Switch board `bi` to `kind`'s design (registering the shared
+    /// cached fit on first use) and fold the task-stats delta into the
+    /// shard counters. Mirrors the threaded worker's `switch_design`.
+    fn switch_board(&mut self, bi: usize, kind: JobKind) -> (SimDuration, bool) {
+        let name = kind.design_name();
+        if !self.boards[bi].coproc.has_task(name) {
+            let fitted = self
+                .cache
+                .get(kind)
+                .expect("workload designs are prefit for the shard's device family");
+            self.boards[bi]
+                .coproc
+                .register_fitted(name, (*fitted).clone())
+                .expect("cache fits match the board device");
+        }
+        let board = &mut self.boards[bi];
+        let before: TaskStats = board.coproc.stats();
+        let reconfig = board
+            .coproc
+            .switch_to(name)
+            .map_err(RuntimeError::from)
+            .expect("registered task switches cleanly");
+        let after = board.coproc.stats();
+        let switched = reconfig > SimDuration::ZERO;
+        board.loaded = Some(kind);
+        board.batch_len = if switched { 1 } else { board.batch_len + 1 };
+        let s = &mut self.stats;
+        s.full_loads += after.full_loads - before.full_loads;
+        s.partial_switches += after.partial_switches - before.partial_switches;
+        (reconfig, switched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(boards: usize, capacity: usize) -> ShardScheduler {
+        let cache = Arc::new(BitstreamCache::new(Device::orca_3t125()));
+        cache.prefit_all().expect("designs fit");
+        ShardScheduler::new(
+            ShardConfig {
+                boards,
+                queue_capacity: capacity,
+                ..ShardConfig::default()
+            },
+            cache,
+        )
+        .expect("boards > 0")
+    }
+
+    fn job(id: u64, spec: JobSpec) -> ShardJob {
+        ShardJob {
+            id,
+            tenant: (id % 3) as u32,
+            priority: Priority::Normal,
+            spec,
+        }
+    }
+
+    #[test]
+    fn refuses_zero_boards() {
+        let cache = Arc::new(BitstreamCache::new(Device::orca_3t125()));
+        let r = ShardScheduler::new(
+            ShardConfig {
+                boards: 0,
+                ..ShardConfig::default()
+            },
+            cache,
+        );
+        assert!(matches!(r, Err(RuntimeError::NoDevices)));
+    }
+
+    #[test]
+    fn serves_a_mixed_workload_deterministically() {
+        let run = || {
+            let mut s = shard(2, 64);
+            let mut t = SimTime::ZERO;
+            for i in 0..24u64 {
+                s.submit(t, job(i, JobSpec::mixed(i))).unwrap();
+                t += SimDuration::from_micros(5);
+            }
+            let mut fins = s.advance(t);
+            fins.extend(s.drain());
+            assert_eq!(fins.len(), 24);
+            (
+                fins.iter().map(|f| (f.id, f.checksum)).collect::<Vec<_>>(),
+                s.stats().clone(),
+            )
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(a, b, "completions replay identically");
+        assert_eq!(sa, sb, "stats replay identically");
+        assert_eq!(sa.completed, 24);
+        assert_eq!(sa.per_kind.iter().sum::<u64>(), 24);
+        assert!(sa.latency.count() == 24 && sa.queue_wait.count() == 24);
+        assert!(sa.last_done > SimTime::ZERO);
+    }
+
+    #[test]
+    fn checksums_match_the_software_oracle() {
+        let mut s = shard(3, 64);
+        let specs: Vec<_> = (0..12).map(JobSpec::mixed).collect();
+        for (i, &spec) in specs.iter().enumerate() {
+            s.submit(SimTime::ZERO, job(i as u64, spec)).unwrap();
+        }
+        let mut fins = s.drain();
+        fins.sort_by_key(|f| f.id);
+        let mut oracle = WorkloadContext::new();
+        for (f, spec) in fins.iter().zip(&specs) {
+            assert_eq!(f.checksum, oracle.execute(spec).checksum);
+            assert_eq!(f.service(), f.dma + f.reconfig + f.execute);
+            assert!(f.done.since(f.started) == f.service());
+        }
+    }
+
+    #[test]
+    fn overload_sheds_with_context_and_retry_hint() {
+        let mut s = shard(1, 4);
+        let mut rejected = None;
+        for i in 0..16u64 {
+            if let Err(r) = s.submit(SimTime::ZERO, job(i, JobSpec::trt(i))) {
+                rejected = Some(r);
+                break;
+            }
+        }
+        let r = rejected.expect("tiny queue must shed");
+        assert_eq!(r.capacity, 4);
+        assert!(r.depth >= 4);
+        assert_eq!(r.priority, Priority::Normal);
+        // No completion yet → the estimate is still uncalibrated.
+        assert_eq!(r.retry_after, SimDuration::ZERO);
+        s.drain();
+        assert!(s.stats().rejected >= 1);
+        assert_eq!(
+            s.stats().rejected_by_class[Priority::Normal.index()],
+            s.stats().rejected
+        );
+        // After completions the EWMA calibrates and the hint is real.
+        assert!(s.retry_after(4) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn affinity_batching_beats_fifo_on_switches() {
+        let mix: Vec<_> = (0..40).map(JobSpec::mixed).collect();
+        let run = |policy| {
+            let cache = Arc::new(BitstreamCache::new(Device::orca_3t125()));
+            cache.prefit_all().unwrap();
+            let mut s = ShardScheduler::new(
+                ShardConfig {
+                    boards: 1,
+                    queue_capacity: 64,
+                    policy,
+                    ..ShardConfig::default()
+                },
+                cache,
+            )
+            .unwrap();
+            for (i, &spec) in mix.iter().enumerate() {
+                s.submit(SimTime::ZERO, job(i as u64, spec)).unwrap();
+            }
+            s.drain();
+            s.stats().clone()
+        };
+        let fifo = run(SchedPolicy::Fifo);
+        let aware = run(SchedPolicy::ReconfigAware { batch_window: 32 });
+        assert!(
+            aware.full_loads + aware.partial_switches < fifo.full_loads + fifo.partial_switches,
+            "affinity pick must reduce switches: {} vs {}",
+            aware.full_loads + aware.partial_switches,
+            fifo.full_loads + fifo.partial_switches
+        );
+        assert!(aware.affinity_hit_rate() > fifo.affinity_hit_rate());
+        assert_eq!(aware.completed, fifo.completed);
+    }
+
+    #[test]
+    fn quarantine_shrinks_capacity_but_never_kills_the_shard() {
+        let mut s = shard(2, 64);
+        assert_eq!(s.active_boards(), 2);
+        assert!(s.quarantine_board(0));
+        assert_eq!(s.active_boards(), 1);
+        assert!(!s.quarantine_board(1), "last board must keep serving");
+        assert!(!s.quarantine_board(0), "idempotent");
+        for i in 0..8u64 {
+            s.submit(SimTime::ZERO, job(i, JobSpec::trt(i))).unwrap();
+        }
+        let fins = s.drain();
+        assert_eq!(fins.len(), 8);
+        assert!(
+            fins.iter().all(|f| f.board == 1),
+            "only the live board serves"
+        );
+        assert_eq!(s.stats().quarantined, 1);
+    }
+
+    #[test]
+    fn priority_classes_serve_urgent_first() {
+        let mut s = shard(1, 64);
+        // Fill the board, then queue a Low before a High at the same instant.
+        s.submit(SimTime::ZERO, job(0, JobSpec::trt(0))).unwrap();
+        let mut low = job(1, JobSpec::image(32, 1));
+        low.priority = Priority::Low;
+        let mut high = job(2, JobSpec::nbody(32, 2));
+        high.priority = Priority::High;
+        s.submit(SimTime::ZERO, low).unwrap();
+        s.submit(SimTime::ZERO, high).unwrap();
+        let fins = s.drain();
+        let order: Vec<u64> = fins.iter().map(|f| f.id).collect();
+        assert_eq!(order, vec![0, 2, 1], "High overtakes Low: {order:?}");
+    }
+
+    #[test]
+    fn backplane_accounts_payload_and_result_bytes() {
+        let mut s = shard(2, 64);
+        let mut moved = 0u64;
+        for i in 0..6u64 {
+            let spec = JobSpec::volume(64, i);
+            moved += spec.payload_bytes() + spec.result_bytes();
+            s.submit(SimTime::ZERO, job(i, spec)).unwrap();
+        }
+        s.drain();
+        let total: u64 = (0..2)
+            .map(|b| s.backplane().slot_stats(2 * b).bytes_moved)
+            .sum();
+        assert_eq!(total, moved, "every byte crosses the AAB exactly once");
+        assert!(s.backplane().slot_stats(0).busy > SimDuration::ZERO);
+    }
+}

@@ -4,45 +4,64 @@
 use atlantis_simcore::SimDuration;
 use std::time::Duration;
 
-/// A log₂-bucketed histogram of wall-clock latencies in microseconds.
-/// Fixed memory, lock-friendly, good-enough percentiles (each bucket
-/// spans a factor of two; the reported percentile is the bucket's upper
-/// bound).
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    /// `buckets[i]` counts samples in `[2^i, 2^(i+1))` µs; bucket 0 also
-    /// holds sub-microsecond samples.
-    buckets: [u64; 40],
+/// A unit-agnostic log₂-bucketed histogram over `u64` samples — the one
+/// percentile implementation shared by the wall-clock serving histogram,
+/// the virtual-latency histogram, and the cluster bench. Fixed memory,
+/// lock-friendly, good-enough percentiles (each bucket spans a factor of
+/// two; the reported percentile is the bucket's upper bound). Record in
+/// whatever unit the caller cares about — the serving layers record
+/// *integer virtual picoseconds* so two runs of a deterministic campaign
+/// produce byte-identical histograms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// `buckets[i]` counts samples in `[2^i, 2^(i+1))`; bucket 0 also
+    /// holds zero samples.
+    buckets: [u64; 64],
     count: u64,
-    sum_us: u64,
-    max_us: u64,
+    sum: u64,
+    max: u64,
 }
 
-impl Default for LatencyHistogram {
+impl Default for LogHistogram {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl LatencyHistogram {
+impl LogHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: [0; 40],
+        LogHistogram {
+            buckets: [0; 64],
             count: 0,
-            sum_us: 0,
-            max_us: 0,
+            sum: 0,
+            max: 0,
         }
     }
 
-    /// Record one latency.
-    pub fn record(&mut self, latency: Duration) {
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(self.buckets.len() - 1);
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.max(1).leading_zeros() as usize - 1).min(self.buckets.len() - 1);
         self.buckets[bucket] += 1;
         self.count += 1;
-        self.sum_us = self.sum_us.saturating_add(us);
-        self.max_us = self.max_us.max(us);
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Record one virtual duration in integer picoseconds.
+    pub fn record_virtual(&mut self, d: SimDuration) {
+        self.record(d.as_picos());
+    }
+
+    /// Fold another histogram into this one (cluster-level aggregation
+    /// over per-shard histograms).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
     }
 
     /// Samples recorded.
@@ -50,23 +69,28 @@ impl LatencyHistogram {
         self.count
     }
 
-    /// Mean latency in microseconds.
-    pub fn mean_us(&self) -> f64 {
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples.
+    pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
         } else {
-            self.sum_us as f64 / self.count as f64
+            self.sum as f64 / self.count as f64
         }
     }
 
-    /// The largest recorded latency in microseconds.
-    pub fn max_us(&self) -> u64 {
-        self.max_us
-    }
-
-    /// Upper bound of the bucket holding the `p`-quantile (`p` in 0..=1),
-    /// in microseconds.
-    pub fn percentile_us(&self, p: f64) -> f64 {
+    /// Upper bound of the bucket holding the `p`-quantile (`p` in
+    /// 0..=1), in the recording unit.
+    pub fn percentile(&self, p: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
@@ -75,10 +99,67 @@ impl LatencyHistogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return (1u64 << (i + 1)) as f64;
+                return 2f64.powi(i as i32 + 1);
             }
         }
-        self.max_us as f64
+        self.max as f64
+    }
+
+    /// The median (`p = 0.5`) bucket bound.
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// The `p = 0.95` bucket bound.
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    /// The `p = 0.99` bucket bound — the tail the cluster bench sweeps
+    /// for its latency knee.
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+}
+
+/// A log₂-bucketed histogram of wall-clock latencies in microseconds —
+/// [`LogHistogram`] recording `Duration`s as integer µs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    inner: LogHistogram,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.inner.record(us);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.count()
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.inner.mean()
+    }
+
+    /// The largest recorded latency in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.inner.max()
+    }
+
+    /// Upper bound of the bucket holding the `p`-quantile (`p` in 0..=1),
+    /// in microseconds.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        self.inner.percentile(p)
     }
 }
 
@@ -91,6 +172,10 @@ pub struct RuntimeStats {
     pub completed: u64,
     /// Jobs rejected with `Overloaded`.
     pub rejected: u64,
+    /// Rejections per priority class (indexed by
+    /// [`Priority::index`](crate::Priority::index)) — the per-class shed
+    /// ledger overload tooling reports.
+    pub rejected_by_class: [u64; 3],
     /// Accepted jobs that failed inside a worker (coprocessor errors —
     /// zero in any healthy configuration).
     pub failed: u64,
@@ -148,6 +233,12 @@ pub struct RuntimeStats {
     pub cache_misses: u64,
     /// End-to-end wall latency histogram (submission → completion).
     pub latency: LatencyHistogram,
+    /// Per-job *virtual* service-time histogram in integer picoseconds
+    /// (`JobTimings::total_virtual` per completed job) — deterministic
+    /// across runs of a fixed-seed campaign, unlike the wall histogram,
+    /// so it participates in determinism fingerprints and is the
+    /// latency surface the cluster bench shares.
+    pub virt_latency: LogHistogram,
     /// Wall time since the runtime started.
     pub wall_elapsed: Duration,
     /// Single-event upsets injected across all devices (fault
@@ -308,6 +399,12 @@ impl RuntimeStats {
         }
     }
 
+    /// The `p`-quantile of per-job *virtual* service time, converted
+    /// from the histogram's picosecond buckets to microseconds.
+    pub fn virt_percentile_us(&self, p: f64) -> f64 {
+        self.virt_latency.percentile(p) / 1e6
+    }
+
     /// Hardware task switches (full + partial) per served job — the
     /// quantity reconfiguration-aware batching minimises.
     pub fn switches_per_job(&self) -> f64 {
@@ -343,5 +440,56 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.percentile_us(0.5), 0.0);
         assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn log_histogram_brackets_picosecond_samples() {
+        let mut h = LogHistogram::new();
+        // 50 µs in picos = 5e7; the tail sample sits three decades up.
+        for _ in 0..90 {
+            h.record_virtual(SimDuration::from_micros(50));
+        }
+        for _ in 0..10 {
+            h.record_virtual(SimDuration::from_millis(50));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.p50();
+        assert!(
+            (5e7..2e8).contains(&p50),
+            "p50 bucket should bracket 50 µs: {p50}"
+        );
+        assert!(h.p99() >= h.p95() && h.p95() >= h.p50());
+        assert!(h.p99() >= 5e10, "p99 must see the 50 ms tail: {}", h.p99());
+        assert_eq!(h.max(), SimDuration::from_millis(50).as_picos());
+        assert!(h.p95() >= 5e10, "p95 sits at the 5% tail: {}", h.p95());
+        assert!(h.mean() > 5e7);
+    }
+
+    #[test]
+    fn log_histogram_merge_matches_combined_recording() {
+        let (mut a, mut b, mut all) = (
+            LogHistogram::new(),
+            LogHistogram::new(),
+            LogHistogram::new(),
+        );
+        for v in [1u64, 7, 63, 1 << 20, u64::MAX] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0u64, 2, 4096, 1 << 33] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all, "merge must equal recording into one histogram");
+    }
+
+    #[test]
+    fn log_histogram_zero_and_max_do_not_panic() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(1.0) > 0.0);
     }
 }

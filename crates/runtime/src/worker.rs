@@ -34,7 +34,7 @@ use crate::error::RuntimeError;
 use crate::guard::{GuardConfig, GuardState};
 use crate::job::{JobResult, JobTimings, QueuedJob};
 use crate::queue::{JobQueue, PickConfig, Pop};
-use crate::stats::LatencyHistogram;
+use crate::stats::{LatencyHistogram, LogHistogram};
 use atlantis_apps::jobs::{JobKind, JobOutcome, JobSpec, WorkloadContext};
 use atlantis_board::{Acb, SlotHalf};
 use atlantis_core::coprocessor::TaskStats;
@@ -77,6 +77,9 @@ pub(crate) struct SharedStats {
     pub execute_time: SimDuration,
     pub device_busy: Vec<SimDuration>,
     pub latency: LatencyHistogram,
+    /// Per-job virtual service time in integer picoseconds — the
+    /// deterministic twin of `latency`.
+    pub virt_latency: LogHistogram,
     pub pipeline_beats: u64,
     pub pipeline_drains: u64,
     /// `[prefetch DMA-in, execute, writeback DMA-out]`.
@@ -534,12 +537,17 @@ impl Worker {
             s.completed += 1;
             s.per_kind[Self::kind_index(spec.kind)] += 1;
             s.latency.record(timings.wall);
+            s.virt_latency.record_virtual(timings.total_virtual());
             // Ground truth the policy failed to catch: a corrupt result
             // reached the client.
             if st.corrupt {
                 s.silent_corruptions += 1;
             }
         }
+        // Service time excludes queue wait: the retry-after estimate
+        // must reflect drain rate, not current congestion.
+        self.queue
+            .note_service(timings.wall.saturating_sub(st.queue_wait));
         // A client that dropped its handle just doesn't read the result.
         let _ = st.job.reply.send(Ok(result));
     }
@@ -641,10 +649,13 @@ impl Worker {
             s.completed += 1;
             s.per_kind[Self::kind_index(spec.kind)] += 1;
             s.latency.record(timings.wall);
+            s.virt_latency.record_virtual(timings.total_virtual());
             if corrupt {
                 s.silent_corruptions += 1;
             }
         }
+        self.queue
+            .note_service(timings.wall.saturating_sub(queue_wait));
 
         // A client that dropped its handle just doesn't read the result.
         let _ = job.reply.send(Ok(result));

@@ -39,8 +39,15 @@ fn overload_sheds_by_rejection_and_loses_nothing() {
                             accepted += 1;
                             handles.push(h);
                         }
-                        Err(RuntimeError::Overloaded { capacity }) => {
+                        Err(RuntimeError::Overloaded {
+                            capacity,
+                            depth,
+                            priority: shed_class,
+                            ..
+                        }) => {
                             assert_eq!(capacity, 4);
+                            assert!(depth >= capacity, "rejection reports queue depth");
+                            assert_eq!(shed_class, priority, "rejection echoes the class");
                             rejected += 1;
                         }
                         Err(other) => panic!("unexpected submit error: {other}"),

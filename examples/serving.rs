@@ -28,6 +28,15 @@
 //! policy, which is also the default; DESIGN.md §12). `--no-fusion`
 //! reverts to the raw PR 1 micro-op stream for comparison.
 //!
+//! The cluster knobs (DESIGN.md §13): any of `--shards N`,
+//! `--tenants N`, or `--offered-load R` switches the demo to the
+//! sharded serving layer — `N` simulated hosts behind the affinity
+//! router and admission controller, fed an open-loop Poisson stream of
+//! `R` jobs per virtual second from `N` tenants — and prints goodput,
+//! shed counts per priority class and reason, the latency percentiles,
+//! and the cluster cache-affinity hit rate. Without those flags the
+//! example keeps its original single-node shape.
+//!
 //! Run with: `cargo run --release --example serving` (pipelined, 8 lanes)
 //!       or: `cargo run --release --example serving -- --serial`
 //!       or: `cargo run --release --example serving -- --lanes 16`
@@ -35,11 +44,15 @@
 //!       or: `cargo run --release --example serving -- --no-fusion`
 //!       or: `cargo run --release --example serving -- --upset-rate 2000`
 //!       or: `cargo run --release --example serving -- --upset-rate 2000 --scrub-interval 100`
+//!       or: `cargo run --release --example serving -- --shards 4 --tenants 12 --offered-load 150000`
 
 use atlantis::apps::jobs::JobSpec;
 use atlantis::chdl::{EngineConfig, ParallelEval};
+use atlantis::cluster::{Cluster, ClusterConfig, LoadGen, LoadGenConfig};
 use atlantis::core::AtlantisSystem;
-use atlantis::runtime::{GuardConfig, JobRequest, Priority, Runtime, RuntimeConfig, RuntimeError};
+use atlantis::runtime::{
+    GuardConfig, JobRequest, Priority, Runtime, RuntimeConfig, RuntimeError, ShardConfig,
+};
 use atlantis::simcore::SimDuration;
 use std::sync::Arc;
 
@@ -76,11 +89,84 @@ fn flag_value(args: &[String], flag: &str) -> Option<f64> {
     })
 }
 
+/// The sharded serving demo: a cluster of simulated hosts behind the
+/// affinity router and admission controller, fed an open-loop Poisson
+/// stream on the deterministic virtual clock.
+fn cluster_demo(args: &[String]) {
+    let shards = flag_value(args, "--shards")
+        .map_or(4, |v| v as usize)
+        .max(1);
+    let tenants = flag_value(args, "--tenants").map_or(8, |v| v as u32).max(1);
+    let rate = flag_value(args, "--offered-load").unwrap_or(100_000.0);
+    let jobs = 2_000u64;
+    let mut cluster = Cluster::new(ClusterConfig {
+        shards,
+        shard: ShardConfig {
+            boards: 2,
+            queue_capacity: 32,
+            ..ShardConfig::default()
+        },
+        ..ClusterConfig::default()
+    })
+    .expect("at least one shard");
+    println!(
+        "cluster serving: {shards} shards x 2 boards, {tenants} tenants, {rate:.0} jobs/s offered ({jobs} jobs)\n"
+    );
+    cluster.run_open_loop(LoadGen::new(LoadGenConfig {
+        rate,
+        jobs,
+        tenants,
+        ..LoadGenConfig::default()
+    }));
+    let s = cluster.stats();
+    println!(
+        "offered {} jobs, admitted {}, completed {} (goodput {:.3})",
+        s.offered,
+        s.admitted,
+        s.completed,
+        s.goodput()
+    );
+    println!(
+        "  shed {} ({:.3} of offered) by class (high/normal/low): {:?}",
+        s.shed,
+        s.shed_rate(),
+        s.shed_by_class
+    );
+    println!(
+        "  shed by reason (queue-full/tenant-quota/class-watermark): {:?}",
+        s.shed_by_reason
+    );
+    println!(
+        "  routing: {} affinity, {} spill; cluster cache hit rate {:.3}",
+        s.routed_affinity,
+        s.routed_spill,
+        cluster.affinity_hit_rate()
+    );
+    println!(
+        "  latency: p50 {:.0} µs, p95 {:.0} µs, p99 {:.0} µs (virtual)",
+        cluster.latency_percentile_secs(0.50) * 1e6,
+        cluster.latency_percentile_secs(0.95) * 1e6,
+        cluster.latency_percentile_secs(0.99) * 1e6,
+    );
+    println!(
+        "  per-shard completions: {:?}; mean retry-after hint {}",
+        s.per_shard_completed,
+        cluster.mean_retry_after()
+    );
+}
+
 fn main() {
     // The pipeline knob: `pipeline: on` is the default; `--serial`
     // serves each job end to end (the measured baseline). `--lanes N`
     // caps the same-design batch the execute stage gathers per pass.
     let args: Vec<String> = std::env::args().collect();
+    // Any cluster knob switches the demo to the sharded serving layer.
+    if ["--shards", "--tenants", "--offered-load"]
+        .iter()
+        .any(|f| args.iter().any(|a| a == f))
+    {
+        return cluster_demo(&args);
+    }
     let mut config = if args.iter().any(|a| a == "--serial") {
         RuntimeConfig::serial()
     } else {
@@ -201,6 +287,10 @@ fn main() {
     let stats = Arc::into_inner(rt).expect("all clients joined").shutdown();
     println!("served {served} jobs across 3 tenants");
     println!("  per kind (trt/volume/image/nbody): {:?}", stats.per_kind);
+    println!(
+        "  shed {} submissions by class (high/normal/low): {:?} (clients retried)",
+        stats.rejected, stats.rejected_by_class
+    );
     println!(
         "  task switches: {} full + {} partial = {:.3}/job",
         stats.full_loads,

@@ -27,6 +27,7 @@
 //! | [`atlantis_core`] | Full-system assembly and coprocessor API |
 //! | [`runtime`] | Multi-tenant job scheduler serving concurrent workloads |
 //! | [`guard`] | Fault-injection campaigns over the self-healing runtime |
+//! | [`cluster`] | Sharded multi-host serving: admission, routing, load gen |
 //!
 //! ## Quickstart
 //!
@@ -56,6 +57,7 @@ pub use atlantis_apps as apps;
 pub use atlantis_backplane as backplane;
 pub use atlantis_board as board;
 pub use atlantis_chdl as chdl;
+pub use atlantis_cluster as cluster;
 pub use atlantis_core as core;
 pub use atlantis_fabric as fabric;
 pub use atlantis_guard as guard;
