@@ -9,32 +9,17 @@
 //! speedup factor. Run with `--test` (as CI's smoke step does) for a
 //! single fast iteration.
 
-use atlantis_apps::trt::fpga::build_external_design;
+use atlantis_bench::trt::{drive_trt, print_fusion_ledger, trt_scale_design};
 use atlantis_bench::Checker;
-use atlantis_chdl::{Design, ExecMode, Sim};
+use atlantis_chdl::{ExecMode, Sim};
 use criterion::{black_box, Criterion};
 use std::time::Instant;
-
-/// TRT-scale: thousands of straws, multi-pass histogramming, a wide
-/// counter bank — hundreds of micro-ops deep with on-chip memories.
-fn trt_scale_design() -> Design {
-    build_external_design(16_384, 8, 64)
-}
-
-fn drive(sim: &mut Sim) {
-    sim.set("hit", 1234);
-    sim.set("valid", 1);
-    sim.set("clear", 0);
-    sim.set("pass", 3);
-    sim.set("threshold", 5);
-    sim.set("counter_sel", 7);
-}
 
 fn bench_engines(c: &mut Criterion) {
     let d = trt_scale_design();
 
     let mut compiled = Sim::new(&d);
-    drive(&mut compiled);
+    drive_trt(&mut compiled);
     c.bench_function("chdl_engine/compiled_batch_1000", |b| {
         b.iter(|| {
             compiled.run_batch(1000);
@@ -43,7 +28,7 @@ fn bench_engines(c: &mut Criterion) {
     });
 
     let mut stepped = Sim::new(&d);
-    drive(&mut stepped);
+    drive_trt(&mut stepped);
     c.bench_function("chdl_engine/compiled_step_1000", |b| {
         b.iter(|| {
             for _ in 0..1000 {
@@ -54,7 +39,7 @@ fn bench_engines(c: &mut Criterion) {
     });
 
     let mut interp = Sim::with_mode(&d, ExecMode::Interpreted);
-    drive(&mut interp);
+    drive_trt(&mut interp);
     c.bench_function("chdl_engine/interpreted_1000", |b| {
         b.iter(|| {
             interp.run(1000);
@@ -66,7 +51,7 @@ fn bench_engines(c: &mut Criterion) {
 /// One timed run of `cycles` edges; returns ns/cycle and the final output
 /// (so the two engines can be cross-checked).
 fn measure(sim: &mut Sim, cycles: u64) -> (f64, u64) {
-    drive(sim);
+    drive_trt(sim);
     sim.get("counter_out"); // settle before the clock starts
     let t0 = Instant::now();
     sim.run_batch(cycles);
@@ -92,15 +77,8 @@ fn main() -> std::process::ExitCode {
     let speedup = interp_ns / comp_ns;
 
     println!("\nTRT-scale netlist: {ops} micro-ops, {levels} logic levels");
-    println!(
-        "fusion: {} lowered -> {} final ({} superops, {} imm rewrites, {} folded, {} partitions)",
-        stats.ops_lowered,
-        stats.ops_final,
-        stats.ops_fused,
-        stats.imm_rewrites,
-        stats.consts_folded,
-        stats.partitions
-    );
+    print_fusion_ledger(&stats);
+    println!("partitions planned: {}", stats.partitions);
     for (name, count) in &stats.opcodes {
         println!("  {name:>10}: {count}");
     }

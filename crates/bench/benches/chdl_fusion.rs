@@ -1,10 +1,19 @@
-//! Superop fusion + partitioned evaluation bench (DESIGN.md §12).
+//! Superop fusion + partitioned evaluation + threaded dispatch bench
+//! (DESIGN.md §12 and §14).
 //!
-//! Two netlists, three engine tunings:
+//! Two netlists, four engine tunings:
 //!
-//! * **TRT-scale** (the `chdl_engine` workload): the raw micro-op stream
-//!   (`EngineConfig::unfused()`, PR 1's engine) versus the fused stream —
-//!   the fusion pass must buy ≥1.5x ns/cycle on its own.
+//! * **TRT-scale** (the `chdl_engine` workload, shared via
+//!   [`atlantis_bench::trt`]): the raw micro-op stream
+//!   (`EngineConfig::unfused()`, PR 1's engine) versus the fused stream
+//!   under match dispatch — the fusion pass must buy ≥1.5x ns/cycle on
+//!   its own. The dispatch tiers are then compared head-to-head in
+//!   **streaming** mode (`EngineConfig::streaming`, the spill-burst /
+//!   full-bank-scan regime where every eval sweeps the whole stream —
+//!   per-hit sparsity routes both tiers through identical queue
+//!   bookkeeping and would measure nothing): the PR 6 flat match sweep
+//!   versus the stream *compiled to closure-chain run blocks*
+//!   (`DispatchMode::Threaded`), which must buy ≥1.2x on the sweep.
 //! * **Deep netlist** (wide × deep combinational fabric seeded by
 //!   free-running counters, so every node toggles every cycle): serial
 //!   per-op queue evaluation (`EngineConfig::serial()`) versus the
@@ -18,49 +27,42 @@
 //! re-asserted on the fused+partitioned configuration. Always writes
 //! `BENCH_fusion.json`; run with `--test` for CI's fast smoke mode.
 
-use atlantis_apps::trt::fpga::build_external_design;
+use atlantis_bench::trt::{
+    drive_trt, measure_trt, print_dispatch_ledger, print_fusion_ledger, trt_scale_design,
+};
 use atlantis_bench::Checker;
-use atlantis_chdl::{Design, EngineConfig, ExecMode, Sim};
+use atlantis_chdl::{Design, DispatchMode, EngineConfig, ExecMode, Sim};
 use criterion::{black_box, Criterion};
 use std::time::Instant;
 
-/// TRT-scale: thousands of straws, multi-pass histogramming, a wide
-/// counter bank — the same workload `chdl_engine` tracks.
-fn trt_scale_design() -> Design {
-    build_external_design(16_384, 8, 64)
-}
-
-fn drive_trt(sim: &mut Sim) {
-    sim.set("hit", 1234);
-    sim.set("valid", 1);
-    sim.set("clear", 0);
-    sim.set("pass", 3);
-    sim.set("threshold", 5);
-    sim.set("counter_sel", 7);
-}
-
-/// `cycles` edges of a realistic TRT stream: a fresh hit address and pass
-/// index every cycle — histogramming never holds its inputs still, so the
-/// whole decode/gate/select cone re-evaluates each edge. Returns ns/cycle
-/// and a rolling output digest for cross-checking configurations.
-fn measure_trt(sim: &mut Sim, trt: &Design, cycles: u64) -> (f64, u64) {
-    let hit = trt.signal("hit").unwrap();
-    let pass = trt.signal("pass").unwrap();
-    let out = trt.signal("counter_out").unwrap();
-    sim.get_signal(out); // settle before the clock starts
-    let mut x = 0x243F_6A88_85A3_08D3u64;
-    let mut digest = 0u64;
-    let t0 = Instant::now();
-    for i in 0..cycles {
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        sim.set_signal(hit, x % 16_384);
-        sim.set_signal(pass, i % 8);
-        digest = digest.rotate_left(1) ^ sim.get_signal(out);
-        sim.step();
+/// The PR 6 engine: fused stream, adaptive sweeps, match dispatch. The
+/// baseline the threaded tier must beat — identical in every way except
+/// the dispatch mechanism.
+fn fused_match() -> EngineConfig {
+    EngineConfig {
+        dispatch: DispatchMode::Match,
+        ..EngineConfig::default()
     }
-    (t0.elapsed().as_nanos() as f64 / cycles as f64, digest)
+}
+
+/// The PR 6 flat sweep pinned on: every eval straight-lines the whole
+/// stream under match dispatch. Head-to-head baseline for the dispatch
+/// tiers (identical work, identical sweep plan — only dispatch differs).
+fn match_streaming() -> EngineConfig {
+    EngineConfig {
+        dispatch: DispatchMode::Match,
+        streaming: true,
+        ..EngineConfig::default()
+    }
+}
+
+/// `match_streaming` with the sweep compiled to closure-chain run blocks.
+fn threaded_streaming() -> EngineConfig {
+    EngineConfig {
+        dispatch: DispatchMode::Threaded,
+        streaming: true,
+        ..EngineConfig::default()
+    }
 }
 
 /// Deep netlist: `cols` nodes per level × `depth` levels of mixed logic
@@ -135,7 +137,7 @@ fn measure(sim: &mut Sim, out: &str, cycles: u64) -> (f64, u64) {
 
 fn bench_fusion(c: &mut Criterion) {
     let trt = trt_scale_design();
-    let mut fused = Sim::new(&trt);
+    let mut fused = Sim::with_config(&trt, ExecMode::Compiled, fused_match());
     drive_trt(&mut fused);
     c.bench_function("chdl_fusion/trt_fused_stream_1000", |b| {
         b.iter(|| black_box(measure_trt(&mut fused, &trt, 1000)));
@@ -144,6 +146,16 @@ fn bench_fusion(c: &mut Criterion) {
     drive_trt(&mut unfused);
     c.bench_function("chdl_fusion/trt_unfused_stream_1000", |b| {
         b.iter(|| black_box(measure_trt(&mut unfused, &trt, 1000)));
+    });
+    let mut msweep = Sim::with_config(&trt, ExecMode::Compiled, match_streaming());
+    drive_trt(&mut msweep);
+    c.bench_function("chdl_fusion/trt_match_streaming_1000", |b| {
+        b.iter(|| black_box(measure_trt(&mut msweep, &trt, 1000)));
+    });
+    let mut threaded = Sim::with_config(&trt, ExecMode::Compiled, threaded_streaming());
+    drive_trt(&mut threaded);
+    c.bench_function("chdl_fusion/trt_threaded_streaming_1000", |b| {
+        b.iter(|| black_box(measure_trt(&mut threaded, &trt, 1000)));
     });
 }
 
@@ -155,13 +167,15 @@ fn main() -> std::process::ExitCode {
 
     let mut c = Checker::new();
 
-    // ---- TRT-scale: fusion on its own (serial in both tunings) --------
+    // ---- TRT-scale: fusion and dispatch floors, isolated --------------
     let trt_cycles: u64 = if test_mode { 10_000 } else { 100_000 };
     let trt = trt_scale_design();
     let mut sims = [
         Sim::with_mode(&trt, ExecMode::Interpreted),
         Sim::with_config(&trt, ExecMode::Compiled, EngineConfig::unfused()),
-        Sim::new(&trt), // fused, auto partitioning (the default)
+        Sim::with_config(&trt, ExecMode::Compiled, fused_match()),
+        Sim::with_config(&trt, ExecMode::Compiled, match_streaming()),
+        Sim::with_config(&trt, ExecMode::Compiled, threaded_streaming()),
     ];
     for sim in &mut sims {
         drive_trt(sim);
@@ -170,8 +184,8 @@ fn main() -> std::process::ExitCode {
     // so host-wide noise hits them alike, and each keeps its fastest block
     // (the standard noise-robust point estimate).
     let reps = 5;
-    let mut best = [f64::INFINITY; 3];
-    let mut digests = [0u64; 3];
+    let mut best = [f64::INFINITY; 5];
+    let mut digests = [0u64; 5];
     for _ in 0..reps {
         for (k, sim) in sims.iter_mut().enumerate() {
             let (ns, d) = measure_trt(sim, &trt, trt_cycles / reps);
@@ -179,28 +193,22 @@ fn main() -> std::process::ExitCode {
             digests[k] = digests[k].rotate_left(7) ^ d;
         }
     }
-    let [(_, oracle_out), (unfused_ns, unfused_out), (fused_ns, fused_out)] = [
-        (best[0], digests[0]),
-        (best[1], digests[1]),
-        (best[2], digests[2]),
-    ];
+    let (oracle_out, unfused_out, fused_out, msweep_out, threaded_out) =
+        (digests[0], digests[1], digests[2], digests[3], digests[4]);
+    let (unfused_ns, fused_ns, msweep_ns, threaded_ns) = (best[1], best[2], best[3], best[4]);
     let stats = sims[2].engine_stats().unwrap().clone();
+    let threaded_stats = sims[4].engine_stats().unwrap().clone();
     let fusion_speedup = unfused_ns / fused_ns;
+    let dispatch_speedup = msweep_ns / threaded_ns;
 
+    print_fusion_ledger(&stats);
+    print_dispatch_ledger(&threaded_stats);
+    println!("unfused        : {unfused_ns:>8.1} ns/cycle");
+    println!("fused          : {fused_ns:>8.1} ns/cycle  ({fusion_speedup:.2}x)");
+    println!("match sweep    : {msweep_ns:>8.1} ns/cycle  (streaming)");
     println!(
-        "\nTRT-scale: {} ops lowered -> {} after fusion ({} superops, {} folded, {} imm rewrites, {} elided)",
-        stats.ops_lowered,
-        stats.ops_final,
-        stats.ops_fused,
-        stats.consts_folded,
-        stats.imm_rewrites,
-        stats.ops_elided
+        "threaded sweep : {threaded_ns:>8.1} ns/cycle  ({dispatch_speedup:.2}x over match sweep)"
     );
-    for (name, count) in &stats.superops {
-        println!("  {name:>8}: {count}");
-    }
-    println!("unfused : {unfused_ns:>8.1} ns/cycle");
-    println!("fused   : {fused_ns:>8.1} ns/cycle  ({fusion_speedup:.2}x)");
 
     c.check(
         "TRT: fused engine agrees with the interpreter oracle",
@@ -209,6 +217,18 @@ fn main() -> std::process::ExitCode {
     c.check(
         "TRT: unfused engine agrees with the interpreter oracle",
         unfused_out == oracle_out,
+    );
+    c.check(
+        "TRT: streaming match sweep agrees with the interpreter oracle",
+        msweep_out == oracle_out,
+    );
+    c.check(
+        "TRT: threaded dispatch agrees with the interpreter oracle",
+        threaded_out == oracle_out,
+    );
+    c.check(
+        "TRT: threaded evals actually took the compiled tier",
+        threaded_stats.evals_threaded > 0 && threaded_stats.compiles > 0,
     );
     c.check_band(
         "TRT micro-ops before fusion",
@@ -227,6 +247,12 @@ fn main() -> std::process::ExitCode {
         "TRT fused speedup over the unfused stream (>= 1.5x required)",
         fusion_speedup,
         1.5,
+        1e6,
+    );
+    c.check_band(
+        "TRT threaded dispatch speedup over fused match dispatch (>= 1.2x required)",
+        dispatch_speedup,
+        1.2,
         1e6,
     );
 

@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod trt;
+
 use std::fmt::Write as _;
 use std::process::ExitCode;
 

@@ -39,6 +39,18 @@
 //! persistent scratch buffer holds sampled state and the dirty queues reach
 //! a steady-state capacity that is reused across edges.
 //!
+//! Since PR 8 the stream can additionally be **compiled to direct-threaded
+//! code** ([`DispatchMode`]): every surviving micro-op is specialized into
+//! a boxed closure with its opcode, operand slots, masks, shifts and
+//! immediates captured as constants (no per-op field loads, no opcode
+//! `match`), and the closures are chained into straight-line per-level
+//! blocks that the sweep paths execute back to back. `Auto` (the default)
+//! compiles streams large enough to amortize the build cost; backdoor
+//! memory pokes drop the compiled program, the next eval falls back to
+//! match dispatch once, and the program is rebuilt at the end of that
+//! eval. A compile ledger (blocks built, closures specialized, compile
+//! time, dispatch mode taken per eval) is reported in [`EngineStats`].
+//!
 //! The tree-walking interpreter in `sim.rs` is retained as the reference
 //! oracle (it shares the lowering and scalar-execution helpers below, so
 //! every opcode has a single source of truth); `tests/engine_equiv.rs`
@@ -46,7 +58,9 @@
 
 use crate::netlist::{node_width, BinOp, Node, UnOp, WritePortDecl};
 use crate::signal::mask;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Operand slot meaning "absent" (e.g. a register without an enable).
 const NONE: u32 = u32::MAX;
@@ -204,18 +218,45 @@ pub enum ParallelEval {
     Force(usize),
 }
 
+/// How the levelized micro-op stream is dispatched at eval time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Per-op `match` dispatch through the shared scalar-execution helper
+    /// (the PR 1/PR 6 engine).
+    Match,
+    /// Direct-threaded dispatch: every op is compiled into a specialized
+    /// closure (opcode, operand slots, masks and immediates captured as
+    /// constants) and the closures are chained into straight-line
+    /// per-level blocks.
+    Threaded,
+    /// Threaded above a stream-size threshold, match below it (the
+    /// default): tiny cones never amortize the compile cost.
+    #[default]
+    Auto,
+}
+
 /// Knobs controlling how a design is lowered onto the compiled engine.
 ///
-/// The default (`fuse` on, [`ParallelEval::Auto`]) is what `Sim::new`
-/// uses; `Sim::with_config` / `Fpga`-level integrators can override, and
-/// [`EngineConfig::set_global`] changes the process-wide default consulted
-/// by `Sim::new` (the `examples/serving.rs --partitioned` knob).
+/// The default (`fuse` on, [`ParallelEval::Auto`], [`DispatchMode::Auto`])
+/// is what `Sim::new` uses; `Sim::with_config` / `Fpga`-level integrators
+/// can override, and [`EngineConfig::set_global`] changes the process-wide
+/// default consulted by `Sim::new` (the `examples/serving.rs
+/// --partitioned` / `--dispatch` knobs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Run the peephole + superop fusion pass over the lowered stream.
     pub fuse: bool,
     /// Partitioned / adaptive evaluation policy.
     pub parallel: ParallelEval,
+    /// Dispatch backend: per-op `match` or compiled closure chains.
+    pub dispatch: DispatchMode,
+    /// Force full-stream sweeps on every eval, skipping dirty tracking
+    /// entirely. For workloads known to re-evaluate most of the fabric
+    /// each cycle (spill bursts, full-bank DAQ scans) the per-op queue
+    /// bookkeeping costs more than the ops; this pins the engine to the
+    /// straight-line sweep the dispatch tiers compile for. Sparse
+    /// workloads regress badly under it — leave off unless profiled.
+    pub streaming: bool,
 }
 
 impl Default for EngineConfig {
@@ -223,6 +264,8 @@ impl Default for EngineConfig {
         EngineConfig {
             fuse: true,
             parallel: ParallelEval::Auto,
+            dispatch: DispatchMode::Auto,
+            streaming: false,
         }
     }
 }
@@ -230,25 +273,36 @@ impl Default for EngineConfig {
 const PAR_OFF: u8 = 0;
 const PAR_AUTO: u8 = 1;
 const PAR_FORCE: u8 = 2;
+const DISP_MATCH: u8 = 0;
+const DISP_THREADED: u8 = 1;
+const DISP_AUTO: u8 = 2;
 static GLOBAL_FUSE: AtomicBool = AtomicBool::new(true);
 static GLOBAL_PAR: AtomicU8 = AtomicU8::new(PAR_AUTO);
 static GLOBAL_PARTS: AtomicUsize = AtomicUsize::new(2);
+static GLOBAL_DISPATCH: AtomicU8 = AtomicU8::new(DISP_AUTO);
+static GLOBAL_STREAMING: AtomicBool = AtomicBool::new(false);
 
 impl EngineConfig {
-    /// Fusion on, parallel evaluation off — the serial fused engine.
+    /// Fusion on, parallel evaluation off, match dispatch — the serial
+    /// fused engine (the PR 6 shape, used as a bench baseline; dispatch
+    /// stays `Match` so speedup floors measure one change at a time).
     pub fn serial() -> Self {
         EngineConfig {
             fuse: true,
             parallel: ParallelEval::Off,
+            dispatch: DispatchMode::Match,
+            streaming: false,
         }
     }
 
-    /// Fusion and parallel evaluation both off — the raw PR 1 lowering
-    /// (benchmark baseline).
+    /// Fusion and parallel evaluation both off, match dispatch — the raw
+    /// PR 1 lowering (benchmark baseline).
     pub fn unfused() -> Self {
         EngineConfig {
             fuse: false,
             parallel: ParallelEval::Off,
+            dispatch: DispatchMode::Match,
+            streaming: false,
         }
     }
 
@@ -263,6 +317,13 @@ impl EngineConfig {
         };
         GLOBAL_PARTS.store(parts, Ordering::Relaxed);
         GLOBAL_PAR.store(mode, Ordering::Relaxed);
+        let disp = match cfg.dispatch {
+            DispatchMode::Match => DISP_MATCH,
+            DispatchMode::Threaded => DISP_THREADED,
+            DispatchMode::Auto => DISP_AUTO,
+        };
+        GLOBAL_DISPATCH.store(disp, Ordering::Relaxed);
+        GLOBAL_STREAMING.store(cfg.streaming, Ordering::Relaxed);
     }
 
     /// The current process-wide default (see [`EngineConfig::set_global`]).
@@ -272,9 +333,16 @@ impl EngineConfig {
             PAR_FORCE => ParallelEval::Force(GLOBAL_PARTS.load(Ordering::Relaxed).max(1)),
             _ => ParallelEval::Auto,
         };
+        let dispatch = match GLOBAL_DISPATCH.load(Ordering::Relaxed) {
+            DISP_MATCH => DispatchMode::Match,
+            DISP_THREADED => DispatchMode::Threaded,
+            _ => DispatchMode::Auto,
+        };
         EngineConfig {
             fuse: GLOBAL_FUSE.load(Ordering::Relaxed),
             parallel,
+            dispatch,
+            streaming: GLOBAL_STREAMING.load(Ordering::Relaxed),
         }
     }
 }
@@ -299,6 +367,23 @@ pub struct EngineStats {
     pub levels: usize,
     /// Partitions per level used by partitioned evaluation (1 = serial).
     pub partitions: usize,
+    /// Threaded-dispatch compile passes run: the eager build at lowering
+    /// time plus every rebuild after a backdoor poke or lane-count change.
+    pub compiles: usize,
+    /// Straight-line per-level blocks built across all compiles.
+    pub blocks_built: usize,
+    /// Per-op specialized closures built across all compiles (scalar and
+    /// laned programs both count).
+    pub closures_specialized: usize,
+    /// Wall-clock nanoseconds spent building closure chains. The one
+    /// non-deterministic ledger field — determinism fingerprints must
+    /// exclude it.
+    pub compile_ns: u64,
+    /// Evals that dispatched through a compiled threaded program.
+    pub evals_threaded: u64,
+    /// Evals that dispatched through the per-op `match` path (includes
+    /// the fallback eval right after a poke invalidates the program).
+    pub evals_match: u64,
     /// Final-stream population of each fused superop mnemonic.
     pub superops: Vec<(&'static str, usize)>,
     /// Full final-stream opcode histogram (superops and plain ops alike),
@@ -532,6 +617,20 @@ const SWEEP_ENTER: u32 = 4;
 /// dirty tracking for one eval to re-measure density (hysteresis: one
 /// bookkeeping-paying cycle per `SWEEP_HOLD` amortizes to noise).
 const SWEEP_HOLD: u32 = 64;
+/// `DispatchMode::Auto` compiles the stream to threaded closure chains at
+/// this op count; below it the per-op `match` path runs unchanged (one
+/// boxed closure per op never amortizes on tiny cones).
+const THREADED_MIN_OPS: usize = 128;
+/// Minimum same-opcode run length that earns a specialized run block;
+/// shorter segments are merged into packed-dispatch tail blocks (a
+/// singleton "loop" would cost more in block-call overhead than its
+/// hoisted dispatch saves).
+const RUN_MIN_LEN: usize = 8;
+/// Minimum length of a serial same-opcode dependency chain (each op
+/// consuming the previous op's destination in the same operand position)
+/// that earns a dedicated chain run — a loop carrying the chained value
+/// in a register with the opcode dispatch hoisted out entirely.
+const CHAIN_MIN: usize = 4;
 
 /// One partition's compute buffer for two-phase parallel sweeps: phase A
 /// executes `ops[lo..hi]` (a range of op indices, or a slice of a dirty
@@ -542,6 +641,267 @@ struct PartBuf {
     lo: usize,
     hi: usize,
     out: Vec<u64>,
+}
+
+// ---- direct-threaded dispatch (compiled closure chains) -------------------
+
+/// Borrowed execution context handed to threaded per-level blocks: the
+/// per-node value array plus the memory banks, both owned by `Sim`.
+pub(crate) struct ExecState<'a> {
+    /// Per-node values.
+    pub vals: &'a mut [u64],
+    /// Memory contents, one `Vec` per memory.
+    pub mems: &'a [Vec<u64>],
+}
+
+/// One compiled op: a pure compute closure specialized to its opcode with
+/// operand slots, masks, shifts and immediates captured as constants. The
+/// *caller* stores the result (and runs change detection where the path
+/// needs it), so one closure serves the incremental, dense, and
+/// partitioned paths alike — including rayon workers, hence `Send + Sync`.
+type OpFn = Box<dyn Fn(&[u64], &[Vec<u64>]) -> u64 + Send + Sync>;
+
+/// One compiled run block: straight-line execution of a same-opcode op
+/// run inside one level, storing every destination unconditionally (the
+/// raw-sweep contract). The opcode match is hoisted outside the run's
+/// loop, so the loop body is branch-free specialized code.
+type BlockFn = Box<dyn Fn(&mut ExecState) + Send + Sync>;
+
+/// One compiled laned op: runs the op's `LANE_CHUNK`-chunked inner loop
+/// across every lane with row offsets pre-scaled by the lane count,
+/// returning whether any lane's destination changed.
+type LaneOpFn = Box<dyn Fn(&mut LaneState) -> bool + Send + Sync>;
+
+/// The threaded program for one compiled stream: per-op closures for the
+/// incremental and partitioned paths, plus the dense sweep plan — ops of
+/// each level sorted by opcode and chained into *run blocks* (one
+/// specialized loop per same-opcode run, the "superinstruction" form of
+/// direct threading). Sorting within a level is safe: levelization
+/// guarantees same-level ops never consume each other's destinations.
+struct ThreadedProgram {
+    /// `(dst, compute)` per op, in stream (level) order.
+    ops: Arc<Vec<(u32, OpFn)>>,
+    /// Run blocks, level-major; each executes one same-opcode run.
+    runs: Vec<BlockFn>,
+    /// Level `l`'s run blocks are `runs[run_start[l]..run_start[l + 1]]`.
+    run_start: Vec<u32>,
+}
+
+/// The threaded program for the lane path, specialized to one lane count
+/// (row offsets `node * lanes` are captured constants, so a group forked
+/// with a different width forces a rebuild).
+struct LaneProgram {
+    ops: Vec<LaneOpFn>,
+    lanes: usize,
+}
+
+/// Cache slot for a compiled program. Cloning an engine (design forks)
+/// drops the program — the clone rebuilds on its next eval — and `Debug`
+/// prints only presence, keeping `CompiledEngine`'s derives intact.
+struct ProgramCache<P>(Option<P>);
+
+impl<P> Default for ProgramCache<P> {
+    fn default() -> Self {
+        ProgramCache(None)
+    }
+}
+
+impl<P> Clone for ProgramCache<P> {
+    fn clone(&self) -> Self {
+        ProgramCache(None)
+    }
+}
+
+impl<P> std::fmt::Debug for ProgramCache<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ProgramCache")
+            .field(&self.0.is_some())
+            .finish()
+    }
+}
+
+/// Build a one-operand compute closure with the operand slot captured.
+fn th1(a: u32, f: impl Fn(u64) -> u64 + Send + Sync + 'static) -> OpFn {
+    let a = a as usize;
+    Box::new(move |v, _| f(v[a]))
+}
+
+/// Build a two-operand compute closure with both slots captured.
+fn th2(a: u32, b: u32, f: impl Fn(u64, u64) -> u64 + Send + Sync + 'static) -> OpFn {
+    let (a, b) = (a as usize, b as usize);
+    Box::new(move |v, _| f(v[a], v[b]))
+}
+
+/// Build a three-operand compute closure with all slots captured.
+fn th3(a: u32, b: u32, c: u32, f: impl Fn(u64, u64, u64) -> u64 + Send + Sync + 'static) -> OpFn {
+    let (a, b, c) = (a as usize, b as usize, c as usize);
+    Box::new(move |v, _| f(v[a], v[b], v[c]))
+}
+
+// Run-block builders: each takes the packed per-op slot/parameter columns
+// of one same-opcode run and a pure element function, and returns a block
+// whose loop inlines `f` — the opcode dispatch happened at compile time,
+// so the loop body carries no match and loads no opcode. Parameter
+// columns an element function ignores are dead loads the optimizer
+// removes after inlining, so the three shapes cover every parameterized
+// opcode without per-opcode plumbing.
+
+/// Whether every op in the run reads the same slot here — a *broadcast*
+/// column (one fanned-out net feeding the whole run, e.g. a hit address
+/// driving every lane's decoder). The compile-time check lets the run
+/// loop hoist that operand's load out entirely.
+fn broadcast(col: &[u32]) -> bool {
+    col.windows(2).all(|w| w[0] == w[1])
+}
+
+/// Serial chain run: `acc = f(acc, v[y[k]], v[z[k]], p[k]); v[dst[k]] = acc`,
+/// seeded with `acc = v[seed]`. The chained value never round-trips
+/// through the value array — each hop forwards it in a register, cutting
+/// the store-to-load latency out of the dependency chain that makes
+/// serial reductions the critical path of a sweep.
+fn ch3(
+    seed: u32,
+    dst: Vec<u32>,
+    y: Vec<u32>,
+    z: Vec<u32>,
+    p: Vec<u64>,
+    f: impl Fn(u64, u64, u64, u64) -> u64 + Send + Sync + 'static,
+) -> BlockFn {
+    let seed = seed as usize;
+    Box::new(move |st: &mut ExecState| {
+        let v = &mut *st.vals;
+        let mut acc = v[seed];
+        for ((&d, &y), (&z, &p)) in dst.iter().zip(&y).zip(z.iter().zip(&p)) {
+            acc = f(acc, v[y as usize], v[z as usize], p);
+            v[d as usize] = acc;
+        }
+    })
+}
+
+/// One-operand run: `dst[k] = f(v[a[k]], p[k], q[k])`. A broadcast `a`
+/// column is hoisted to a single load before the loop.
+fn rn1(
+    dst: Vec<u32>,
+    a: Vec<u32>,
+    p: Vec<u64>,
+    q: Vec<u64>,
+    f: impl Fn(u64, u64, u64) -> u64 + Send + Sync + 'static,
+) -> BlockFn {
+    if broadcast(&a) {
+        let a0 = a[0] as usize;
+        return Box::new(move |st: &mut ExecState| {
+            let v = &mut *st.vals;
+            let x = v[a0];
+            for (&d, (&p, &q)) in dst.iter().zip(p.iter().zip(&q)) {
+                v[d as usize] = f(x, p, q);
+            }
+        });
+    }
+    Box::new(move |st: &mut ExecState| {
+        let v = &mut *st.vals;
+        for ((&d, &a), (&p, &q)) in dst.iter().zip(&a).zip(p.iter().zip(&q)) {
+            v[d as usize] = f(v[a as usize], p, q);
+        }
+    })
+}
+
+/// Two-operand run: `dst[k] = f(v[a[k]], v[b[k]], p[k], q[k])`. Broadcast
+/// operand columns (either or both) are hoisted to single loads.
+fn rn2(
+    dst: Vec<u32>,
+    a: Vec<u32>,
+    b: Vec<u32>,
+    p: Vec<u64>,
+    q: Vec<u64>,
+    f: impl Fn(u64, u64, u64, u64) -> u64 + Send + Sync + 'static,
+) -> BlockFn {
+    match (broadcast(&a), broadcast(&b)) {
+        (true, true) => {
+            let (a0, b0) = (a[0] as usize, b[0] as usize);
+            Box::new(move |st: &mut ExecState| {
+                let v = &mut *st.vals;
+                let (x, y) = (v[a0], v[b0]);
+                for (&d, (&p, &q)) in dst.iter().zip(p.iter().zip(&q)) {
+                    v[d as usize] = f(x, y, p, q);
+                }
+            })
+        }
+        (true, false) => {
+            let a0 = a[0] as usize;
+            Box::new(move |st: &mut ExecState| {
+                let v = &mut *st.vals;
+                let x = v[a0];
+                for ((&d, &b), (&p, &q)) in dst.iter().zip(&b).zip(p.iter().zip(&q)) {
+                    v[d as usize] = f(x, v[b as usize], p, q);
+                }
+            })
+        }
+        (false, true) => {
+            let b0 = b[0] as usize;
+            Box::new(move |st: &mut ExecState| {
+                let v = &mut *st.vals;
+                let y = v[b0];
+                for ((&d, &a), (&p, &q)) in dst.iter().zip(&a).zip(p.iter().zip(&q)) {
+                    v[d as usize] = f(v[a as usize], y, p, q);
+                }
+            })
+        }
+        (false, false) => Box::new(move |st: &mut ExecState| {
+            let v = &mut *st.vals;
+            for ((&d, &a), (&b, (&p, &q))) in dst.iter().zip(&a).zip(b.iter().zip(p.iter().zip(&q)))
+            {
+                v[d as usize] = f(v[a as usize], v[b as usize], p, q);
+            }
+        }),
+    }
+}
+
+/// Three-operand run: `dst[k] = f(v[a[k]], v[b[k]], v[c[k]], p[k], q[k])`.
+fn rn3(
+    dst: Vec<u32>,
+    a: Vec<u32>,
+    b: Vec<u32>,
+    c: Vec<u32>,
+    p: Vec<u64>,
+    q: Vec<u64>,
+    f: impl Fn(u64, u64, u64, u64, u64) -> u64 + Send + Sync + 'static,
+) -> BlockFn {
+    Box::new(move |st: &mut ExecState| {
+        let v = &mut *st.vals;
+        for ((&d, &a), (&b, (&c, (&p, &q)))) in dst
+            .iter()
+            .zip(&a)
+            .zip(b.iter().zip(c.iter().zip(p.iter().zip(&q))))
+        {
+            v[d as usize] = f(v[a as usize], v[b as usize], v[c as usize], p, q);
+        }
+    })
+}
+
+/// Build a one-operand laned closure (row offsets pre-scaled).
+fn ln1(d0: usize, a0: usize, f: impl Fn(u64) -> u64 + Send + Sync + 'static) -> LaneOpFn {
+    Box::new(move |st| lane_map1(&mut st.vals, d0, a0, st.lanes, &f))
+}
+
+/// Build a two-operand laned closure (row offsets pre-scaled).
+fn ln2(
+    d0: usize,
+    a0: usize,
+    b0: usize,
+    f: impl Fn(u64, u64) -> u64 + Send + Sync + 'static,
+) -> LaneOpFn {
+    Box::new(move |st| lane_map2(&mut st.vals, d0, a0, b0, st.lanes, &f))
+}
+
+/// Build a three-operand laned closure (row offsets pre-scaled).
+fn ln3(
+    d0: usize,
+    a0: usize,
+    b0: usize,
+    c0: usize,
+    f: impl Fn(u64, u64, u64) -> u64 + Send + Sync + 'static,
+) -> LaneOpFn {
+    Box::new(move |st| lane_map3(&mut st.vals, d0, a0, b0, c0, st.lanes, &f))
 }
 
 /// The lowered form of one design: micro-op stream, level sets, consumer
@@ -588,6 +948,9 @@ pub(crate) struct CompiledEngine {
     parts: usize,
     /// Dense/cascade sweep heuristics enabled.
     adaptive: bool,
+    /// Pinned full-stream sweeps (`EngineConfig::streaming`): every eval
+    /// straight-lines the whole stream, no dirty tracking consulted.
+    streaming: bool,
     /// Persistent per-partition compute buffers.
     par_bufs: Vec<PartBuf>,
     /// Per-node minimum consumer level (`levels` when unconsumed) — lets
@@ -604,6 +967,17 @@ pub(crate) struct CompiledEngine {
     sweep_streak: u32,
     /// Sweeps left before dropping out to re-measure density.
     sweep_left: u32,
+
+    // ---- direct-threaded dispatch ----
+    /// Whether this stream dispatches through compiled closure chains
+    /// (resolved from [`DispatchMode`] against the final op count).
+    use_threaded: bool,
+    /// Compiled scalar program (dropped by backdoor pokes and clones;
+    /// rebuilt at the end of the next eval).
+    threaded: ProgramCache<ThreadedProgram>,
+    /// Compiled lane program (built lazily on the first laned eval, when
+    /// the lane count is known).
+    threaded_lanes: ProgramCache<LaneProgram>,
 
     // ---- observability ----
     /// Whether `vals[node]` is kept current by the engine (sources, state,
@@ -783,6 +1157,7 @@ impl CompiledEngine {
             level_start: Vec::new(),
             parts: 1,
             adaptive: false,
+            streaming: false,
             par_bufs: Vec::new(),
             node_min_lvl: Vec::new(),
             mem_min_lvl: Vec::new(),
@@ -790,6 +1165,9 @@ impl CompiledEngine {
             sweep_first: 0,
             sweep_streak: 0,
             sweep_left: 0,
+            use_threaded: false,
+            threaded: ProgramCache::default(),
+            threaded_lanes: ProgramCache::default(),
             computed: Vec::new(),
             folded,
             stats,
@@ -923,6 +1301,12 @@ impl CompiledEngine {
         if eng.parts > 1 {
             eng.par_bufs = vec![PartBuf::default(); eng.parts];
         }
+        eng.use_threaded = match config.dispatch {
+            DispatchMode::Match => false,
+            DispatchMode::Threaded => true,
+            DispatchMode::Auto => ops_final >= THREADED_MIN_OPS,
+        };
+        eng.streaming = config.streaming;
 
         // State-commit plan: registers grouped by (clr, en) presence so the
         // per-cycle sampling loops are branch-free within each class.
@@ -1015,7 +1399,681 @@ impl CompiledEngine {
         opcodes.sort_by(by_count);
         eng.stats.superops = superops;
         eng.stats.opcodes = opcodes;
+        if eng.use_threaded {
+            eng.rebuild_threaded();
+        }
         eng
+    }
+
+    // ---- threaded program construction -----------------------------------
+
+    /// Specialize op `i` into a pure compute closure: the opcode selects
+    /// the arm *once here*, and operand slots, masks, shifts and derived
+    /// constants (repack parts, `mask64` widths, CAT3 shift pair, owned
+    /// `OP_SELECT` leaf tables) are captured rather than re-loaded and
+    /// re-decoded on every execution. Must mirror [`exec_scalar`] (and the
+    /// special `OP_SELECT` gather in [`CompiledEngine::exec_op`]) exactly.
+    fn compile_op(&self, i: usize) -> OpFn {
+        let (a, b, c) = (self.op_a[i], self.op_b[i], self.op_c[i]);
+        let imm = self.op_imm[i];
+        match self.op_code[i] {
+            OP_NOT => th1(a, move |x| !x & imm),
+            OP_RED_AND => th1(a, move |x| u64::from(x == imm)),
+            OP_RED_OR => th1(a, |x| u64::from(x != 0)),
+            OP_RED_XOR => th1(a, |x| u64::from(x.count_ones() & 1 == 1)),
+            OP_AND => th2(a, b, |x, y| x & y),
+            OP_OR => th2(a, b, |x, y| x | y),
+            OP_XOR => th2(a, b, |x, y| x ^ y),
+            OP_ADD => th2(a, b, move |x, y| x.wrapping_add(y) & imm),
+            OP_SUB => th2(a, b, move |x, y| x.wrapping_sub(y) & imm),
+            OP_MUL => th2(a, b, move |x, y| x.wrapping_mul(y) & imm),
+            OP_EQ => th2(a, b, |x, y| u64::from(x == y)),
+            OP_NE => th2(a, b, |x, y| u64::from(x != y)),
+            OP_LT => th2(a, b, |x, y| u64::from(x < y)),
+            OP_LE => th2(a, b, |x, y| u64::from(x <= y)),
+            OP_SHL => {
+                let w = c as u64;
+                th2(a, b, move |x, sh| if sh >= w { 0 } else { (x << sh) & imm })
+            }
+            OP_SHR => {
+                let w = c as u64;
+                th2(a, b, move |x, sh| if sh >= w { 0 } else { x >> sh })
+            }
+            OP_MUX => th3(a, b, c, |s, t, f| if s != 0 { t } else { f }),
+            OP_SLICE => th1(a, move |x| (x >> c) & imm),
+            OP_CONCAT => th2(a, b, move |hi, lo| (hi << c) | lo),
+            OP_READ_ASYNC => {
+                let (a, m) = (a as usize, c as usize);
+                Box::new(move |v, mems| mems[m].get(v[a] as usize).copied().unwrap_or(0))
+            }
+            OP_NAND => th2(a, b, move |x, y| !(x & y) & imm),
+            OP_NOR => th2(a, b, move |x, y| !(x | y) & imm),
+            OP_XNOR => th2(a, b, move |x, y| !(x ^ y) & imm),
+            OP_ANDN => th2(a, b, move |x, y| x & !y & imm),
+            OP_AND3 => th3(a, b, c, |x, y, z| x & y & z),
+            OP_OR3 => th3(a, b, c, |x, y, z| x | y | z),
+            OP_XOR3 => th3(a, b, c, |x, y, z| x ^ y ^ z),
+            OP_AND_IMM => th1(a, move |x| x & imm),
+            OP_OR_IMM => th1(a, move |x| x | imm),
+            OP_XOR_IMM => th1(a, move |x| x ^ imm),
+            OP_ADD_IMM => {
+                let m = mask64(c);
+                th1(a, move |x| x.wrapping_add(imm) & m)
+            }
+            OP_EQ_IMM => th1(a, move |x| u64::from(x == imm)),
+            OP_NE_IMM => th1(a, move |x| u64::from(x != imm)),
+            OP_MUX_EQI => th3(a, b, c, move |s, t, f| if s == imm { t } else { f }),
+            OP_SHL_IMM => th1(a, move |x| (x << c) & imm),
+            OP_REPACK => {
+                let (l1, l2, w2, m1, m2) = repack_parts(c);
+                th2(a, b, move |x, y| {
+                    (((x >> l1) & m1) << w2) | ((y >> l2) & m2)
+                })
+            }
+            OP_MUX_BIT => th3(
+                a,
+                b,
+                c,
+                move |s, t, f| if (s >> imm) & 1 != 0 { t } else { f },
+            ),
+            OP_ANDSHR => th2(a, b, move |x, y| x & ((y >> c) & imm)),
+            OP_CAT3 => {
+                let (s1, s2) = ((imm & 0xff) as u32, ((imm >> 8) & 0xff) as u32);
+                th3(a, b, c, move |x, y, z| (((x << s1) | y) << s2) | z)
+            }
+            OP_INC_IF => {
+                let m = mask64(c);
+                th2(
+                    a,
+                    b,
+                    move |en, q| {
+                        if en != 0 {
+                            q.wrapping_add(imm) & m
+                        } else {
+                            q
+                        }
+                    },
+                )
+            }
+            OP_SELECT => {
+                // Own a copy of the leaf-table slice so the closure indexes
+                // a captured constant table instead of the engine's side
+                // array (and stays valid however the engine moves).
+                let start = c as usize;
+                let tab: Vec<u32> = self.sel_tab[start..start + imm as usize + 1].to_vec();
+                let a = a as usize;
+                Box::new(move |v, _| v[tab[((v[a] >> b) & imm) as usize] as usize])
+            }
+            _ => unreachable!("invalid opcode"),
+        }
+    }
+
+    /// Compile one same-opcode run (`idxs`, level-internal) into a run
+    /// block: packed slot/parameter columns plus a loop whose body is the
+    /// opcode's specialized element function — no per-op dispatch, no
+    /// opcode loads. Must mirror [`exec_scalar`] arm for arm. Memory and
+    /// select ops fall back to chained per-op closures (they are rare and
+    /// need captured tables/bank handles).
+    fn compile_run(&self, idxs: &[usize]) -> BlockFn {
+        let col = |src: &[u32]| -> Vec<u32> { idxs.iter().map(|&i| src[i]).collect() };
+        let dst = col(&self.op_dst);
+        let a = col(&self.op_a);
+        let b = col(&self.op_b);
+        let cv = col(&self.op_c);
+        let imm: Vec<u64> = idxs.iter().map(|&i| self.op_imm[i]).collect();
+        let cu: Vec<u64> = cv.iter().map(|&c| u64::from(c)).collect();
+        // `c` is a result width only for ADD_IMM / INC_IF — materialize the
+        // mask column inside those arms (elsewhere `c` is a slot or NONE).
+        let mk = |cv: &[u32]| -> Vec<u64> { cv.iter().map(|&c| mask64(c)).collect() };
+        let zz: Vec<u64> = vec![0; idxs.len()]; // unused-parameter column
+        match self.op_code[idxs[0]] {
+            OP_NOT => rn1(dst, a, imm, zz, |x, p, _| !x & p),
+            OP_RED_AND => rn1(dst, a, imm, zz, |x, p, _| u64::from(x == p)),
+            OP_RED_OR => rn1(dst, a, zz, imm, |x, _, _| u64::from(x != 0)),
+            OP_RED_XOR => rn1(dst, a, zz, imm, |x, _, _| {
+                u64::from(x.count_ones() & 1 == 1)
+            }),
+            OP_AND => rn2(dst, a, b, zz, imm, |x, y, _, _| x & y),
+            OP_OR => rn2(dst, a, b, zz, imm, |x, y, _, _| x | y),
+            OP_XOR => rn2(dst, a, b, zz, imm, |x, y, _, _| x ^ y),
+            OP_ADD => rn2(dst, a, b, imm, zz, |x, y, p, _| x.wrapping_add(y) & p),
+            OP_SUB => rn2(dst, a, b, imm, zz, |x, y, p, _| x.wrapping_sub(y) & p),
+            OP_MUL => rn2(dst, a, b, imm, zz, |x, y, p, _| x.wrapping_mul(y) & p),
+            OP_EQ => rn2(dst, a, b, zz, imm, |x, y, _, _| u64::from(x == y)),
+            OP_NE => rn2(dst, a, b, zz, imm, |x, y, _, _| u64::from(x != y)),
+            OP_LT => rn2(dst, a, b, zz, imm, |x, y, _, _| u64::from(x < y)),
+            OP_LE => rn2(dst, a, b, zz, imm, |x, y, _, _| u64::from(x <= y)),
+            OP_SHL => rn2(
+                dst,
+                a,
+                b,
+                cu,
+                imm,
+                |x, sh, p, q| {
+                    if sh >= p {
+                        0
+                    } else {
+                        (x << sh) & q
+                    }
+                },
+            ),
+            OP_SHR => rn2(
+                dst,
+                a,
+                b,
+                cu,
+                imm,
+                |x, sh, p, _| if sh >= p { 0 } else { x >> sh },
+            ),
+            OP_MUX => rn3(
+                dst,
+                a,
+                b,
+                cv,
+                zz,
+                imm,
+                |s, t, f, _, _| if s != 0 { t } else { f },
+            ),
+            OP_SLICE => rn1(dst, a, cu, imm, |x, p, q| (x >> p) & q),
+            OP_CONCAT => rn2(dst, a, b, cu, imm, |hi, lo, p, _| (hi << p) | lo),
+            OP_NAND => rn2(dst, a, b, imm, zz, |x, y, p, _| !(x & y) & p),
+            OP_NOR => rn2(dst, a, b, imm, zz, |x, y, p, _| !(x | y) & p),
+            OP_XNOR => rn2(dst, a, b, imm, zz, |x, y, p, _| !(x ^ y) & p),
+            OP_ANDN => rn2(dst, a, b, imm, zz, |x, y, p, _| x & !y & p),
+            OP_AND3 => rn3(dst, a, b, cv, zz, imm, |x, y, z, _, _| x & y & z),
+            OP_OR3 => rn3(dst, a, b, cv, zz, imm, |x, y, z, _, _| x | y | z),
+            OP_XOR3 => rn3(dst, a, b, cv, zz, imm, |x, y, z, _, _| x ^ y ^ z),
+            OP_AND_IMM => rn1(dst, a, imm, zz, |x, p, _| x & p),
+            OP_OR_IMM => rn1(dst, a, imm, zz, |x, p, _| x | p),
+            OP_XOR_IMM => rn1(dst, a, imm, zz, |x, p, _| x ^ p),
+            OP_ADD_IMM => {
+                let mk = mk(&cv);
+                rn1(dst, a, imm, mk, |x, p, q| x.wrapping_add(p) & q)
+            }
+            OP_EQ_IMM => rn1(dst, a, imm, zz, |x, p, _| u64::from(x == p)),
+            OP_NE_IMM => rn1(dst, a, imm, zz, |x, p, _| u64::from(x != p)),
+            OP_MUX_EQI => rn3(
+                dst,
+                a,
+                b,
+                cv,
+                imm,
+                zz,
+                |s, t, f, p, _| if s == p { t } else { f },
+            ),
+            OP_SHL_IMM => rn1(dst, a, cu, imm, |x, p, q| (x << p) & q),
+            OP_REPACK => rn2(dst, a, b, cu, zz, |x, y, p, _| {
+                let (l1, l2, w2, m1, m2) = repack_parts(p as u32);
+                (((x >> l1) & m1) << w2) | ((y >> l2) & m2)
+            }),
+            OP_MUX_BIT => rn3(dst, a, b, cv, imm, zz, |s, t, f, p, _| {
+                if (s >> p) & 1 != 0 {
+                    t
+                } else {
+                    f
+                }
+            }),
+            OP_ANDSHR => rn2(dst, a, b, cu, imm, |x, y, p, q| x & ((y >> p) & q)),
+            OP_CAT3 => rn3(dst, a, b, cv, imm, zz, |x, y, z, p, _| {
+                (((x << (p & 0xff)) | y) << ((p >> 8) & 0xff)) | z
+            }),
+            OP_INC_IF => {
+                let mk = mk(&cv);
+                rn2(dst, a, b, imm, mk, |en, q, p, m| {
+                    if en != 0 {
+                        q.wrapping_add(p) & m
+                    } else {
+                        q
+                    }
+                })
+            }
+            OP_READ_ASYNC | OP_SELECT => {
+                let fns: Vec<(u32, OpFn)> = idxs
+                    .iter()
+                    .map(|&i| (self.op_dst[i], self.compile_op(i)))
+                    .collect();
+                Box::new(move |st: &mut ExecState| {
+                    for (d, f) in &fns {
+                        st.vals[*d as usize] = f(st.vals, st.mems);
+                    }
+                })
+            }
+            _ => unreachable!("invalid opcode"),
+        }
+    }
+
+    /// Reorder a tail batch into a chain-following topological order: when
+    /// the op just scheduled has a ready consumer inside the batch, that
+    /// consumer goes next. Level-major order interleaves independent
+    /// serial chains (one hop of each per level), which defeats the tail
+    /// block's register forwarding — `prev` is always the *other* chain's
+    /// destination. Scheduling each chain contiguously makes the forward
+    /// hit on every hop. Any topological order is bit-exact (ops are pure
+    /// and single-assignment); the scan is deterministic (first ready op
+    /// in batch order when no consumer chains on).
+    fn chain_schedule(&self, idxs: &[usize]) -> Vec<usize> {
+        let n = idxs.len();
+        let pos: HashMap<u32, usize> = idxs
+            .iter()
+            .enumerate()
+            .map(|(k, &i)| (self.op_dst[i], k))
+            .collect();
+        let mut indeg: Vec<u32> = vec![0; n];
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (k, &i) in idxs.iter().enumerate() {
+            visit_code_operands(
+                self.op_code[i],
+                self.op_a[i],
+                self.op_b[i],
+                self.op_c[i],
+                |s| {
+                    if let Some(&p) = pos.get(&s) {
+                        if p != k {
+                            indeg[k] += 1;
+                            consumers[p].push(k);
+                        }
+                    }
+                },
+            );
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut done = vec![false; n];
+        let mut last: Option<usize> = None;
+        for _ in 0..n {
+            let next = last
+                .and_then(|l| {
+                    consumers[l]
+                        .iter()
+                        .copied()
+                        .find(|&c| !done[c] && indeg[c] == 0)
+                })
+                .unwrap_or_else(|| {
+                    (0..n)
+                        .find(|&c| !done[c] && indeg[c] == 0)
+                        .expect("tail batch is acyclic")
+                });
+            done[next] = true;
+            order.push(idxs[next]);
+            for &c in &consumers[next] {
+                indeg[c] -= 1;
+            }
+            last = Some(next);
+        }
+        order
+    }
+
+    /// Compile a batch of *short* runs — singletons and near-singletons,
+    /// possibly spanning several consecutive levels — into one packed
+    /// dispatch block. Specializing a loop per opcode only pays when the
+    /// loop iterates; a serial dependency chain (one op per level) would
+    /// pay a boxed block call plus loop setup *per op*. Packing those ops'
+    /// fields into dense columns and dispatching through [`exec_scalar`]
+    /// inside a single block keeps the per-op cost at one predictable
+    /// match branch — the same dispatch the match sweep runs — while the
+    /// whole chain costs one boxed call instead of dozens.
+    fn compile_tail(&self, idxs: &[usize]) -> BlockFn {
+        let order = self.chain_schedule(idxs);
+        // After chain scheduling, serial chains are contiguous same-opcode
+        // stretches. Peel stretches where every op consumes the previous
+        // op's destination in one consistent operand position into chain
+        // runs: a loop carrying the chained value in a register, with both
+        // the opcode dispatch and the forwarding compare hoisted out.
+        // Everything else stays in packed-dispatch sub-blocks, emitted in
+        // schedule order so dataflow between parts is preserved.
+        let chainable = |c: u8| matches!(c, OP_AND3 | OP_OR3 | OP_XOR3 | OP_CAT3);
+        let mut parts: Vec<BlockFn> = Vec::new();
+        let mut plain: Vec<usize> = Vec::new();
+        let mut k = 0;
+        while k < order.len() {
+            let code = self.op_code[order[k]];
+            if chainable(code) {
+                let mut e = k + 1;
+                let mut linkpos: Option<usize> = None;
+                while e < order.len() && self.op_code[order[e]] == code {
+                    let prev_dst = self.op_dst[order[e - 1]];
+                    let ops3 = [
+                        self.op_a[order[e]],
+                        self.op_b[order[e]],
+                        self.op_c[order[e]],
+                    ];
+                    match (linkpos, ops3.iter().position(|&s| s == prev_dst)) {
+                        (None, Some(p)) => linkpos = Some(p),
+                        (Some(p0), Some(p)) if p == p0 => {}
+                        _ => break,
+                    }
+                    e += 1;
+                }
+                if e - k >= CHAIN_MIN {
+                    if !plain.is_empty() {
+                        parts.push(self.pack_tail(&plain));
+                        plain.clear();
+                    }
+                    parts.push(self.compile_chain3(&order[k..e], linkpos.unwrap()));
+                    k = e;
+                    continue;
+                }
+            }
+            plain.push(order[k]);
+            k += 1;
+        }
+        if !plain.is_empty() {
+            parts.push(self.pack_tail(&plain));
+        }
+        if parts.len() == 1 {
+            return parts.pop().unwrap();
+        }
+        Box::new(move |st: &mut ExecState| {
+            for part in &parts {
+                part(st);
+            }
+        })
+    }
+
+    /// Compile a serial chain of three-operand ops (same opcode, each op's
+    /// operand at `linkpos` equal to the previous op's destination) into a
+    /// chain run: see [`ch3`]. The first op's `linkpos` operand seeds the
+    /// accumulator — it is outside the chain, so loading it once is exact.
+    fn compile_chain3(&self, idxs: &[usize], linkpos: usize) -> BlockFn {
+        let code = self.op_code[idxs[0]];
+        let mut y = Vec::with_capacity(idxs.len());
+        let mut z = Vec::with_capacity(idxs.len());
+        for &i in idxs {
+            let ops3 = [self.op_a[i], self.op_b[i], self.op_c[i]];
+            let mut rest = (0..3).filter(|&p| p != linkpos).map(|p| ops3[p]);
+            y.push(rest.next().unwrap());
+            z.push(rest.next().unwrap());
+        }
+        let dst: Vec<u32> = idxs.iter().map(|&i| self.op_dst[i]).collect();
+        let imm: Vec<u64> = idxs.iter().map(|&i| self.op_imm[i]).collect();
+        let seed = [self.op_a[idxs[0]], self.op_b[idxs[0]], self.op_c[idxs[0]]][linkpos];
+        let cat =
+            |x: u64, y: u64, z: u64, p: u64| (((x << (p & 0xff)) | y) << ((p >> 8) & 0xff)) | z;
+        match code {
+            OP_AND3 => ch3(seed, dst, y, z, imm, |x, y, z, _| x & y & z),
+            OP_OR3 => ch3(seed, dst, y, z, imm, |x, y, z, _| x | y | z),
+            OP_XOR3 => ch3(seed, dst, y, z, imm, |x, y, z, _| x ^ y ^ z),
+            // CAT3 is positional: permute the accumulator back into the
+            // operand slot the chain actually links through.
+            OP_CAT3 => match linkpos {
+                0 => ch3(seed, dst, y, z, imm, cat),
+                1 => ch3(seed, dst, y, z, imm, move |x, y, z, p| cat(y, x, z, p)),
+                _ => ch3(seed, dst, y, z, imm, move |x, y, z, p| cat(y, z, x, p)),
+            },
+            _ => unreachable!("unchainable opcode"),
+        }
+    }
+
+    /// Pack a (possibly reordered) batch of tail ops into one
+    /// [`exec_scalar`]-dispatch block with single-register forwarding.
+    fn pack_tail(&self, idxs: &[usize]) -> BlockFn {
+        let code: Vec<u8> = idxs.iter().map(|&i| self.op_code[i]).collect();
+        let dst: Vec<u32> = idxs.iter().map(|&i| self.op_dst[i]).collect();
+        let a: Vec<u32> = idxs.iter().map(|&i| self.op_a[i]).collect();
+        let b: Vec<u32> = idxs.iter().map(|&i| self.op_b[i]).collect();
+        let c: Vec<u32> = idxs.iter().map(|&i| self.op_c[i]).collect();
+        let imm: Vec<u64> = idxs.iter().map(|&i| self.op_imm[i]).collect();
+        Box::new(move |st: &mut ExecState| {
+            // `acc` keeps the previous op's result in a register. A tail is
+            // typically a serial dependency chain (that is what defeats run
+            // specialization), so the next op's critical-path operand is
+            // almost always `prev` — forwarding it from a register instead
+            // of re-loading `vals[prev]` removes the store-to-load latency
+            // from every hop of the chain. The compare is off the critical
+            // path and perfectly predicted on a steady chain.
+            let mut prev = u32::MAX;
+            let mut acc = 0u64;
+            for k in 0..code.len() {
+                let out = exec_scalar(
+                    code[k],
+                    a[k],
+                    b[k],
+                    c[k],
+                    imm[k],
+                    &mut |s| {
+                        if s == prev {
+                            acc
+                        } else {
+                            st.vals[s as usize]
+                        }
+                    },
+                    &mut |m, addr| st.mems[m as usize].get(addr as usize).copied().unwrap_or(0),
+                );
+                st.vals[dst[k] as usize] = out;
+                prev = dst[k];
+                acc = out;
+            }
+        })
+    }
+
+    /// Specialize op `i` for the lane path: the `LANE_CHUNK`-chunked inner
+    /// loop is captured with destination/operand row offsets pre-scaled by
+    /// `lanes`. Must mirror [`CompiledEngine::exec_op_lanes`] exactly.
+    fn compile_op_lanes(&self, i: usize, lanes: usize) -> LaneOpFn {
+        let d0 = self.op_dst[i] as usize * lanes;
+        let a0 = self.op_a[i] as usize * lanes;
+        let braw = self.op_b[i] as usize; // NONE for one-operand ops
+        let b0 = braw.wrapping_mul(lanes);
+        let c0 = (self.op_c[i] as usize).wrapping_mul(lanes);
+        let c = self.op_c[i];
+        let imm = self.op_imm[i];
+        match self.op_code[i] {
+            OP_NOT => ln1(d0, a0, move |x| !x & imm),
+            OP_RED_AND => ln1(d0, a0, move |x| u64::from(x == imm)),
+            OP_RED_OR => ln1(d0, a0, |x| u64::from(x != 0)),
+            OP_RED_XOR => ln1(d0, a0, |x| u64::from(x.count_ones() & 1 == 1)),
+            OP_AND => ln2(d0, a0, b0, |x, y| x & y),
+            OP_OR => ln2(d0, a0, b0, |x, y| x | y),
+            OP_XOR => ln2(d0, a0, b0, |x, y| x ^ y),
+            OP_ADD => ln2(d0, a0, b0, move |x, y| x.wrapping_add(y) & imm),
+            OP_SUB => ln2(d0, a0, b0, move |x, y| x.wrapping_sub(y) & imm),
+            OP_MUL => ln2(d0, a0, b0, move |x, y| x.wrapping_mul(y) & imm),
+            OP_EQ => ln2(d0, a0, b0, |x, y| u64::from(x == y)),
+            OP_NE => ln2(d0, a0, b0, |x, y| u64::from(x != y)),
+            OP_LT => ln2(d0, a0, b0, |x, y| u64::from(x < y)),
+            OP_LE => ln2(d0, a0, b0, |x, y| u64::from(x <= y)),
+            OP_SHL => {
+                let w = c as u64;
+                ln2(
+                    d0,
+                    a0,
+                    b0,
+                    move |x, sh| if sh >= w { 0 } else { (x << sh) & imm },
+                )
+            }
+            OP_SHR => {
+                let w = c as u64;
+                ln2(d0, a0, b0, move |x, sh| if sh >= w { 0 } else { x >> sh })
+            }
+            OP_MUX => ln3(d0, a0, b0, c0, |s, t, f| if s != 0 { t } else { f }),
+            OP_SLICE => ln1(d0, a0, move |x| (x >> c) & imm),
+            OP_CONCAT => ln2(d0, a0, b0, move |hi, lo| (hi << c) | lo),
+            OP_READ_ASYNC => {
+                let m = c as usize;
+                Box::new(move |st| {
+                    let words = st.mem_words[m];
+                    let bank = &st.mems[m];
+                    let mut diff = 0u64;
+                    for l in 0..st.lanes {
+                        let addr = st.vals[a0 + l] as usize;
+                        let v = if addr < words {
+                            bank[l * words + addr]
+                        } else {
+                            0
+                        };
+                        diff |= v ^ st.vals[d0 + l];
+                        st.vals[d0 + l] = v;
+                    }
+                    diff != 0
+                })
+            }
+            OP_NAND => ln2(d0, a0, b0, move |x, y| !(x & y) & imm),
+            OP_NOR => ln2(d0, a0, b0, move |x, y| !(x | y) & imm),
+            OP_XNOR => ln2(d0, a0, b0, move |x, y| !(x ^ y) & imm),
+            OP_ANDN => ln2(d0, a0, b0, move |x, y| x & !y & imm),
+            OP_AND3 => ln3(d0, a0, b0, c0, |x, y, z| x & y & z),
+            OP_OR3 => ln3(d0, a0, b0, c0, |x, y, z| x | y | z),
+            OP_XOR3 => ln3(d0, a0, b0, c0, |x, y, z| x ^ y ^ z),
+            OP_AND_IMM => ln1(d0, a0, move |x| x & imm),
+            OP_OR_IMM => ln1(d0, a0, move |x| x | imm),
+            OP_XOR_IMM => ln1(d0, a0, move |x| x ^ imm),
+            OP_ADD_IMM => {
+                let m = mask64(c);
+                ln1(d0, a0, move |x| x.wrapping_add(imm) & m)
+            }
+            OP_EQ_IMM => ln1(d0, a0, move |x| u64::from(x == imm)),
+            OP_NE_IMM => ln1(d0, a0, move |x| u64::from(x != imm)),
+            OP_MUX_EQI => ln3(d0, a0, b0, c0, move |s, t, f| if s == imm { t } else { f }),
+            OP_SHL_IMM => ln1(d0, a0, move |x| (x << c) & imm),
+            OP_REPACK => {
+                let (l1, l2, w2, m1, m2) = repack_parts(c);
+                ln2(d0, a0, b0, move |x, y| {
+                    (((x >> l1) & m1) << w2) | ((y >> l2) & m2)
+                })
+            }
+            OP_MUX_BIT => ln3(
+                d0,
+                a0,
+                b0,
+                c0,
+                move |s, t, f| {
+                    if (s >> imm) & 1 != 0 {
+                        t
+                    } else {
+                        f
+                    }
+                },
+            ),
+            OP_ANDSHR => ln2(d0, a0, b0, move |x, y| x & ((y >> c) & imm)),
+            OP_CAT3 => {
+                let (s1, s2) = (imm & 0xff, (imm >> 8) & 0xff);
+                ln3(d0, a0, b0, c0, move |x, y, z| (((x << s1) | y) << s2) | z)
+            }
+            OP_INC_IF => {
+                let m = mask64(c);
+                ln2(d0, a0, b0, move |en, q| {
+                    if en != 0 {
+                        q.wrapping_add(imm) & m
+                    } else {
+                        q
+                    }
+                })
+            }
+            OP_SELECT => {
+                // Per-lane table gather with the leaf rows pre-scaled to
+                // row offsets (`leaf * lanes`) in a captured table.
+                let start = c as usize;
+                let tab: Vec<usize> = self.sel_tab[start..start + imm as usize + 1]
+                    .iter()
+                    .map(|&leaf| leaf as usize * lanes)
+                    .collect();
+                let sh = braw as u32;
+                Box::new(move |st| {
+                    let mut diff = 0u64;
+                    for l in 0..st.lanes {
+                        let idx = ((st.vals[a0 + l] >> sh) & imm) as usize;
+                        let v = st.vals[tab[idx] + l];
+                        diff |= v ^ st.vals[d0 + l];
+                        st.vals[d0 + l] = v;
+                    }
+                    diff != 0
+                })
+            }
+            _ => unreachable!("invalid opcode"),
+        }
+    }
+
+    /// Build (or rebuild, after a backdoor poke or clone) the scalar
+    /// threaded program: one specialized closure per op for the
+    /// incremental/partitioned paths, plus the dense sweep plan — each
+    /// level's ops sorted by opcode and compiled into run blocks —
+    /// recording the compile ledger.
+    fn rebuild_threaded(&mut self) {
+        let t0 = std::time::Instant::now();
+        let ops: Arc<Vec<(u32, OpFn)>> = Arc::new(
+            (0..self.op_code.len())
+                .map(|i| (self.op_dst[i], self.compile_op(i)))
+                .collect(),
+        );
+        let levels = self.level_start.len() - 1;
+        let mut runs: Vec<BlockFn> = Vec::new();
+        let mut run_start: Vec<u32> = Vec::with_capacity(levels + 1);
+        let mut idxs: Vec<usize> = Vec::new();
+        // Short segments accumulate here until a specialized block must be
+        // emitted; a pending tail may straddle level boundaries (a serial
+        // chain becomes ONE block). `run_start[l]` is recorded before the
+        // level's segments, so a mid-stream sweep entering at level `l`
+        // re-executes any earlier-level ops still pending in that tail —
+        // harmless, because ops are pure functions of settled values.
+        let mut tail: Vec<usize> = Vec::new();
+        for lvl in 0..levels {
+            run_start.push(runs.len() as u32);
+            idxs.clear();
+            idxs.extend(self.level_start[lvl] as usize..self.level_start[lvl + 1] as usize);
+            // Sort the level's ops by opcode — stable, so stream order
+            // survives within each opcode. Same-level ops are independent
+            // by levelization (a consumer always sits on a later level),
+            // so any order is bit-exact; sorting maximizes run length.
+            idxs.sort_by_key(|&i| self.op_code[i]);
+            let mut s = 0;
+            while s < idxs.len() {
+                let mut e = s + 1;
+                while e < idxs.len() && self.op_code[idxs[e]] == self.op_code[idxs[s]] {
+                    e += 1;
+                }
+                // SELECT carries a captured leaf table the packed
+                // interpreter can't see, so it always takes the chained
+                // closure form from `compile_run`, whatever its length.
+                if e - s >= RUN_MIN_LEN || self.op_code[idxs[s]] == OP_SELECT {
+                    if !tail.is_empty() {
+                        runs.push(self.compile_tail(&tail));
+                        tail.clear();
+                    }
+                    runs.push(self.compile_run(&idxs[s..e]));
+                } else {
+                    tail.extend_from_slice(&idxs[s..e]);
+                }
+                s = e;
+            }
+        }
+        if !tail.is_empty() {
+            runs.push(self.compile_tail(&tail));
+        }
+        run_start.push(runs.len() as u32);
+        self.stats.compiles += 1;
+        self.stats.blocks_built += runs.len();
+        self.stats.closures_specialized += ops.len();
+        self.stats.compile_ns += t0.elapsed().as_nanos() as u64;
+        self.threaded = ProgramCache(Some(ThreadedProgram {
+            ops,
+            runs,
+            run_start,
+        }));
+    }
+
+    /// Build (or rebuild) the lane program for `lanes` instances. Runs
+    /// lazily on the first laned eval — the lane count is unknown at
+    /// compile time — and again whenever the group width changes.
+    fn rebuild_threaded_lanes(&mut self, lanes: usize) {
+        let t0 = std::time::Instant::now();
+        let ops: Vec<LaneOpFn> = (0..self.op_code.len())
+            .map(|i| self.compile_op_lanes(i, lanes))
+            .collect();
+        self.stats.compiles += 1;
+        self.stats.closures_specialized += ops.len();
+        self.stats.compile_ns += t0.elapsed().as_nanos() as u64;
+        self.threaded_lanes = ProgramCache(Some(LaneProgram { ops, lanes }));
+    }
+
+    /// Backdoor-poke invalidation: mark the memory's read cone dirty *and*
+    /// drop any compiled program. The contract is conservative — the next
+    /// eval runs match dispatch once, then rebuilds — which keeps poked
+    /// state and compiled state trivially coherent. Cycle-path memory
+    /// writes ([`CompiledEngine::apply_writes`]) go through
+    /// [`CompiledEngine::mark_mem_dirty`] directly and never invalidate.
+    pub(crate) fn poke_invalidate(&mut self, mem: u32) {
+        self.mark_mem_dirty(mem);
+        self.threaded = ProgramCache(None);
+        self.threaded_lanes = ProgramCache(None);
     }
 
     /// Visit the value-operand node indices of op `i` (for `OP_SELECT`,
@@ -1126,19 +2184,46 @@ impl CompiledEngine {
     /// the adaptive policy is engaged and a level's dirty population is
     /// dense, switches to straight-line (optionally partitioned) sweeps of
     /// whole level ranges, skipping per-op queue bookkeeping.
+    ///
+    /// Under threaded dispatch the compiled program is taken out of its
+    /// cache slot for the duration of the eval (the borrow checker cannot
+    /// see that the program and the queue state are disjoint), every
+    /// dispatch site below substitutes the specialized closures, and the
+    /// program is put back — or rebuilt, if a poke dropped it, so exactly
+    /// one post-poke eval runs match dispatch.
     pub(crate) fn eval(&mut self, vals: &mut [u64], mems: &[Vec<u64>]) {
+        if !self.full_dirty && !self.any_dirty {
+            return;
+        }
+        let prog = self.threaded.0.take();
+        match prog.as_ref() {
+            Some(_) => self.stats.evals_threaded += 1,
+            None => self.stats.evals_match += 1,
+        }
+        self.eval_inner(prog.as_ref(), vals, mems);
+        self.threaded.0 = prog;
+        if self.use_threaded && self.threaded.0.is_none() {
+            self.rebuild_threaded();
+        }
+    }
+
+    /// The eval body, parameterized over the dispatch backend.
+    fn eval_inner(&mut self, prog: Option<&ThreadedProgram>, vals: &mut [u64], mems: &[Vec<u64>]) {
         if self.full_dirty {
-            self.eval_dense(vals, mems);
+            self.eval_dense(prog, vals, mems);
             self.full_dirty = false;
             self.reset_dirty();
             self.sweep_first = self.level_queues.len() as u32;
             return;
         }
-        if !self.any_dirty {
+        if self.streaming {
+            self.exec_levels_raw(prog, 0, vals, mems);
+            self.reset_dirty();
+            self.sweep_first = self.level_queues.len() as u32;
             return;
         }
         if self.sweep_mode {
-            self.exec_levels_raw(self.sweep_first as usize, vals, mems);
+            self.exec_levels_raw(prog, self.sweep_first as usize, vals, mems);
             self.sweep_first = self.level_queues.len() as u32;
             self.any_dirty = false;
             self.sweep_left -= 1;
@@ -1153,7 +2238,7 @@ impl CompiledEngine {
         }
         if !self.adaptive {
             for lvl in 0..self.level_queues.len() {
-                self.drain_level(lvl, vals, mems);
+                self.drain_level(prog, lvl, vals, mems);
             }
             self.any_dirty = false;
             return;
@@ -1176,7 +2261,7 @@ impl CompiledEngine {
         if first_dirty < levels {
             let rest = self.op_code.len() - self.level_start[first_dirty] as usize;
             if queued_total * SWEEP_DENSITY >= rest {
-                self.exec_levels_raw(first_dirty, vals, mems);
+                self.exec_levels_raw(prog, first_dirty, vals, mems);
                 self.reset_dirty();
                 self.sweep_streak += 1;
                 if self.sweep_streak >= SWEEP_ENTER {
@@ -1213,24 +2298,47 @@ impl CompiledEngine {
                 }
                 queue.clear();
                 self.level_queues[lvl] = queue;
-                self.exec_range(lo, hi, true, vals, mems);
+                self.exec_range(prog, lo, hi, true, vals, mems);
             } else {
-                self.drain_level(lvl, vals, mems);
+                self.drain_level(prog, lvl, vals, mems);
             }
         }
         match cascade_from {
             Some(from) => {
-                self.exec_levels_raw(from, vals, mems);
+                self.exec_levels_raw(prog, from, vals, mems);
                 self.reset_dirty();
             }
             None => self.any_dirty = false,
         }
     }
 
+    /// Compute op `i` through the active dispatch backend: the compiled
+    /// closure when a threaded program is in hand, the per-op `match`
+    /// otherwise.
+    #[inline(always)]
+    fn compute_op(
+        &self,
+        prog: Option<&ThreadedProgram>,
+        i: usize,
+        vals: &[u64],
+        mems: &[Vec<u64>],
+    ) -> u64 {
+        match prog {
+            Some(p) => (p.ops[i].1)(vals, mems),
+            None => self.exec_op(i, vals, mems),
+        }
+    }
+
     /// Drain one level's dirty queue per-op (the PR 1 incremental path).
     /// Large queues are fanned out across partitions with the same
     /// two-phase compute/commit scheme as the dense sweeps.
-    fn drain_level(&mut self, lvl: usize, vals: &mut [u64], mems: &[Vec<u64>]) {
+    fn drain_level(
+        &mut self,
+        prog: Option<&ThreadedProgram>,
+        lvl: usize,
+        vals: &mut [u64],
+        mems: &[Vec<u64>],
+    ) {
         // Take the queue out so `mark_node_dirty` (which only ever pushes
         // to deeper levels) can borrow `self` freely.
         let mut queue = std::mem::take(&mut self.level_queues[lvl]);
@@ -1238,14 +2346,14 @@ impl CompiledEngine {
             for &op in &queue {
                 self.op_dirty[op as usize] = false;
             }
-            let mut bufs = self.compute_parallel(Some(&queue), 0, queue.len(), vals, mems);
+            let mut bufs = self.compute_parallel(prog, Some(&queue), 0, queue.len(), vals, mems);
             self.commit_bufs(&mut bufs, Some(&queue), true, vals);
             self.par_bufs = bufs;
         } else {
             for &op32 in &queue {
                 let op = op32 as usize;
                 self.op_dirty[op] = false;
-                let new = self.exec_op(op, vals, mems);
+                let new = self.compute_op(prog, op, vals, mems);
                 let dst = self.op_dst[op];
                 if vals[dst as usize] != new {
                     vals[dst as usize] = new;
@@ -1261,6 +2369,7 @@ impl CompiledEngine {
     /// their consumers; without, values are stored unconditionally.
     fn exec_range(
         &mut self,
+        prog: Option<&ThreadedProgram>,
         lo: usize,
         hi: usize,
         detect: bool,
@@ -1268,12 +2377,12 @@ impl CompiledEngine {
         mems: &[Vec<u64>],
     ) {
         if self.parts > 1 && hi - lo >= PAR_MIN_OPS {
-            let mut bufs = self.compute_parallel(None, lo, hi, vals, mems);
+            let mut bufs = self.compute_parallel(prog, None, lo, hi, vals, mems);
             self.commit_bufs(&mut bufs, None, detect, vals);
             self.par_bufs = bufs;
         } else if detect {
             for op in lo..hi {
-                let new = self.exec_op(op, vals, mems);
+                let new = self.compute_op(prog, op, vals, mems);
                 let dst = self.op_dst[op];
                 if vals[dst as usize] != new {
                     vals[dst as usize] = new;
@@ -1282,18 +2391,32 @@ impl CompiledEngine {
             }
         } else {
             for op in lo..hi {
-                vals[self.op_dst[op] as usize] = self.exec_op(op, vals, mems);
+                vals[self.op_dst[op] as usize] = self.compute_op(prog, op, vals, mems);
             }
         }
     }
 
     /// Straight-line execute every level from `from` down, no bookkeeping.
-    fn exec_levels_raw(&mut self, from: usize, vals: &mut [u64], mems: &[Vec<u64>]) {
+    /// Serially under threaded dispatch this is the closure-chain fast
+    /// path: the per-level blocks run back to back with no opcode
+    /// dispatch, no field loads, and no change detection.
+    fn exec_levels_raw(
+        &mut self,
+        prog: Option<&ThreadedProgram>,
+        from: usize,
+        vals: &mut [u64],
+        mems: &[Vec<u64>],
+    ) {
         if self.parts > 1 {
             for lvl in from..self.level_queues.len() {
                 let lo = self.level_start[lvl] as usize;
                 let hi = self.level_start[lvl + 1] as usize;
-                self.exec_range(lo, hi, false, vals, mems);
+                self.exec_range(prog, lo, hi, false, vals, mems);
+            }
+        } else if let Some(p) = prog {
+            let mut st = ExecState { vals, mems };
+            for run in &p.runs[p.run_start[from] as usize..] {
+                run(&mut st);
             }
         } else {
             // Serially the stream is already topological — one flat sweep.
@@ -1332,9 +2455,12 @@ impl CompiledEngine {
     /// or a dirty-queue slice) into contiguous partitions and execute them
     /// across the worker pool. Reads shared pre-level values only — level
     /// membership guarantees no task reads another's destination — and
-    /// stages results in per-partition buffers.
+    /// stages results in per-partition buffers. Under threaded dispatch
+    /// each worker runs its partition's run of specialized closures
+    /// (`OpFn` is `Sync`, so the program is shared, not cloned).
     fn compute_parallel(
         &mut self,
+        prog: Option<&ThreadedProgram>,
         queue: Option<&[u32]>,
         lo: usize,
         hi: usize,
@@ -1360,12 +2486,12 @@ impl CompiledEngine {
             match queue {
                 Some(q) => {
                     for &op in &q[b.lo..b.hi] {
-                        b.out.push(eng.exec_op(op as usize, vals, mems));
+                        b.out.push(eng.compute_op(prog, op as usize, vals, mems));
                     }
                 }
                 None => {
                     for op in b.lo..b.hi {
-                        b.out.push(eng.exec_op(op, vals, mems));
+                        b.out.push(eng.compute_op(prog, op, vals, mems));
                     }
                 }
             }
@@ -1405,9 +2531,9 @@ impl CompiledEngine {
 
     /// Dense sweep: execute every op in level/topological order.
     #[inline]
-    fn eval_dense(&mut self, vals: &mut [u64], mems: &[Vec<u64>]) {
-        if self.parts > 1 {
-            self.exec_levels_raw(0, vals, mems);
+    fn eval_dense(&mut self, prog: Option<&ThreadedProgram>, vals: &mut [u64], mems: &[Vec<u64>]) {
+        if self.parts > 1 || prog.is_some() {
+            self.exec_levels_raw(prog, 0, vals, mems);
         } else {
             for i in 0..self.op_code.len() {
                 vals[self.op_dst[i] as usize] = self.exec_op(i, vals, mems);
@@ -1845,22 +2971,67 @@ impl CompiledEngine {
     /// every lane, draining the shared dirty queues once for all lanes.
     /// Honors the same adaptive dense/cascade heuristics as the scalar
     /// path, executed serially (bit-exact by construction).
+    ///
+    /// Threaded dispatch follows the scalar take/put-back pattern, with
+    /// one twist: the lane program captures `node * lanes` row offsets, so
+    /// it is built lazily on the first laned eval (the lane count is
+    /// unknown at compile time) and rebuilt if the group width changes.
     pub(crate) fn eval_lanes(&mut self, st: &mut LaneState) {
+        if !self.full_dirty && !self.any_dirty {
+            return;
+        }
+        if self
+            .threaded_lanes
+            .0
+            .as_ref()
+            .is_some_and(|p| p.lanes != st.lanes)
+        {
+            self.threaded_lanes = ProgramCache(None);
+        }
+        let prog = self.threaded_lanes.0.take();
+        match prog.as_ref() {
+            Some(_) => self.stats.evals_threaded += 1,
+            None => self.stats.evals_match += 1,
+        }
+        self.eval_lanes_inner(prog.as_ref(), st);
+        self.threaded_lanes.0 = prog;
+        if self.use_threaded && self.threaded_lanes.0.is_none() {
+            self.rebuild_threaded_lanes(st.lanes);
+        }
+    }
+
+    /// Compute op `i` across all lanes through the active dispatch
+    /// backend; returns whether any lane's destination changed.
+    #[inline(always)]
+    fn compute_op_lanes(&self, prog: Option<&LaneProgram>, i: usize, st: &mut LaneState) -> bool {
+        match prog {
+            Some(p) => (p.ops[i])(st),
+            None => self.exec_op_lanes(i, st),
+        }
+    }
+
+    /// The laned eval body, parameterized over the dispatch backend.
+    fn eval_lanes_inner(&mut self, prog: Option<&LaneProgram>, st: &mut LaneState) {
         if self.full_dirty {
             for i in 0..self.op_code.len() {
-                self.exec_op_lanes(i, st);
+                self.compute_op_lanes(prog, i, st);
             }
             self.full_dirty = false;
             self.reset_dirty();
             self.sweep_first = self.level_queues.len() as u32;
             return;
         }
-        if !self.any_dirty {
+        if self.streaming {
+            for i in 0..self.op_code.len() {
+                self.compute_op_lanes(prog, i, st);
+            }
+            self.reset_dirty();
+            self.sweep_first = self.level_queues.len() as u32;
             return;
         }
         if self.sweep_mode {
             for op in self.level_start[self.sweep_first as usize] as usize..self.op_code.len() {
-                self.exec_op_lanes(op, st);
+                self.compute_op_lanes(prog, op, st);
             }
             self.sweep_first = self.level_queues.len() as u32;
             self.any_dirty = false;
@@ -1873,7 +3044,7 @@ impl CompiledEngine {
         }
         if !self.adaptive {
             for lvl in 0..self.level_queues.len() {
-                self.drain_level_lanes(lvl, st);
+                self.drain_level_lanes(prog, lvl, st);
             }
             self.any_dirty = false;
             return;
@@ -1893,7 +3064,7 @@ impl CompiledEngine {
             let rest = self.op_code.len() - self.level_start[first_dirty] as usize;
             if queued_total * SWEEP_DENSITY >= rest {
                 for op in self.level_start[first_dirty] as usize..self.op_code.len() {
-                    self.exec_op_lanes(op, st);
+                    self.compute_op_lanes(prog, op, st);
                 }
                 self.reset_dirty();
                 self.sweep_streak += 1;
@@ -1927,18 +3098,18 @@ impl CompiledEngine {
                 queue.clear();
                 self.level_queues[lvl] = queue;
                 for op in lo..hi {
-                    if self.exec_op_lanes(op, st) {
+                    if self.compute_op_lanes(prog, op, st) {
                         self.mark_node_dirty(self.op_dst[op]);
                     }
                 }
             } else {
-                self.drain_level_lanes(lvl, st);
+                self.drain_level_lanes(prog, lvl, st);
             }
         }
         match cascade_from {
             Some(from) => {
                 for op in self.level_start[from] as usize..self.op_code.len() {
-                    self.exec_op_lanes(op, st);
+                    self.compute_op_lanes(prog, op, st);
                 }
                 self.reset_dirty();
             }
@@ -1947,12 +3118,12 @@ impl CompiledEngine {
     }
 
     /// Drain one level's dirty queue across all lanes.
-    fn drain_level_lanes(&mut self, lvl: usize, st: &mut LaneState) {
+    fn drain_level_lanes(&mut self, prog: Option<&LaneProgram>, lvl: usize, st: &mut LaneState) {
         let mut queue = std::mem::take(&mut self.level_queues[lvl]);
         for &op32 in &queue {
             let op = op32 as usize;
             self.op_dirty[op] = false;
-            if self.exec_op_lanes(op, st) {
+            if self.compute_op_lanes(prog, op, st) {
                 self.mark_node_dirty(self.op_dst[op]);
             }
         }

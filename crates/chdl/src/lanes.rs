@@ -244,7 +244,8 @@ impl LaneGroup {
         let slot = &mut self.state.mems[m][lane * words + addr];
         if *slot != value {
             *slot = value;
-            self.engine.mark_mem_dirty(mem.0);
+            // Backdoor pokes also invalidate any compiled lane program.
+            self.engine.poke_invalidate(mem.0);
         }
     }
 
@@ -259,7 +260,7 @@ impl LaneGroup {
         let n = contents.len().min(words);
         let base = lane * words;
         self.state.mems[m][base..base + n].copy_from_slice(&contents[..n]);
-        self.engine.mark_mem_dirty(mem.0);
+        self.engine.poke_invalidate(mem.0);
     }
 
     /// Snapshot one lane's memory bank (for read-back comparisons).

@@ -64,7 +64,7 @@ pub mod stdcells;
 pub mod trace;
 pub mod vcd;
 
-pub use engine::{EngineConfig, EngineStats, ParallelEval};
+pub use engine::{DispatchMode, EngineConfig, EngineStats, ParallelEval};
 pub use error::ChdlError;
 pub use lanes::LaneGroup;
 pub use netlist::{Design, MemId, NetlistStats, RegSlot};

@@ -1,9 +1,10 @@
-//! Netlist optimization: constant folding, identity simplification and
-//! dead-logic elimination.
+//! Netlist optimization: constant folding, identity simplification,
+//! common-subexpression sharing and dead-logic elimination.
 //!
 //! CHDL designs are *generated* by host code, so they routinely contain
 //! logic a human would never write: multiplications by literal 1, muxes
 //! with constant selects (from generics resolved at elaboration time),
+//! structurally identical subtrees elaborated once per instantiation,
 //! and whole subtrees whose outputs nothing consumes. The real flow left
 //! that clean-up to the vendor mapper; this pass does it at the netlist
 //! level so that [`stats`](crate::Design::stats) — and therefore the
@@ -14,8 +15,9 @@
 //! original and optimized netlists on shared stimuli.
 
 use crate::engine::{exec_scalar, lower_op};
-use crate::netlist::{BinOp, Design, Node};
+use crate::netlist::{BinOp, Design, Node, UnOp};
 use crate::signal::mask;
+use std::collections::HashMap;
 
 /// Statistics of one optimization run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -26,6 +28,20 @@ pub struct OptReport {
     pub constants_folded: usize,
     /// Memories dropped (no live read or write port).
     pub memories_removed: usize,
+    /// Pure nodes redirected onto a structurally identical earlier node.
+    pub subexprs_shared: usize,
+}
+
+/// Structural identity of a pure combinational node, with operands
+/// resolved through the alias table so chains of shared subexpressions
+/// collapse transitively.
+#[derive(Hash, PartialEq, Eq)]
+enum NodeKey {
+    Unop(UnOp, u32, u8),
+    Binop(BinOp, u32, u32, u8),
+    Mux(u32, u32, u32, u8),
+    Slice(u32, u8, u8),
+    Concat(u32, u32, u8),
 }
 
 impl Design {
@@ -63,6 +79,8 @@ impl Design {
                 &mut |_, _| unreachable!("read ports are never const-folded"),
             )
         };
+        // First occurrence of each pure-node structure, for CSE.
+        let mut seen: HashMap<NodeKey, u32> = HashMap::new();
         for i in 0..n {
             let node = &self.nodes[i];
             let c = |idx: u32, constant: &[Option<u64>], alias: &[u32]| {
@@ -160,6 +178,40 @@ impl Design {
                     }
                 }
                 Node::Input { .. } | Node::Reg { .. } | Node::ReadPort { .. } => {}
+            }
+
+            // Common-subexpression sharing: a pure node that neither
+            // folded to a constant nor aliased away, whose structure
+            // (kind, parameters, *resolved* operands) matches an earlier
+            // node, is redirected onto that first occurrence. Operands
+            // resolve through the alias table built so far, so identical
+            // trees collapse bottom-up in this single forward pass.
+            // Registers and read ports are stateful and never shared.
+            if constant[i].is_none() && alias[i] == i as u32 {
+                let r = |idx: u32| resolve(&alias, idx);
+                let key = match &self.nodes[i] {
+                    Node::Unop { op, a, width } => Some(NodeKey::Unop(*op, r(*a), *width)),
+                    Node::Binop { op, a, b, width } => {
+                        Some(NodeKey::Binop(*op, r(*a), r(*b), *width))
+                    }
+                    Node::Mux { sel, t, f, width } => {
+                        Some(NodeKey::Mux(r(*sel), r(*t), r(*f), *width))
+                    }
+                    Node::Slice { a, lo, width } => Some(NodeKey::Slice(r(*a), *lo, *width)),
+                    Node::Concat { hi, lo, width } => Some(NodeKey::Concat(r(*hi), r(*lo), *width)),
+                    _ => None,
+                };
+                if let Some(key) = key {
+                    match seen.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            alias[i] = *e.get();
+                            report.subexprs_shared += 1;
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(i as u32);
+                        }
+                    }
+                }
             }
         }
 
@@ -497,6 +549,50 @@ mod tests {
         assert_equivalent(&d, 30, 6);
         let (opt, _) = d.optimized();
         assert_eq!(opt.stats().flip_flops, 8);
+    }
+
+    #[test]
+    fn structurally_identical_subtrees_are_shared() {
+        let mut d = Design::new("t");
+        let x = d.input("x", 16);
+        let y = d.input("y", 16);
+        // Two elaborations of the same subtree: (x ^ y) + (x & y), built
+        // twice from scratch, then combined. CSE must keep one copy.
+        let mut arms = Vec::new();
+        for _ in 0..2 {
+            let a = d.xor(x, y);
+            let b = d.and(x, y);
+            arms.push(d.add(a, b));
+        }
+        let z = d.mul(arms[0], arms[1]); // both arms resolve to one node
+        d.expose_output("z", z);
+        let (opt, report) = d.optimized();
+        assert!(
+            report.subexprs_shared >= 3,
+            "xor/and/add pairs must be shared: {report:?}"
+        );
+        assert!(opt.stats().gates < d.stats().gates);
+        assert_equivalent(&d, 10, 8);
+
+        // Sharing is transitive: with the inner pair shared, the outer
+        // adds become structurally identical too — checked above by the
+        // >= 3 bound (2 leaves + 1 outer add).
+    }
+
+    #[test]
+    fn stateful_nodes_are_never_shared() {
+        let mut d = Design::new("t");
+        let x = d.input("x", 8);
+        // Two registers with identical inputs must stay distinct: they
+        // are stateful (a poke or future enable could diverge them).
+        let r1 = d.reg("r1", x);
+        let r2 = d.reg("r2", x);
+        let z = d.concat(r1, r2);
+        d.expose_output("z", z);
+        let (opt, report) = d.optimized();
+        assert_eq!(report.subexprs_shared, 0, "{report:?}");
+        assert_eq!(opt.stats().flip_flops, 16);
+        assert_equivalent(&d, 10, 9);
     }
 
     #[test]

@@ -533,7 +533,10 @@ impl Sim {
 
     fn invalidate_mem(&mut self, mem: u32) {
         match &mut self.engine {
-            Some(engine) => engine.mark_mem_dirty(mem),
+            // Backdoor pokes also drop any compiled threaded program (the
+            // next eval runs match dispatch once, then rebuilds); cycle-path
+            // memory writes never come through here.
+            Some(engine) => engine.poke_invalidate(mem),
             None => self.dirty = true,
         }
     }
@@ -1222,6 +1225,23 @@ mod tests {
             EngineConfig {
                 fuse: true,
                 parallel: crate::ParallelEval::Force(3),
+                dispatch: crate::DispatchMode::Auto,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                fuse: true,
+                parallel: crate::ParallelEval::Off,
+                dispatch: crate::DispatchMode::Threaded,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                streaming: true,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                streaming: true,
+                dispatch: crate::DispatchMode::Threaded,
+                ..EngineConfig::default()
             },
         ];
         let mut oracle = Sim::with_mode(&d, ExecMode::Interpreted);

@@ -17,7 +17,7 @@ mod netgen;
 
 use atlantis_chdl::prelude::*;
 use atlantis_chdl::sim::ExecMode;
-use atlantis_chdl::{EngineConfig, ParallelEval};
+use atlantis_chdl::{DispatchMode, EngineConfig, ParallelEval};
 use netgen::{build_design, build_design_with_chain, XorShift, MEM_WORDS, N_INPUTS};
 use proptest::prelude::*;
 
@@ -84,10 +84,11 @@ proptest! {
         }
     }
 
-    /// Fused-vs-unfused and partitioned-vs-serial co-simulation on
-    /// netlists with deep combinational chains and memory traffic. Every
-    /// engine tuning must be bit-exact with the interpreter oracle, and
-    /// the deep chain guarantees the fusion pass actually fires.
+    /// Fused-vs-unfused, partitioned-vs-serial and threaded-vs-match
+    /// co-simulation on netlists with deep combinational chains and
+    /// memory traffic. Every engine tuning must be bit-exact with the
+    /// interpreter oracle, and the deep chain guarantees the fusion pass
+    /// actually fires.
     #[test]
     fn fused_and_partitioned_equivalence(
         recipes in proptest::collection::vec(
@@ -99,10 +100,42 @@ proptest! {
 
         let mut oracle = Sim::with_mode(&design, ExecMode::Interpreted);
         let configs = [
-            EngineConfig::default(),                 // fused, auto partitioning
-            EngineConfig::unfused(),                 // raw stream, serial
-            EngineConfig { fuse: true, parallel: ParallelEval::Force(4) },
-            EngineConfig { fuse: false, parallel: ParallelEval::Force(2) },
+            EngineConfig::default(),                 // fused, auto partitioning + dispatch
+            EngineConfig::unfused(),                 // raw stream, serial, match
+            EngineConfig {
+                fuse: true,
+                parallel: ParallelEval::Force(4),
+                dispatch: DispatchMode::Match,       // partitioned match dispatch
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                fuse: false,
+                parallel: ParallelEval::Force(2),
+                dispatch: DispatchMode::Threaded,    // partitioned threaded, raw stream
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                fuse: true,
+                parallel: ParallelEval::Off,
+                dispatch: DispatchMode::Threaded,    // serial closure chains, fused
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                fuse: true,
+                parallel: ParallelEval::Off,
+                dispatch: DispatchMode::Match,       // serial match (the PR 6 engine)
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                streaming: true,                     // pinned full-stream sweeps, match
+                dispatch: DispatchMode::Match,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                streaming: true,                     // pinned full-stream sweeps, threaded
+                dispatch: DispatchMode::Threaded,
+                ..EngineConfig::default()
+            },
         ];
         let mut sims: Vec<Sim> = configs
             .iter()
@@ -172,19 +205,112 @@ proptest! {
         d.expose_output("rs", rs);
 
         let mut compiled = Sim::new(&d);
+        // The stream is far below the Auto threshold, so force the closure
+        // chains on: pokes must drop the compiled program, not stale-read it.
+        let mut threaded = Sim::with_config(
+            &d,
+            ExecMode::Compiled,
+            EngineConfig { dispatch: DispatchMode::Threaded, ..EngineConfig::default() },
+        );
         let mut oracle = Sim::with_mode(&d, ExecMode::Interpreted);
         let mut stim = XorShift(seed);
         for (a, v) in pokes {
             compiled.poke_mem(mem, a, v & 0xFFFF);
+            threaded.poke_mem(mem, a, v & 0xFFFF);
             oracle.poke_mem(mem, a, v & 0xFFFF);
             let probe = stim.next() % MEM_WORDS as u64;
             compiled.set("addr", probe);
+            threaded.set("addr", probe);
             oracle.set("addr", probe);
             prop_assert_eq!(compiled.get("ra"), oracle.get("ra"));
+            prop_assert_eq!(threaded.get("ra"), oracle.get("ra"));
             compiled.step();
+            threaded.step();
             oracle.step();
             prop_assert_eq!(compiled.get("rs"), oracle.get("rs"));
+            prop_assert_eq!(threaded.get("rs"), oracle.get("rs"));
         }
         prop_assert_eq!(compiled.dump_mem(mem), oracle.dump_mem(mem));
+        prop_assert_eq!(threaded.dump_mem(mem), oracle.dump_mem(mem));
     }
+}
+
+/// `DispatchMode::Auto` must pick the dispatch tier from the stream size:
+/// tiny netlists stay on match dispatch (no compile pass at all), big ones
+/// compile closure chains eagerly — and a backdoor poke must tear the
+/// compiled program down, run exactly one match-dispatched eval, then
+/// recompile.
+#[test]
+fn auto_dispatch_threshold_and_poke_fallback() {
+    // Small design: two memory reads, well under the Auto threshold.
+    let mut d = Design::new("tiny");
+    let addr = d.input("addr", 5);
+    let mem = d.memory("m", MEM_WORDS, 16);
+    let ra = d.read_async(mem, addr);
+    d.expose_output("ra", ra);
+
+    let mut small = Sim::new(&d);
+    for a in 0..8u64 {
+        small.set("addr", a);
+        let _ = small.get("ra");
+        small.step();
+    }
+    let st = small.engine_stats().unwrap();
+    assert_eq!(st.compiles, 0, "tiny stream must not trigger a compile");
+    assert_eq!(st.evals_threaded, 0);
+    assert!(
+        st.evals_match > 0,
+        "tiny stream evals must run match dispatch"
+    );
+
+    // Big design: deep chain far above the Auto threshold.
+    let recipes: Vec<(u8, u16, u16, u8)> = (0..16u16)
+        .map(|i| (i as u8 * 17, 1000 + i, 2000 + 3 * i, i as u8))
+        .collect();
+    let (big, outputs) = build_design_with_chain(&recipes, 600);
+    let mut sim = Sim::new(&big);
+    let mut stim = XorShift(0x41544C41_u64);
+    for _ in 0..8 {
+        for i in 0..N_INPUTS {
+            sim.set(&format!("in{i}"), stim.next());
+        }
+        for name in &outputs {
+            let _ = sim.get(name);
+        }
+        sim.step();
+    }
+    let before = sim.engine_stats().unwrap().clone();
+    assert!(before.compiles >= 1, "big stream must compile under Auto");
+    assert!(
+        before.evals_threaded > 0,
+        "big stream evals must run threaded"
+    );
+    assert!(before.closures_specialized >= before.ops_final);
+    assert!(before.blocks_built > 0);
+
+    // Backdoor poke: program dropped, one match eval, then a recompile.
+    let big_mem = big.find_memory("m").unwrap();
+    sim.poke_mem(big_mem, 0, 0xBEEF);
+    for name in &outputs {
+        let _ = sim.get(name);
+    }
+    let after = sim.engine_stats().unwrap().clone();
+    assert_eq!(
+        after.evals_match,
+        before.evals_match + 1,
+        "the first post-poke eval must fall back to match dispatch"
+    );
+    assert!(
+        after.compiles > before.compiles,
+        "poke must force a recompile"
+    );
+
+    // And the eval after the recompile is threaded again.
+    sim.set("in0", 7);
+    for name in &outputs {
+        let _ = sim.get(name);
+    }
+    let settled = sim.engine_stats().unwrap().clone();
+    assert!(settled.evals_threaded > after.evals_threaded);
+    assert_eq!(settled.evals_match, after.evals_match);
 }

@@ -8,7 +8,7 @@ mod netgen;
 
 use atlantis_chdl::prelude::*;
 use atlantis_chdl::sim::ExecMode;
-use atlantis_chdl::EngineConfig;
+use atlantis_chdl::{DispatchMode, EngineConfig};
 use netgen::{build_design, build_design_with_chain, XorShift, MEM_WORDS, N_INPUTS};
 use proptest::prelude::*;
 
@@ -26,7 +26,16 @@ proptest! {
         let mem = design.find_memory("m").unwrap();
 
         let mut scalars: Vec<Sim> = (0..lanes).map(|_| Sim::new(&design)).collect();
-        let mut group = Sim::new(&design).fork_lanes(lanes);
+        // Force the group onto the threaded lane closures (these netlists
+        // can sit below the Auto threshold) while the scalars keep the
+        // default dispatch: the per-lane pokes below then exercise the
+        // lane-program invalidation path against an independent engine.
+        let mut group = Sim::with_config(
+            &design,
+            ExecMode::Compiled,
+            EngineConfig { dispatch: DispatchMode::Threaded, ..EngineConfig::default() },
+        )
+        .fork_lanes(lanes);
         prop_assert_eq!(group.lanes(), lanes);
 
         // Stepped phase: fresh divergent inputs per lane per cycle

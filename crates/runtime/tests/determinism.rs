@@ -139,6 +139,61 @@ fn fixed_seed_fault_campaigns_are_byte_identical_across_runs() {
     }
 }
 
+/// The closure-compiler ledger for one streamed run of the TRT netlist
+/// under forced threaded dispatch: every [`atlantis_chdl::EngineStats`]
+/// compile counter except `compile_ns`, which is wall-clock time and
+/// deliberately excluded — build duration varies run to run, but *what*
+/// was built and *which* tier every eval took must not.
+fn compile_ledger_fingerprint(seed: u64) -> String {
+    use atlantis_chdl::{DispatchMode, EngineConfig, ExecMode, Sim};
+    let design = atlantis_apps::trt::fpga::build_external_design(512, 4, 16);
+    let config = EngineConfig {
+        dispatch: DispatchMode::Threaded,
+        ..EngineConfig::default()
+    };
+    let mut sim = Sim::with_config(&design, ExecMode::Compiled, config);
+    sim.set("valid", 1);
+    sim.set("clear", 0);
+    sim.set("pass", 1);
+    sim.set("threshold", 5);
+    sim.set("counter_sel", 3);
+    let hit = design.signal("hit").unwrap();
+    let mut x = seed | 1;
+    for _ in 0..64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        sim.set_signal(hit, x % 512);
+        sim.step();
+    }
+    let s = sim.engine_stats().unwrap();
+    format!(
+        "{:?}",
+        (
+            s.compiles,
+            s.blocks_built,
+            s.closures_specialized,
+            s.evals_threaded,
+            s.evals_match,
+        )
+    )
+}
+
+#[test]
+fn threaded_compile_ledger_is_independent_of_seed_and_run() {
+    // The compile ledger is a pure function of the netlist and the
+    // dispatch config: stimulus values change *what flows through* the
+    // compiled blocks but may not change how many blocks were built, how
+    // many closures were specialized, or which tier each eval dispatched
+    // to. (Parallel partitioned sweeps run inside the shared rayon pool,
+    // so any scheduling leak into the counters would surface here too.)
+    let base = compile_ledger_fingerprint(1);
+    for seed in [1u64, 99, 42, 7] {
+        let fp = compile_ledger_fingerprint(seed);
+        assert_eq!(fp, base, "compile ledger diverged at seed {seed}");
+    }
+}
+
 #[test]
 fn closed_loop_serial_stats_are_byte_identical_across_runs() {
     // The serial path shares the reconfiguration-accounting helper with

@@ -27,6 +27,10 @@
 //! partitions per logic level (omit `N` for the automatic size-based
 //! policy, which is also the default; DESIGN.md §12). `--no-fusion`
 //! reverts to the raw PR 1 micro-op stream for comparison.
+//! `--dispatch=match|threaded|auto` picks the dispatch tier (DESIGN.md
+//! §14): `match` sweeps the packed stream through one opcode match per
+//! op, `threaded` compiles it to specialized closure chains, and `auto`
+//! (the default) compiles streams large enough to amortize the build.
 //!
 //! The cluster knobs (DESIGN.md §13): any of `--shards N`,
 //! `--tenants N`, or `--offered-load R` switches the demo to the
@@ -42,12 +46,13 @@
 //!       or: `cargo run --release --example serving -- --lanes 16`
 //!       or: `cargo run --release --example serving -- --partitioned 4`
 //!       or: `cargo run --release --example serving -- --no-fusion`
+//!       or: `cargo run --release --example serving -- --dispatch=threaded`
 //!       or: `cargo run --release --example serving -- --upset-rate 2000`
 //!       or: `cargo run --release --example serving -- --upset-rate 2000 --scrub-interval 100`
 //!       or: `cargo run --release --example serving -- --shards 4 --tenants 12 --offered-load 150000`
 
 use atlantis::apps::jobs::JobSpec;
-use atlantis::chdl::{EngineConfig, ParallelEval};
+use atlantis::chdl::{DispatchMode, EngineConfig, ParallelEval};
 use atlantis::cluster::{Cluster, ClusterConfig, LoadGen, LoadGenConfig};
 use atlantis::core::AtlantisSystem;
 use atlantis::runtime::{
@@ -191,6 +196,23 @@ fn main() {
     if args.iter().any(|a| a == "--no-fusion") {
         engine = EngineConfig::unfused();
     }
+    // The dispatch tier: `--dispatch=match|threaded|auto` (also accepted
+    // as `--dispatch <tier>`). `auto` is the default.
+    let dispatch_arg = args.iter().position(|a| a == "--dispatch").map_or_else(
+        || {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--dispatch=").map(str::to_string))
+        },
+        |i| args.get(i + 1).cloned(),
+    );
+    if let Some(tier) = dispatch_arg {
+        engine.dispatch = match tier.as_str() {
+            "match" => DispatchMode::Match,
+            "threaded" => DispatchMode::Threaded,
+            "auto" => DispatchMode::Auto,
+            other => panic!("--dispatch takes match|threaded|auto, got {other:?}"),
+        };
+    }
     EngineConfig::set_global(engine);
     // The reliability knobs: any of them switches the runtime to the
     // protected posture with the requested overrides.
@@ -213,11 +235,19 @@ fn main() {
         rt.queue_capacity(),
         if config.pipeline { "on" } else { "off" },
         config.lanes,
-        match (engine.fuse, engine.parallel) {
-            (false, _) => "raw".to_string(),
-            (true, ParallelEval::Off) => "fused/serial".to_string(),
-            (true, ParallelEval::Auto) => "fused/auto".to_string(),
-            (true, ParallelEval::Force(n)) => format!("fused/{n}-way"),
+        {
+            let base = match (engine.fuse, engine.parallel) {
+                (false, _) => "raw".to_string(),
+                (true, ParallelEval::Off) => "fused/serial".to_string(),
+                (true, ParallelEval::Auto) => "fused/auto".to_string(),
+                (true, ParallelEval::Force(n)) => format!("fused/{n}-way"),
+            };
+            let tier = match engine.dispatch {
+                DispatchMode::Match => "match",
+                DispatchMode::Threaded => "threaded",
+                DispatchMode::Auto => "auto-dispatch",
+            };
+            format!("{base}/{tier}")
         },
         if config.guard.is_active() {
             format!(
