@@ -55,6 +55,19 @@ impl JobKind {
         JobKind::NBodyStep,
     ];
 
+    /// Number of workload kinds. Size maps and tables with this instead
+    /// of a literal `4`, so adding a kind grows every consumer.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// The position of this kind in [`ALL`](Self::ALL) — a stable index
+    /// for per-kind counters and maps.
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("every kind is in ALL")
+    }
+
     /// The name of the FPGA design this workload needs loaded. This is
     /// the key of the runtime's bitstream cache and of the coprocessor
     /// task library.

@@ -37,34 +37,46 @@ pub mod admission;
 pub mod loadgen;
 pub mod router;
 pub mod shard;
+pub mod steal;
 
-pub use admission::{AdmissionConfig, AdmissionController, Overloaded, ShedReason};
-pub use loadgen::{Arrival, LoadGen, LoadGenConfig};
+pub use admission::{
+    AdaptiveWatermarks, AdmissionConfig, AdmissionController, Overloaded, ShedReason,
+};
+pub use loadgen::{
+    run_closed_loop, Arrival, ClosedLoopConfig, ClosedLoopReport, LoadGen, LoadGenConfig,
+};
 pub use router::{RouteKind, Router, RoutingPolicy, ShardView};
 pub use shard::Shard;
+pub use steal::{StealConfig, StealKind, StealPlan, StealStats, StealingPolicy};
 
 use atlantis_apps::jobs::JobKind;
-use atlantis_fabric::Device;
 use atlantis_guard::DegradationConfig;
 use atlantis_runtime::{
-    BitstreamCache, LogHistogram, Priority, RuntimeError, ShardCompletion, ShardConfig, ShardJob,
-    ShardStats,
+    BitstreamCache, FabricKind, LogHistogram, Priority, RuntimeError, ShardCompletion, ShardConfig,
+    ShardJob, ShardStats,
 };
 use atlantis_simcore::{SimDuration, SimTime};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// Cluster-level tunables.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Shard hosts.
     pub shards: usize,
-    /// Per-shard board and queue configuration.
+    /// Per-shard board and queue configuration (the fleet-wide default).
     pub shard: ShardConfig,
+    /// Heterogeneous fleets: `(shard index, config)` pairs replacing the
+    /// default for specific shards — different board counts, different
+    /// fabric families. Indices must be in range.
+    pub shard_overrides: Vec<(usize, ShardConfig)>,
     /// How jobs are routed to shards.
     pub routing: RoutingPolicy,
     /// Admission tunables.
     pub admission: AdmissionConfig,
+    /// Cross-shard work stealing ([`StealingPolicy::Off`] preserves the
+    /// non-stealing serving path byte-for-byte).
+    pub stealing: StealingPolicy,
     /// The guard degradation model (inactive by default).
     pub degradation: DegradationConfig,
 }
@@ -74,8 +86,10 @@ impl Default for ClusterConfig {
         ClusterConfig {
             shards: 4,
             shard: ShardConfig::default(),
+            shard_overrides: Vec::new(),
             routing: RoutingPolicy::default(),
             admission: AdmissionConfig::default(),
+            stealing: StealingPolicy::default(),
             degradation: DegradationConfig::default(),
         }
     }
@@ -146,23 +160,60 @@ pub struct Cluster {
     shards: Vec<Shard>,
     router: Router,
     admission: AdmissionController,
+    stealing: StealingPolicy,
+    steal_stats: StealStats,
+    steal_plans: Vec<StealPlan>,
+    /// Per-shard instant of the last *cold* steal: a thief that just
+    /// paid a reconfiguration must amortize it (several multiples of
+    /// its current switch-cost estimate) before volunteering to pay
+    /// another, or marginal backlogs make it thrash between designs.
+    /// The window self-tunes: while the thief's estimate is the
+    /// conservative full-configuration prior the window is long, and it
+    /// shrinks as real switches calibrate the estimate down.
+    last_cold: Vec<Option<SimTime>>,
     stats: ClusterStats,
     next_id: u64,
 }
 
 impl Cluster {
-    /// Build a cluster: one shared prefit bitstream cache, `cfg.shards`
-    /// shard hosts, a router and an admission controller.
+    /// Build a cluster: one shared prefit bitstream cache per fabric
+    /// family, `cfg.shards` shard hosts, a router and an admission
+    /// controller.
     pub fn new(cfg: ClusterConfig) -> Result<Self, RuntimeError> {
         if cfg.shards == 0 {
             return Err(RuntimeError::NoDevices);
         }
-        let cache = Arc::new(BitstreamCache::new(Device::orca_3t125()));
-        cache
-            .prefit_all()
-            .expect("every serving-scale workload design fits the ORCA 3T125");
-        let mut shards = (0..cfg.shards)
-            .map(|i| Shard::new(i, cfg.shard, Arc::clone(&cache), &cfg.degradation))
+        let mut shard_cfgs = vec![cfg.shard; cfg.shards];
+        for &(i, sc) in &cfg.shard_overrides {
+            assert!(i < cfg.shards, "shard override {i} out of range");
+            shard_cfgs[i] = sc;
+        }
+        // One fit pass per fabric family present in the fleet: bitstream
+        // fits are device-specific, so a heterogeneous cluster keeps one
+        // cache per family and every shard shares its family's cache.
+        let mut caches: Vec<(FabricKind, Arc<BitstreamCache>)> = Vec::new();
+        for sc in &shard_cfgs {
+            if !caches.iter().any(|(f, _)| *f == sc.fabric) {
+                let cache = Arc::new(BitstreamCache::new(sc.fabric.device()));
+                cache
+                    .prefit_all()
+                    .expect("every serving-scale workload design fits both families");
+                caches.push((sc.fabric, cache));
+            }
+        }
+        let cache_for = |fabric: FabricKind| {
+            Arc::clone(
+                &caches
+                    .iter()
+                    .find(|(f, _)| *f == fabric)
+                    .expect("cache built per present fabric")
+                    .1,
+            )
+        };
+        let mut shards = shard_cfgs
+            .iter()
+            .enumerate()
+            .map(|(i, &sc)| Shard::new(i, sc, cache_for(sc.fabric), &cfg.degradation))
             .collect::<Result<Vec<_>, _>>()?;
         // Boot provisioning: configure every shard's boards with its
         // homed designs (round-robin when a shard homes several), the
@@ -183,7 +234,7 @@ impl Cluster {
             if homes.is_empty() {
                 continue;
             }
-            for b in 0..cfg.shard.boards {
+            for b in 0..shard.engine.boards() {
                 shard.engine.preload(b, homes[b % homes.len()]);
             }
         }
@@ -191,6 +242,10 @@ impl Cluster {
             shards,
             router: Router::new(cfg.routing),
             admission: AdmissionController::new(cfg.admission),
+            stealing: cfg.stealing,
+            steal_stats: StealStats::default(),
+            steal_plans: Vec::new(),
+            last_cold: vec![None; cfg.shards],
             stats: ClusterStats {
                 per_shard_completed: vec![0; cfg.shards],
                 ..ClusterStats::default()
@@ -238,6 +293,10 @@ impl Cluster {
         let views = self.views(now);
         let (shard, route) = self.router.route(spec.kind, &views);
         let view = &views[shard];
+        // Adaptive watermarks (when enabled) track the routed shard's
+        // measured queue-wait p99; a no-op under the fixed default.
+        self.admission
+            .adapt(self.shards[shard].engine.stats().queue_wait.p99());
         if let Err(reason) =
             self.admission
                 .check(tenant, priority, view.queue_depth, view.queue_capacity)
@@ -338,8 +397,129 @@ impl Cluster {
                     });
                 }
             }
+            // A retired batch or capacity change may have idled a shard
+            // while another still drowns: rebalance at this instant,
+            // before the clock moves on.
+            self.steal_scan(t);
         }
+        self.steal_scan(now);
         out
+    }
+
+    /// One deterministic steal scan at virtual instant `now`: every
+    /// idle-and-empty shard, in index order, evaluates the deepest
+    /// backlog in the fleet against the reconfiguration-aware breakeven
+    /// test and pulls a batch when the backlog is worth more than the
+    /// move. No-op under [`StealingPolicy::Off`].
+    fn steal_scan(&mut self, now: SimTime) {
+        let StealingPolicy::Enabled(cfg) = self.stealing else {
+            return;
+        };
+        self.steal_stats.scans += 1;
+        for thief in 0..self.shards.len() {
+            if self.shards[thief].engine.queue_depth() != 0
+                || !self.shards[thief].engine.has_idle_board(now)
+            {
+                continue;
+            }
+            // Donors ranked deepest-first, ties to the lowest index — a
+            // total order, so replays pick identical donors.
+            let mut donors: Vec<usize> = (0..self.shards.len()).filter(|&d| d != thief).collect();
+            donors.sort_by_key(|&d| (usize::MAX - self.shards[d].engine.queue_depth(), d));
+            donors.retain(|&d| self.shards[d].engine.queue_depth() >= cfg.min_backlog);
+            // A warm steal anywhere beats a cold steal from the deepest
+            // donor: a design already resident on one of the thief's
+            // idle boards moves work at transfer cost alone, so scan
+            // every eligible donor for a resident match before pricing
+            // a design switch.
+            let resident = self.shards[thief].engine.idle_resident_kinds(now);
+            let warm = donors.iter().find_map(|&d| {
+                resident
+                    .iter()
+                    .find(|&&k| self.shards[d].engine.queued_backlog(k, 1).0 > 0)
+                    .map(|&k| (d, k, StealKind::Warm))
+            });
+            // The cold amortization window, from the thief's *current*
+            // switch-cost estimate — warm steals are exempt because
+            // they never touch the fabric.
+            let cooling = self.last_cold[thief]
+                .is_some_and(|last| now < last + self.shards[thief].engine.mean_switch_cost() * 8);
+            let (donor, kind, steal) = match warm {
+                Some(pick) => pick,
+                None if cooling => continue,
+                None => match donors
+                    .first()
+                    .and_then(|&d| self.shards[d].engine.dominant_queued_kind().map(|k| (d, k)))
+                {
+                    Some((d, k)) => (d, k, StealKind::Cold),
+                    None => continue,
+                },
+            };
+            let depth = self.shards[donor].engine.queue_depth();
+            let max_batch = cfg
+                .max_batch
+                .min(self.shards[thief].engine.queue_capacity());
+            let (jobs, bytes) = self.shards[donor].engine.queued_backlog(kind, max_batch);
+            if jobs == 0 {
+                continue;
+            }
+            self.steal_stats.attempts += 1;
+            // Breakeven: the donor's backlog priced at its calibrated
+            // service EWMA (zero until it calibrates — no stealing on
+            // faith) against the thief's measured switch cost plus the
+            // AAB hop for the batch payload.
+            let benefit = self.shards[donor].engine.service_ewma() * depth as u64;
+            let reconfig = match steal {
+                StealKind::Warm => SimDuration::ZERO,
+                StealKind::Cold => self.shards[thief].engine.mean_switch_cost(),
+            };
+            let cost = reconfig + self.shards[donor].engine.hop_cost(bytes);
+            if benefit <= cost {
+                self.steal_stats.below_breakeven += 1;
+                continue;
+            }
+            let batch = self.shards[donor].engine.steal_queued(kind, jobs);
+            let mut moved = 0u64;
+            for stolen in batch {
+                let payload = stolen.job.spec.payload_bytes();
+                let ready = self.shards[donor].engine.hop_transfer(now, payload);
+                let taken = self.shards[thief].engine.submit_stolen(now, stolen, ready);
+                debug_assert!(taken, "an empty thief queue fits the bounded batch");
+                moved += payload;
+            }
+            match steal {
+                StealKind::Warm => self.steal_stats.warm_steals += 1,
+                StealKind::Cold => {
+                    self.steal_stats.cold_steals += 1;
+                    self.steal_stats.reconfig_paid += reconfig;
+                    self.last_cold[thief] = Some(now);
+                }
+            }
+            self.steal_stats.jobs_stolen += jobs as u64;
+            self.steal_stats.bytes_moved += moved;
+            self.steal_stats.backlog_drained += jobs as u64;
+            self.steal_plans.push(StealPlan {
+                at: now,
+                thief,
+                donor,
+                kind,
+                steal,
+                jobs,
+                bytes: moved,
+                benefit,
+                cost,
+            });
+        }
+    }
+
+    /// The cross-shard stealing ledger (all zeros when stealing is off).
+    pub fn steal_stats(&self) -> &StealStats {
+        &self.steal_stats
+    }
+
+    /// Every committed steal, in commit order.
+    pub fn steal_plans(&self) -> &[StealPlan] {
+        &self.steal_plans
     }
 
     /// Run the cluster to idle: retire everything queued and in flight.
@@ -385,7 +565,9 @@ impl Cluster {
     }
 
     /// A byte-stable digest of every deterministic counter in the
-    /// cluster — cluster stats plus each shard's stats in shard order.
+    /// cluster — cluster stats plus each shard's stats in shard order,
+    /// plus the steal ledger when stealing is enabled (a non-stealing
+    /// cluster's digest keeps the pre-stealing layout byte-for-byte).
     /// Two runs of the same seeded campaign must produce identical
     /// strings; the determinism tests assert exactly that.
     pub fn fingerprint(&self) -> String {
@@ -394,14 +576,18 @@ impl Cluster {
         for (i, sh) in self.shards.iter().enumerate() {
             let _ = write!(s, "|shard{}:{:?}", i, sh.engine.stats());
         }
+        if let StealingPolicy::Enabled(_) = self.stealing {
+            let _ = write!(s, "|steals:{:?}", self.steal_stats);
+        }
         s
     }
 
     /// The rendezvous-preferred shard for each workload kind under the
-    /// current capacities — the design-to-shard home map.
-    pub fn home_map(&self, now: SimTime) -> [usize; 4] {
+    /// current capacities — the design-to-shard home map, indexed in
+    /// [`JobKind::ALL`] order.
+    pub fn home_map(&self, now: SimTime) -> [usize; JobKind::COUNT] {
         let views = self.views(now);
-        let mut map = [0usize; 4];
+        let mut map = [0usize; JobKind::COUNT];
         for (i, &k) in JobKind::ALL.iter().enumerate() {
             map[i] = views[Router::preferred(k, &views)].index;
         }

@@ -16,10 +16,12 @@
 //! affinity router something to exploit, as real multi-tenant traffic
 //! does.
 
+use crate::Cluster;
 use atlantis_apps::jobs::{JobKind, JobSpec};
 use atlantis_runtime::Priority;
 use atlantis_simcore::rng::WorkloadRng;
 use atlantis_simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
 
 /// One offered job, timestamped on the virtual clock.
 #[derive(Debug, Clone, Copy)]
@@ -51,6 +53,10 @@ pub struct LoadGenConfig {
     pub high_fraction: f64,
     /// Fraction of `Low` arrivals (the rest are `Normal`).
     pub low_fraction: f64,
+    /// Problem size for the sized kinds (volume/image frames, n-body
+    /// bodies): service time scales with it, so heavier sizes shift the
+    /// steal breakeven without touching the arrival process.
+    pub size: u32,
 }
 
 impl Default for LoadGenConfig {
@@ -63,6 +69,7 @@ impl Default for LoadGenConfig {
             home_bias: 0.9,
             high_fraction: 0.1,
             low_fraction: 0.2,
+            size: 32,
         }
     }
 }
@@ -101,12 +108,12 @@ impl LoadGen {
         JobKind::ALL[tenant as usize % JobKind::ALL.len()]
     }
 
-    fn spec_for(kind: JobKind, seed: u64) -> JobSpec {
+    fn spec_for(kind: JobKind, size: u32, seed: u64) -> JobSpec {
         match kind {
             JobKind::TrtEvent => JobSpec::trt(seed),
-            JobKind::VolumeFrame => JobSpec::volume(32, seed),
-            JobKind::ImageFilter => JobSpec::image(32, seed),
-            JobKind::NBodyStep => JobSpec::nbody(32, seed),
+            JobKind::VolumeFrame => JobSpec::volume(size, seed),
+            JobKind::ImageFilter => JobSpec::image(size, seed),
+            JobKind::NBodyStep => JobSpec::nbody(size, seed),
         }
     }
 }
@@ -139,9 +146,228 @@ impl Iterator for LoadGen {
             at: self.clock,
             tenant,
             priority,
-            spec: Self::spec_for(kind, seed),
+            spec: Self::spec_for(kind, self.cfg.size, seed),
         })
     }
+}
+
+/// Closed-loop client tunables: a fixed population of clients that
+/// each keep one job in flight, think, and — on a shed — back off and
+/// retry the *same* job.
+///
+/// The open-loop generator measures the cluster past saturation; the
+/// closed loop measures the *clients*: what the exported `retry_after`
+/// hint is worth. A client that obeys the hint sleeps exactly as long
+/// as the shard says it needs; one that ignores it hammers the
+/// admission controller on a fixed backoff — the shed storm the hint
+/// exists to prevent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClosedLoopConfig {
+    /// Seed of every client's draw stream.
+    pub seed: u64,
+    /// Concurrent clients; client `i` submits as tenant `i`.
+    pub clients: usize,
+    /// Jobs each client must complete (or abandon).
+    pub jobs_per_client: u64,
+    /// Pause between a completion and the client's next submission.
+    pub think_time: SimDuration,
+    /// Obey the [`Overloaded::retry_after`](crate::Overloaded) hint on
+    /// sheds (falling back to `fixed_backoff` while the hint is still
+    /// uncalibrated); `false` retries on `fixed_backoff` alone.
+    pub obey_retry_after: bool,
+    /// Backoff used when the hint is ignored or unavailable.
+    pub fixed_backoff: SimDuration,
+    /// Retries before a client abandons a job (guards livelock).
+    pub retry_limit: u32,
+    /// Probability a client submits its home kind (vs a uniform draw).
+    pub home_bias: f64,
+    /// Fraction of `High` submissions.
+    pub high_fraction: f64,
+    /// Fraction of `Low` submissions (the rest are `Normal`).
+    pub low_fraction: f64,
+}
+
+impl Default for ClosedLoopConfig {
+    fn default() -> Self {
+        ClosedLoopConfig {
+            seed: 0xC1_05ED,
+            clients: 16,
+            jobs_per_client: 24,
+            think_time: SimDuration::from_micros(200),
+            obey_retry_after: true,
+            fixed_backoff: SimDuration::from_micros(50),
+            retry_limit: 256,
+            home_bias: 0.9,
+            high_fraction: 0.1,
+            low_fraction: 0.2,
+        }
+    }
+}
+
+/// What a closed-loop campaign did, from the clients' side.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClosedLoopReport {
+    /// Submission attempts, retries included.
+    pub attempts: u64,
+    /// Attempts that entered a shard queue.
+    pub admitted: u64,
+    /// Attempts refused at admission.
+    pub shed: u64,
+    /// Backoffs that used the shard's `retry_after` hint.
+    pub hinted_backoffs: u64,
+    /// Backoffs that fell back to the fixed interval.
+    pub fixed_backoffs: u64,
+    /// Jobs completed across all clients.
+    pub completed: u64,
+    /// Jobs abandoned after `retry_limit` consecutive sheds.
+    pub abandoned: u64,
+    /// The last virtual instant any client saw a completion.
+    pub makespan: SimTime,
+}
+
+impl ClosedLoopReport {
+    /// Attempts per completed job — 1.0 is a shed-free campaign; the
+    /// excess is retry traffic, the cost a good backoff minimizes.
+    pub fn attempts_per_completion(&self) -> f64 {
+        if self.completed == 0 {
+            f64::INFINITY
+        } else {
+            self.attempts as f64 / self.completed as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Client {
+    next_at: SimTime,
+    remaining: u64,
+    retries: u32,
+    pending: Option<(Priority, JobSpec)>,
+    in_flight: bool,
+    draws: WorkloadRng,
+    emitted: u64,
+}
+
+/// Drive `cluster` with a closed-loop client population on the virtual
+/// clock: client submissions and cluster events interleave in global
+/// time order, each client keeps at most one job in flight, and a shed
+/// re-offers the *same* job after the configured backoff. Fully
+/// deterministic for a fixed seed.
+pub fn run_closed_loop(cluster: &mut Cluster, cfg: ClosedLoopConfig) -> ClosedLoopReport {
+    assert!(cfg.clients > 0, "at least one client");
+    assert!(
+        cfg.fixed_backoff > SimDuration::ZERO,
+        "a zero backoff never advances the clock"
+    );
+    let root = WorkloadRng::seed_from_u64(cfg.seed);
+    let mut clients: Vec<Client> = (0..cfg.clients)
+        .map(|i| Client {
+            next_at: SimTime::ZERO,
+            remaining: cfg.jobs_per_client,
+            retries: 0,
+            pending: None,
+            in_flight: false,
+            draws: root.fork(i as u64 + 1),
+            emitted: 0,
+        })
+        .collect();
+    let mut owner: HashMap<u64, usize> = HashMap::new();
+    let mut report = ClosedLoopReport::default();
+
+    let credit = |fins: &[crate::ClusterCompletion],
+                  clients: &mut [Client],
+                  owner: &mut HashMap<u64, usize>,
+                  report: &mut ClosedLoopReport,
+                  think: SimDuration| {
+        for fin in fins {
+            let Some(ci) = owner.remove(&fin.inner.id) else {
+                continue;
+            };
+            let c = &mut clients[ci];
+            c.in_flight = false;
+            c.remaining -= 1;
+            c.next_at = fin.inner.done + think;
+            report.completed += 1;
+            report.makespan = report.makespan.max(fin.inner.done);
+        }
+    };
+
+    loop {
+        let submit = clients
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.in_flight && c.remaining > 0)
+            .map(|(i, c)| (c.next_at, i))
+            .min();
+        let Some((at, ci)) = submit else {
+            // Nothing left to submit: run the in-flight tail down.
+            let fins = cluster.drain();
+            credit(&fins, &mut clients, &mut owner, &mut report, cfg.think_time);
+            break;
+        };
+        // Retire everything the cluster finishes before this submission
+        // — a freed client may then own the next-earliest instant.
+        let fins = cluster.advance(at);
+        credit(&fins, &mut clients, &mut owner, &mut report, cfg.think_time);
+        if clients[ci].in_flight || clients[ci].remaining == 0 || clients[ci].next_at > at {
+            continue;
+        }
+        let c = &mut clients[ci];
+        let (priority, spec) = *c.pending.get_or_insert_with(|| {
+            let tenant = ci as u32;
+            let kind = if c.draws.chance(cfg.home_bias) {
+                LoadGen::home_kind(tenant)
+            } else {
+                JobKind::ALL[c.draws.below(JobKind::ALL.len() as u64) as usize]
+            };
+            let u = c.draws.unit();
+            let priority = if u < cfg.high_fraction {
+                Priority::High
+            } else if u < cfg.high_fraction + cfg.low_fraction {
+                Priority::Low
+            } else {
+                Priority::Normal
+            };
+            let seed =
+                cfg.seed ^ (tenant as u64) << 32 ^ c.emitted.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            c.emitted += 1;
+            // Closed-loop clients submit the baseline problem size.
+            (priority, LoadGen::spec_for(kind, 32, seed))
+        });
+        report.attempts += 1;
+        match cluster.offer(at, ci as u32, priority, spec) {
+            Ok(id) => {
+                report.admitted += 1;
+                let c = &mut clients[ci];
+                c.pending = None;
+                c.retries = 0;
+                c.in_flight = true;
+                owner.insert(id, ci);
+            }
+            Err(over) => {
+                report.shed += 1;
+                let c = &mut clients[ci];
+                c.retries += 1;
+                if c.retries > cfg.retry_limit {
+                    report.abandoned += 1;
+                    c.pending = None;
+                    c.retries = 0;
+                    c.remaining -= 1;
+                    c.next_at = at + cfg.think_time;
+                    continue;
+                }
+                let backoff = if cfg.obey_retry_after && over.retry_after > SimDuration::ZERO {
+                    report.hinted_backoffs += 1;
+                    over.retry_after
+                } else {
+                    report.fixed_backoffs += 1;
+                    cfg.fixed_backoff
+                };
+                c.next_at = at + backoff;
+            }
+        }
+    }
+    report
 }
 
 #[cfg(test)]

@@ -185,12 +185,14 @@ impl Router {
     /// another, halving usable capacity — while the weights keep
     /// assignments sticky: when the guard erodes one shard's capacity,
     /// only designs contending with that shard re-home. Returns
-    /// indices into `views`.
-    pub fn home_map(views: &[ShardView]) -> [usize; 4] {
+    /// indices into `views`, in [`JobKind::ALL`] order — sized by
+    /// [`JobKind::COUNT`] so a new workload kind can never silently
+    /// truncate the map.
+    pub fn home_map(views: &[ShardView]) -> [usize; JobKind::COUNT] {
         let live = views.iter().filter(|v| v.active_boards > 0).count().max(1);
         let cap = JobKind::ALL.len().div_ceil(live);
         let mut assigned = vec![0usize; views.len()];
-        let mut map = [0usize; 4];
+        let mut map = [0usize; JobKind::COUNT];
         for (ki, &kind) in JobKind::ALL.iter().enumerate() {
             let mut best: Option<(f64, usize)> = None;
             for (i, v) in views.iter().enumerate() {

@@ -35,6 +35,7 @@ fn campaign_config(seed: u64) -> (ClusterConfig, LoadGenConfig) {
                 quarantine_after: 3,
                 seed,
             },
+            ..ClusterConfig::default()
         },
         LoadGenConfig {
             seed,

@@ -76,6 +76,25 @@ impl Device {
         }
     }
 
+    /// The AIB's paired XCV600s presented as one logical part (§2.2: the
+    /// interface board carries two Virtex chips side by side). Capacity
+    /// doubles; configuration streams both chips' frames through the one
+    /// 33 MHz port, so a full load costs twice an XCV600's — the trade a
+    /// cluster scheduler must price when it considers moving work onto
+    /// Virtex fabric: faster design clock, dearer design switch.
+    pub fn virtex_aib_pair() -> Device {
+        let chip = Device::virtex_xcv600();
+        Device {
+            name: "Virtex AIB pair (2× XCV600)".to_string(),
+            system_gates: 2 * chip.system_gates,
+            flip_flops: 2 * chip.flip_flops,
+            block_ram_bits: 2 * chip.block_ram_bits,
+            user_io: 2 * chip.user_io,
+            config_frames: 2 * chip.config_frames,
+            ..chip
+        }
+    }
+
     /// The Xilinx XC4013E of the Enable++ generation — kept for historical
     /// speed-up comparisons (§3.1 cites Enable-era measurements).
     pub fn xc4013e() -> Device {
@@ -168,6 +187,7 @@ mod tests {
         for d in [
             Device::orca_3t125(),
             Device::virtex_xcv600(),
+            Device::virtex_aib_pair(),
             Device::xc4013e(),
         ] {
             assert_eq!(
@@ -183,6 +203,17 @@ mod tests {
                 d.name
             );
         }
+    }
+
+    #[test]
+    fn aib_pair_doubles_capacity_and_config_cost() {
+        let chip = Device::virtex_xcv600();
+        let pair = Device::virtex_aib_pair();
+        assert_eq!(pair.system_gates, 2 * chip.system_gates);
+        assert_eq!(pair.block_ram_bits, 2 * chip.block_ram_bits);
+        assert_eq!(pair.bitstream_bytes(), 2 * chip.bitstream_bytes());
+        assert!(pair.full_config_time() > chip.full_config_time());
+        assert_eq!(pair.max_clock, chip.max_clock);
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub use cache::BitstreamCache;
 pub use error::RuntimeError;
 pub use guard::GuardConfig;
 pub use job::{JobHandle, JobRequest, JobResult, JobTimings, Priority};
-pub use shard::{ShardCompletion, ShardConfig, ShardJob, ShardReject, ShardScheduler, ShardStats};
+pub use shard::{
+    FabricKind, ShardCompletion, ShardConfig, ShardJob, ShardReject, ShardScheduler, ShardStats,
+    StolenJob,
+};
 pub use stats::{LatencyHistogram, LogHistogram, RuntimeStats};
 pub use worker::SchedPolicy;
 

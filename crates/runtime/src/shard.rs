@@ -39,11 +39,57 @@ use atlantis_simcore::{SimDuration, SimTime};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+/// The reconfigurable fabric family a shard's boards are built from.
+///
+/// The paper's machine is heterogeneous by construction: the ACB carries
+/// a 2×2 matrix of ORCA 3T125s while the AIB pairs Virtex XCV600s
+/// (§2.1–2.2). A cluster grown board-by-board inherits that mix, and the
+/// two families differ in exactly the two costs the scheduler trades:
+/// the design clock (ORCA programmable to 80 MHz, Virtex to 100 MHz —
+/// the substitution table's service-rate ratio) and the design-switch
+/// cost (the paired-Virtex board streams twice an XCV600's frames
+/// through its 33 MHz port, so a full load is ~57 ms against the
+/// ORCA's ~37 ms: faster service, dearer reconfiguration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FabricKind {
+    /// Lucent ORCA 3T125 boards (the ACB family) — the baseline.
+    #[default]
+    Orca,
+    /// Paired Xilinx Virtex XCV600 boards (the AIB family): 100/80
+    /// design clock, double capacity, double configuration stream.
+    Virtex,
+}
+
+impl FabricKind {
+    /// The capacity model of this fabric family.
+    pub fn device(self) -> Device {
+        match self {
+            FabricKind::Orca => Device::orca_3t125(),
+            FabricKind::Virtex => Device::virtex_aib_pair(),
+        }
+    }
+
+    /// Scale a baseline (ORCA-clock) execution time to this fabric:
+    /// identical cycle counts retire faster on a faster design clock.
+    /// ORCA is the identity, so homogeneous fleets are byte-for-byte
+    /// unchanged.
+    pub fn scale_execute(self, d: SimDuration) -> SimDuration {
+        match self {
+            FabricKind::Orca => d,
+            // 80 MHz -> 100 MHz: same cycles in 4/5 the time.
+            FabricKind::Virtex => SimDuration::from_picos(d.as_picos() * 4 / 5),
+        }
+    }
+}
+
 /// Tunables for one simulated shard host.
 #[derive(Debug, Clone, Copy)]
 pub struct ShardConfig {
     /// ACB+AIB board pairs on the shard's backplane.
     pub boards: usize,
+    /// The fabric family of every board on this shard. Heterogeneous
+    /// *clusters* mix shards of different kinds; one shard is uniform.
+    pub fabric: FabricKind,
     /// Hard bound on queued (not yet running) jobs.
     pub queue_capacity: usize,
     /// The scheduling policy (same semantics as the threaded runtime).
@@ -58,6 +104,7 @@ impl Default for ShardConfig {
     fn default() -> Self {
         ShardConfig {
             boards: 2,
+            fabric: FabricKind::Orca,
             queue_capacity: 64,
             policy: SchedPolicy::ReconfigAware { batch_window: 32 },
             scan_depth: 64,
@@ -218,6 +265,22 @@ struct QueueEntry {
     job: ShardJob,
     submitted: SimTime,
     skips: u32,
+    /// When the job's payload is resident on this host. `SimTime::ZERO`
+    /// for locally admitted work; stolen jobs carry the instant their
+    /// cross-shard hop transfer lands, and a board that picks one up
+    /// earlier waits for the data (charged as DMA time).
+    ready_at: SimTime,
+}
+
+/// A job lifted out of a donor shard's queue by the cluster's work
+/// stealer: the job plus its original admission instant, preserved so
+/// end-to-end latency keeps counting the time spent in the donor queue.
+#[derive(Debug, Clone, Copy)]
+pub struct StolenJob {
+    /// The queued job, unchanged.
+    pub job: ShardJob,
+    /// When the donor admitted it.
+    pub submitted: SimTime,
 }
 
 /// One simulated shard host — see the module docs.
@@ -226,6 +289,10 @@ pub struct ShardScheduler {
     cfg: ShardConfig,
     boards: Vec<Board>,
     aab: Aab,
+    /// Reserved full-width connection for cluster-level payload hops
+    /// (work stealing): slots `2·boards` and `2·boards + 1`. Idle unless
+    /// the cluster steals, so it never perturbs board-pair transfers.
+    hop_conn: ConnectionId,
     classes: [VecDeque<QueueEntry>; Priority::CLASSES],
     queued: usize,
     cache: Arc<BitstreamCache>,
@@ -233,6 +300,9 @@ pub struct ShardScheduler {
     stats: ShardStats,
     /// EWMA of per-job virtual service time, integer picoseconds.
     service_ewma_ps: u64,
+    /// Full configuration time of this shard's fabric — the breakeven
+    /// fallback before any task switch has been measured.
+    full_config: SimDuration,
 }
 
 impl ShardScheduler {
@@ -245,14 +315,16 @@ impl ShardScheduler {
         if cfg.boards == 0 {
             return Err(RuntimeError::NoDevices);
         }
-        let mut aab = Aab::new(BackplaneKind::Configurable, 2 * cfg.boards);
+        // Two extra slots host the reserved cluster-hop connection.
+        let mut aab = Aab::new(BackplaneKind::Configurable, 2 * cfg.boards + 2);
         let mut boards = Vec::with_capacity(cfg.boards);
+        let device = cfg.fabric.device();
         for i in 0..cfg.boards {
             let conn = aab
                 .connect(2 * i, 2 * i + 1, aab.config().channels())
                 .expect("fresh backplane has free channels");
             boards.push(Board {
-                coproc: Coprocessor::new(Device::orca_3t125()),
+                coproc: Coprocessor::new(device.clone()),
                 conn,
                 loaded: None,
                 batch_len: 0,
@@ -261,6 +333,9 @@ impl ShardScheduler {
                 quarantined: false,
             });
         }
+        let hop_conn = aab
+            .connect(2 * cfg.boards, 2 * cfg.boards + 1, aab.config().channels())
+            .expect("fresh backplane has free channels");
         let stats = ShardStats {
             board_busy: vec![SimDuration::ZERO; cfg.boards],
             ..ShardStats::default()
@@ -269,12 +344,14 @@ impl ShardScheduler {
             cfg,
             boards,
             aab,
+            hop_conn,
             classes: Default::default(),
             queued: 0,
             cache,
             ctx: WorkloadContext::new(),
             stats,
             service_ewma_ps: 0,
+            full_config: device.full_config_time(),
         })
     }
 
@@ -297,10 +374,161 @@ impl ShardScheduler {
             job,
             submitted: now,
             skips: 0,
+            ready_at: SimTime::ZERO,
         });
         self.queued += 1;
         self.schedule(now);
         Ok(())
+    }
+
+    /// Accept a job stolen from another shard's queue at virtual instant
+    /// `now`. The original admission instant is preserved (latency keeps
+    /// counting the donor-queue wait) and `ready_at` is when the payload
+    /// lands on this host — a board that starts the job earlier waits
+    /// for the data, charged as DMA time. Not counted as a submission:
+    /// the donor already did, and the cluster's steal ledger reconciles
+    /// the transfer. Returns `false` (job untouched) on a full queue.
+    pub fn submit_stolen(&mut self, now: SimTime, stolen: StolenJob, ready_at: SimTime) -> bool {
+        if self.queued >= self.cfg.queue_capacity {
+            return false;
+        }
+        self.classes[stolen.job.priority.index()].push_back(QueueEntry {
+            job: stolen.job,
+            submitted: stolen.submitted,
+            skips: 0,
+            ready_at,
+        });
+        self.queued += 1;
+        self.schedule(now);
+        true
+    }
+
+    /// Lift up to `max` queued jobs of `kind` out of this shard's queue
+    /// for a thief, least-urgent class first and newest-first within a
+    /// class — the jobs that would otherwise wait longest. In-flight
+    /// work is never stolen. Queue-bound accounting moves with them;
+    /// admission stats stay (the jobs were genuinely admitted here).
+    pub fn steal_queued(&mut self, kind: JobKind, max: usize) -> Vec<StolenJob> {
+        let mut out = Vec::new();
+        for class in self.classes.iter_mut().rev() {
+            if out.len() >= max {
+                break;
+            }
+            let mut i = class.len();
+            while i > 0 && out.len() < max {
+                i -= 1;
+                if class[i].job.spec.kind == kind {
+                    let e = class.remove(i).expect("index in range");
+                    self.queued -= 1;
+                    out.push(StolenJob {
+                        job: e.job,
+                        submitted: e.submitted,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// `(jobs, payload bytes)` of up to `max` queued jobs of `kind`, in
+    /// the order [`steal_queued`](Self::steal_queued) would take them —
+    /// the thief's cost estimate before committing to a steal.
+    pub fn queued_backlog(&self, kind: JobKind, max: usize) -> (usize, u64) {
+        let mut n = 0usize;
+        let mut bytes = 0u64;
+        for class in self.classes.iter().rev() {
+            for e in class.iter().rev() {
+                if n >= max {
+                    return (n, bytes);
+                }
+                if e.job.spec.kind == kind {
+                    n += 1;
+                    bytes += e.job.spec.payload_bytes();
+                }
+            }
+        }
+        (n, bytes)
+    }
+
+    /// The workload kind with the most queued jobs (ties to
+    /// [`JobKind::ALL`] order), if anything is queued — the donor-side
+    /// answer to "what is worth a design switch to take".
+    pub fn dominant_queued_kind(&self) -> Option<JobKind> {
+        let mut counts = [0usize; JobKind::COUNT];
+        for class in &self.classes {
+            for e in class {
+                counts[e.job.spec.kind.index()] += 1;
+            }
+        }
+        JobKind::ALL
+            .iter()
+            .copied()
+            .max_by_key(|k| counts[k.index()])
+            .filter(|k| counts[k.index()] > 0)
+    }
+
+    /// Whether any non-quarantined board is idle at `t` — the thief-side
+    /// precondition of a steal.
+    pub fn has_idle_board(&self, t: SimTime) -> bool {
+        self.boards
+            .iter()
+            .any(|b| !b.quarantined && b.in_flight.is_none() && b.free_at <= t)
+    }
+
+    /// Designs resident on idle boards at `t`, in board order — what a
+    /// steal can serve without a reconfiguration (a *warm* steal).
+    pub fn idle_resident_kinds(&self, t: SimTime) -> Vec<JobKind> {
+        self.boards
+            .iter()
+            .filter(|b| !b.quarantined && b.in_flight.is_none() && b.free_at <= t)
+            .filter_map(|b| b.loaded)
+            .collect()
+    }
+
+    /// The measured mean hardware task-switch cost on this shard —
+    /// total serving-path reconfiguration time over total switches —
+    /// falling back to a full configuration of this fabric before
+    /// anything has been measured. Boot preloads increment the switch
+    /// counters but record no reconfiguration time (boot precedes the
+    /// serving clock), so the conservative full-configuration prior
+    /// holds until a switch is actually *paid* mid-campaign. This is
+    /// the self-calibrating reconfiguration term of the steal
+    /// breakeven test.
+    pub fn mean_switch_cost(&self) -> SimDuration {
+        let switches = self.stats.full_loads + self.stats.partial_switches;
+        if switches == 0 || self.stats.reconfig_time == SimDuration::ZERO {
+            self.full_config
+        } else {
+            self.stats.reconfig_time / switches
+        }
+    }
+
+    /// The calibrated mean service time (zero until the first
+    /// completion) — the per-job term of the steal benefit estimate.
+    pub fn service_ewma(&self) -> SimDuration {
+        SimDuration::from_picos(self.service_ewma_ps)
+    }
+
+    /// Virtual time to move `bytes` over the shard's reserved cluster-hop
+    /// backplane connection, were it free now.
+    pub fn hop_cost(&self, bytes: u64) -> SimDuration {
+        self.aab
+            .connection_bandwidth(self.hop_conn)
+            .transfer_time(bytes)
+    }
+
+    /// Stream `bytes` of stolen payload out over the reserved hop
+    /// connection starting at `at` (serialized after previous hops —
+    /// back-to-back steals queue on the link) and return the completion
+    /// instant. Charged on this (the donor's) backplane, per §2.3: the
+    /// payload crosses the donor's AAB on its way to the inter-host
+    /// link.
+    pub fn hop_transfer(&mut self, at: SimTime, bytes: u64) -> SimTime {
+        let (_, done) = self
+            .aab
+            .transfer(self.hop_conn, at, bytes)
+            .expect("hop connection is live");
+        done
     }
 
     /// Estimated virtual time until `depth` queued jobs free one slot.
@@ -395,6 +623,11 @@ impl ShardScheduler {
     /// Total board pairs, quarantined or not.
     pub fn boards(&self) -> usize {
         self.boards.len()
+    }
+
+    /// The fabric family this shard's boards are built from.
+    pub fn fabric(&self) -> FabricKind {
+        self.cfg.fabric
     }
 
     /// Jobs queued (excluding in-flight work).
@@ -525,14 +758,23 @@ impl ShardScheduler {
     /// shard engine models the paper's base (un-pipelined) serving path.
     fn start(&mut self, bi: usize, t: SimTime, entry: QueueEntry) {
         let spec = entry.job.spec;
+        // A stolen job whose payload is still in flight over the hop
+        // link stalls the board until it lands; the wait is charged as
+        // DMA — the board is blocked on data either way.
+        let data_at = if entry.ready_at > t {
+            entry.ready_at
+        } else {
+            t
+        };
         let (_, dma_in_done) = self
             .aab
-            .transfer(self.boards[bi].conn, t, spec.payload_bytes())
+            .transfer(self.boards[bi].conn, data_at, spec.payload_bytes())
             .expect("pair connection is live");
         let dma_in = dma_in_done.since(t);
         let (reconfig, switched) = self.switch_board(bi, spec.kind);
         let outcome = self.ctx.execute(&spec);
-        let exec_end = dma_in_done + reconfig + outcome.compute;
+        let execute = self.cfg.fabric.scale_execute(outcome.compute);
+        let exec_end = dma_in_done + reconfig + execute;
         let (_, done) = self
             .aab
             .transfer(self.boards[bi].conn, exec_end, spec.result_bytes())
@@ -542,7 +784,7 @@ impl ShardScheduler {
         let s = &mut self.stats;
         s.dma_time += dma;
         s.reconfig_time += reconfig;
-        s.execute_time += outcome.compute;
+        s.execute_time += execute;
         s.board_busy[bi] += done.since(t);
 
         let board = &mut self.boards[bi];
@@ -560,7 +802,7 @@ impl ShardScheduler {
             done,
             dma,
             reconfig,
-            execute: outcome.compute,
+            execute,
             switched,
         });
     }
@@ -793,5 +1035,122 @@ mod tests {
             .sum();
         assert_eq!(total, moved, "every byte crosses the AAB exactly once");
         assert!(s.backplane().slot_stats(0).busy > SimDuration::ZERO);
+    }
+
+    fn fabric_shard(fabric: FabricKind) -> ShardScheduler {
+        let cache = Arc::new(BitstreamCache::new(fabric.device()));
+        cache.prefit_all().expect("designs fit both families");
+        ShardScheduler::new(
+            ShardConfig {
+                boards: 1,
+                fabric,
+                ..ShardConfig::default()
+            },
+            cache,
+        )
+        .expect("boards > 0")
+    }
+
+    #[test]
+    fn virtex_fabric_executes_faster_with_identical_checksums() {
+        let run = |fabric| {
+            let mut s = fabric_shard(fabric);
+            for i in 0..8u64 {
+                s.submit(SimTime::ZERO, job(i, JobSpec::mixed(i))).unwrap();
+            }
+            let mut fins = s.drain();
+            fins.sort_by_key(|f| f.id);
+            (fins, s.stats().clone())
+        };
+        let (orca, so) = run(FabricKind::Orca);
+        let (virtex, sv) = run(FabricKind::Virtex);
+        for (o, v) in orca.iter().zip(&virtex) {
+            assert_eq!(o.checksum, v.checksum, "fabric never changes results");
+            assert_eq!(v.execute, FabricKind::Virtex.scale_execute(o.execute));
+            assert!(v.execute < o.execute);
+        }
+        assert!(sv.execute_time < so.execute_time);
+        // The other side of the trade: the paired-Virtex board streams a
+        // bigger configuration, so design switches cost more there.
+        assert!(
+            FabricKind::Virtex.device().full_config_time()
+                > FabricKind::Orca.device().full_config_time()
+        );
+    }
+
+    #[test]
+    fn stolen_jobs_keep_their_admission_instant_and_wait_for_data() {
+        let mut donor = shard(1, 64);
+        let mut thief = shard(1, 64);
+        let submitted = SimTime::ZERO;
+        // Occupy the donor's board, then queue four more of one kind.
+        for i in 0..5u64 {
+            donor.submit(submitted, job(i, JobSpec::trt(i))).unwrap();
+        }
+        assert_eq!(donor.queue_depth(), 4);
+        let (n, bytes) = donor.queued_backlog(JobKind::TrtEvent, 8);
+        assert_eq!(n, 4);
+        assert!(bytes > 0);
+        assert_eq!(donor.dominant_queued_kind(), Some(JobKind::TrtEvent));
+
+        let now = SimTime::ZERO + SimDuration::from_micros(3);
+        let stolen = donor.steal_queued(JobKind::TrtEvent, 2);
+        assert_eq!(stolen.len(), 2);
+        assert_eq!(donor.queue_depth(), 2);
+        let ready = now + SimDuration::from_millis(1);
+        for s in stolen {
+            assert_eq!(s.submitted, submitted, "donor-queue wait keeps counting");
+            assert!(thief.submit_stolen(now, s, ready));
+        }
+        let fins = thief.drain();
+        assert_eq!(fins.len(), 2);
+        for f in &fins {
+            assert_eq!(f.submitted, submitted);
+            assert_eq!(f.done.since(f.started), f.service());
+        }
+        // The first board start precedes the payload landing: the stall
+        // is charged as DMA, and the service identity still holds.
+        assert!(fins[0].started < ready);
+        assert!(fins[0].dma >= ready.since(fins[0].started));
+        // The thief never counts a stolen job as its own admission.
+        assert_eq!(thief.stats().submitted, 0);
+        assert_eq!(thief.stats().completed, 2);
+        assert_eq!(donor.drain().len(), 3);
+    }
+
+    #[test]
+    fn switch_cost_estimate_calibrates_from_measurement() {
+        let mut s = shard(1, 64);
+        // Uncalibrated: fall back to a full configuration of the fabric.
+        assert_eq!(
+            s.mean_switch_cost(),
+            Device::orca_3t125().full_config_time()
+        );
+        for i in 0..6u64 {
+            s.submit(SimTime::ZERO, job(i, JobSpec::mixed(i))).unwrap();
+        }
+        s.drain();
+        let st = s.stats();
+        let switches = st.full_loads + st.partial_switches;
+        assert!(switches > 0);
+        assert_eq!(s.mean_switch_cost(), st.reconfig_time / switches);
+    }
+
+    #[test]
+    fn hop_transfers_serialize_on_the_reserved_connection() {
+        let mut s = shard(2, 64);
+        let bytes = 1 << 20;
+        let cost = s.hop_cost(bytes);
+        assert!(cost > SimDuration::ZERO);
+        let a = s.hop_transfer(SimTime::ZERO, bytes);
+        let b = s.hop_transfer(SimTime::ZERO, bytes);
+        assert!(b >= a + cost, "back-to-back hops queue on the link");
+        // The hop link never collides with board-pair DMA slots.
+        for i in 0..4u64 {
+            s.submit(SimTime::ZERO, job(i, JobSpec::volume(32, i)))
+                .unwrap();
+        }
+        s.drain();
+        assert_eq!(s.backplane().slot_stats(2 * 2).bytes_moved, 2 * bytes);
     }
 }

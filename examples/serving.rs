@@ -38,7 +38,10 @@
 //! router and admission controller, fed an open-loop Poisson stream of
 //! `R` jobs per virtual second from `N` tenants — and prints goodput,
 //! shed counts per priority class and reason, the latency percentiles,
-//! and the cluster cache-affinity hit rate. Without those flags the
+//! and the cluster cache-affinity hit rate. `--stealing` additionally
+//! lets idle shards pull backlog across the backplane (DESIGN.md §15)
+//! and prints the steal ledger — warm vs cold steals, jobs and bytes
+//! moved, reconfiguration cost accepted. Without those flags the
 //! example keeps its original single-node shape.
 //!
 //! Run with: `cargo run --release --example serving` (pipelined, 8 lanes)
@@ -50,10 +53,13 @@
 //!       or: `cargo run --release --example serving -- --upset-rate 2000`
 //!       or: `cargo run --release --example serving -- --upset-rate 2000 --scrub-interval 100`
 //!       or: `cargo run --release --example serving -- --shards 4 --tenants 12 --offered-load 150000`
+//!       or: `cargo run --release --example serving -- --shards 4 --offered-load 150000 --stealing`
 
 use atlantis::apps::jobs::JobSpec;
 use atlantis::chdl::{DispatchMode, EngineConfig, ParallelEval};
-use atlantis::cluster::{Cluster, ClusterConfig, LoadGen, LoadGenConfig};
+use atlantis::cluster::{
+    Cluster, ClusterConfig, LoadGen, LoadGenConfig, StealConfig, StealingPolicy,
+};
 use atlantis::core::AtlantisSystem;
 use atlantis::runtime::{
     GuardConfig, JobRequest, Priority, Runtime, RuntimeConfig, RuntimeError, ShardConfig,
@@ -103,6 +109,7 @@ fn cluster_demo(args: &[String]) {
         .max(1);
     let tenants = flag_value(args, "--tenants").map_or(8, |v| v as u32).max(1);
     let rate = flag_value(args, "--offered-load").unwrap_or(100_000.0);
+    let stealing = args.iter().any(|a| a == "--stealing");
     let jobs = 2_000u64;
     let mut cluster = Cluster::new(ClusterConfig {
         shards,
@@ -111,11 +118,17 @@ fn cluster_demo(args: &[String]) {
             queue_capacity: 32,
             ..ShardConfig::default()
         },
+        stealing: if stealing {
+            StealingPolicy::Enabled(StealConfig::default())
+        } else {
+            StealingPolicy::Off
+        },
         ..ClusterConfig::default()
     })
     .expect("at least one shard");
     println!(
-        "cluster serving: {shards} shards x 2 boards, {tenants} tenants, {rate:.0} jobs/s offered ({jobs} jobs)\n"
+        "cluster serving: {shards} shards x 2 boards, {tenants} tenants, {rate:.0} jobs/s offered ({jobs} jobs), stealing {}\n",
+        if stealing { "on" } else { "off" }
     );
     cluster.run_open_loop(LoadGen::new(LoadGenConfig {
         rate,
@@ -158,6 +171,17 @@ fn cluster_demo(args: &[String]) {
         s.per_shard_completed,
         cluster.mean_retry_after()
     );
+    if stealing {
+        let st = cluster.steal_stats();
+        println!(
+            "  stealing: {} warm + {} cold steals ({} jobs, {} bytes moved)",
+            st.warm_steals, st.cold_steals, st.jobs_stolen, st.bytes_moved
+        );
+        println!(
+            "    {} scans, {} attempts, {} below breakeven; reconfig cost accepted {}",
+            st.scans, st.attempts, st.below_breakeven, st.reconfig_paid
+        );
+    }
 }
 
 fn main() {
@@ -166,7 +190,7 @@ fn main() {
     // caps the same-design batch the execute stage gathers per pass.
     let args: Vec<String> = std::env::args().collect();
     // Any cluster knob switches the demo to the sharded serving layer.
-    if ["--shards", "--tenants", "--offered-load"]
+    if ["--shards", "--tenants", "--offered-load", "--stealing"]
         .iter()
         .any(|f| args.iter().any(|a| a == f))
     {
