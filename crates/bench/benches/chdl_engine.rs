@@ -9,7 +9,9 @@
 //! speedup factor. Run with `--test` (as CI's smoke step does) for a
 //! single fast iteration.
 
-use atlantis_bench::trt::{drive_trt, print_fusion_ledger, trt_scale_design};
+use atlantis_bench::trt::{
+    drive_trt, print_fusion_ledger, print_netopt_ledger, trt_scale_design, write_netopt_artifact,
+};
 use atlantis_bench::Checker;
 use atlantis_chdl::{ExecMode, Sim};
 use criterion::{black_box, Criterion};
@@ -77,6 +79,7 @@ fn main() -> std::process::ExitCode {
     let speedup = interp_ns / comp_ns;
 
     println!("\nTRT-scale netlist: {ops} micro-ops, {levels} logic levels");
+    print_netopt_ledger(&stats);
     print_fusion_ledger(&stats);
     println!("partitions planned: {}", stats.partitions);
     for (name, count) in &stats.opcodes {
@@ -124,9 +127,13 @@ fn main() -> std::process::ExitCode {
         1e6,
     );
 
+    // Netlist-optimizer floors, shared with `chdl_fusion`; writes the
+    // `BENCH_netopt.json` artifact CI parses.
+    let netopt_ok = write_netopt_artifact(test_mode);
+
     atlantis_bench::write_artifact("chdl_engine", &c);
     match c.finish_report() {
-        Ok(()) => std::process::ExitCode::SUCCESS,
-        Err(_) => std::process::ExitCode::FAILURE,
+        Ok(()) if netopt_ok => std::process::ExitCode::SUCCESS,
+        _ => std::process::ExitCode::FAILURE,
     }
 }

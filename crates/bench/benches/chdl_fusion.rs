@@ -28,7 +28,8 @@
 //! `BENCH_fusion.json`; run with `--test` for CI's fast smoke mode.
 
 use atlantis_bench::trt::{
-    drive_trt, measure_trt, print_dispatch_ledger, print_fusion_ledger, trt_scale_design,
+    drive_trt, measure_trt, print_dispatch_ledger, print_fusion_ledger, print_netopt_ledger,
+    trt_scale_design, write_netopt_artifact,
 };
 use atlantis_bench::Checker;
 use atlantis_chdl::{Design, DispatchMode, EngineConfig, ExecMode, Sim};
@@ -201,6 +202,7 @@ fn main() -> std::process::ExitCode {
     let fusion_speedup = unfused_ns / fused_ns;
     let dispatch_speedup = msweep_ns / threaded_ns;
 
+    print_netopt_ledger(&stats);
     print_fusion_ledger(&stats);
     print_dispatch_ledger(&threaded_stats);
     println!("unfused        : {unfused_ns:>8.1} ns/cycle");
@@ -317,9 +319,13 @@ fn main() -> std::process::ExitCode {
         1e6,
     );
 
+    // Netlist-optimizer floors, shared with `chdl_engine`; writes the
+    // `BENCH_netopt.json` artifact CI parses.
+    let netopt_ok = write_netopt_artifact(test_mode);
+
     atlantis_bench::write_artifact("fusion", &c);
     match c.finish_report() {
-        Ok(()) => std::process::ExitCode::SUCCESS,
-        Err(_) => std::process::ExitCode::FAILURE,
+        Ok(()) if netopt_ok => std::process::ExitCode::SUCCESS,
+        _ => std::process::ExitCode::FAILURE,
     }
 }

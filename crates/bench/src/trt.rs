@@ -6,7 +6,7 @@
 //! and ledger-printing code. One copy lives here instead, so the three
 //! benches provably time the same workload.
 
-use atlantis_chdl::{Design, EngineStats, Sim};
+use atlantis_chdl::{Design, EngineConfig, EngineStats, ExecMode, Signal, Sim};
 use std::time::Instant;
 
 /// Straw count of the TRT-scale netlist (and modulus of the hit stream).
@@ -16,6 +16,80 @@ pub const STRAWS: u64 = 16_384;
 /// counter bank — hundreds of micro-ops deep with on-chip memories.
 pub fn trt_scale_design() -> Design {
     atlantis_apps::trt::fpga::build_external_design(STRAWS as u32, 8, 64)
+}
+
+/// Redundant shapes grafted by [`trt_redundant_design`].
+pub const REDUNDANT_SHAPES: usize = 120;
+
+/// Coerce `s` to exactly `w` bits: slice down or zero-extend via concat.
+fn fit(d: &mut Design, s: Signal, w: u8) -> Signal {
+    use std::cmp::Ordering;
+    match s.width().cmp(&w) {
+        Ordering::Equal => s,
+        Ordering::Greater => d.slice(s, 0, w),
+        Ordering::Less => {
+            let zeros = d.lit(0, w - s.width());
+            d.concat(zeros, s)
+        }
+    }
+}
+
+/// The TRT-scale netlist with [`REDUNDANT_SHAPES`] deterministic
+/// redundancy shapes grafted on top: dead cones nothing consumes,
+/// duplicated subexpressions elaborated twice, constant-only cones and
+/// identity chains — the netlist optimizer's targets, at bench scale.
+/// The histogrammer itself is untouched; the live shapes drain into one
+/// extra output (`redundant_probe`) so sharing and folding stay
+/// observable rather than trivially dead.
+pub fn trt_redundant_design() -> Design {
+    let mut d = trt_scale_design();
+    let hit = d.signal("hit").unwrap();
+    let thr = d.signal("threshold").unwrap();
+    let w = hit.width();
+    let x = hit;
+    let y = fit(&mut d, thr, w);
+    let mut acc = d.lit(0, w);
+    for k in 0..REDUNDANT_SHAPES {
+        match k % 4 {
+            0 => {
+                // Dead cone: three chained gates, never consumed.
+                let a = d.mul(x, y);
+                let b = d.sub(a, x);
+                let _dead = d.xor(b, y);
+            }
+            1 => {
+                // The same subtree elaborated twice — CSE bait.
+                let mut arms = Vec::new();
+                for _ in 0..2 {
+                    let p = d.xor(x, y);
+                    let q = d.and(x, y);
+                    arms.push(d.add(p, q));
+                }
+                let z = d.or(arms[0], arms[1]);
+                acc = d.xor(acc, z);
+            }
+            2 => {
+                // Constant-only cone: folds to a single literal.
+                let c1 = d.lit(0x155 ^ (k as u64), w);
+                let c2 = d.lit(0x0a3, w);
+                let c3 = d.mul(c1, c2);
+                let c4 = d.xor(c3, c1);
+                let z = d.add(x, c4);
+                acc = d.xor(acc, z);
+            }
+            _ => {
+                // Identity chain: every link aliases back to `x`.
+                let zero = d.lit(0, w);
+                let one = d.lit(1, w);
+                let i1 = d.add(x, zero);
+                let i2 = d.mul(i1, one);
+                let i3 = d.or(zero, i2);
+                acc = d.xor(acc, i3);
+            }
+        }
+    }
+    d.expose_output("redundant_probe", acc);
+    d
 }
 
 /// Prime the quasi-static input ports so the netlist streams hits.
@@ -83,6 +157,113 @@ pub fn print_dispatch_ledger(stats: &EngineStats) {
     );
 }
 
+/// Print the netlist-optimizer ledger of a compiled sim: live node
+/// counts before/after the pass pipeline and the per-pass tallies.
+pub fn print_netopt_ledger(stats: &EngineStats) {
+    let before = stats.netopt_nodes_before.max(1);
+    println!(
+        "netopt: {} -> {} nodes ({:.1}% reduction; {} folds, {} shared, {} dead, {} iterations)",
+        stats.netopt_nodes_before,
+        stats.netopt_nodes_after,
+        100.0 * (1.0 - stats.netopt_nodes_after as f64 / before as f64),
+        stats.netopt_consts_folded,
+        stats.netopt_subexprs_shared,
+        stats.netopt_dead_gates,
+        stats.netopt_iterations,
+    );
+}
+
+/// Netopt floors shared by the `chdl_engine` and `chdl_fusion` benches:
+/// the optimizer-on TRT stream must lower strictly fewer micro-ops than
+/// the raw stream with a bit-identical digest, and on the deliberately
+/// redundant netlist ([`trt_redundant_design`]) the pass pipeline must
+/// remove ≥10% of the nodes. Always writes `BENCH_netopt.json`; returns
+/// whether every check passed.
+pub fn write_netopt_artifact(test_mode: bool) -> bool {
+    let mut c = crate::Checker::new();
+    let cycles: u64 = if test_mode { 4_000 } else { 40_000 };
+    let raw = EngineConfig {
+        netopt: false,
+        ..EngineConfig::default()
+    };
+
+    // Plain TRT: optimizer on vs off.
+    let trt = trt_scale_design();
+    let mut on = Sim::new(&trt);
+    let mut off = Sim::with_config(&trt, ExecMode::Compiled, raw);
+    drive_trt(&mut on);
+    drive_trt(&mut off);
+    let (_, digest_on) = measure_trt(&mut on, &trt, cycles);
+    let (_, digest_off) = measure_trt(&mut off, &trt, cycles);
+    let stats_on = on.engine_stats().unwrap().clone();
+    let stats_off = off.engine_stats().unwrap().clone();
+    print_netopt_ledger(&stats_on);
+    println!(
+        "netopt: TRT micro-ops {} (optimized) vs {} (raw)",
+        stats_on.ops_lowered, stats_off.ops_lowered
+    );
+    c.check(
+        "netopt: optimized TRT digest agrees with the raw-stream digest",
+        digest_on == digest_off,
+    );
+    c.check(
+        "netopt: optimized TRT lowers fewer micro-ops than the raw stream",
+        stats_on.ops_lowered < stats_off.ops_lowered,
+    );
+    let trt_reduction = 100.0
+        * (1.0 - stats_on.netopt_nodes_after as f64 / stats_on.netopt_nodes_before.max(1) as f64);
+    c.check_band(
+        "TRT netopt node reduction percent (>= 10 required)",
+        trt_reduction,
+        10.0,
+        100.0,
+    );
+
+    // Redundant TRT: the pipeline must clear the grafted redundancy.
+    let red = trt_redundant_design();
+    let mut ron = Sim::new(&red);
+    let mut roff = Sim::with_config(&red, ExecMode::Compiled, raw);
+    drive_trt(&mut ron);
+    drive_trt(&mut roff);
+    let (_, rdigest_on) = measure_trt(&mut ron, &red, cycles);
+    let (_, rdigest_off) = measure_trt(&mut roff, &red, cycles);
+    let rstats = ron.engine_stats().unwrap().clone();
+    print_netopt_ledger(&rstats);
+    let reduction =
+        100.0 * (1.0 - rstats.netopt_nodes_after as f64 / rstats.netopt_nodes_before.max(1) as f64);
+    c.check(
+        "netopt: optimized redundant-TRT digest agrees with the raw-stream digest",
+        rdigest_on == rdigest_off,
+    );
+    c.check_band(
+        "redundant TRT netopt node reduction percent (>= 10 required)",
+        reduction,
+        10.0,
+        100.0,
+    );
+    c.check_band(
+        "redundant TRT dead gates eliminated",
+        rstats.netopt_dead_gates as f64,
+        1.0,
+        1e9,
+    );
+    c.check_band(
+        "redundant TRT subexpressions shared",
+        rstats.netopt_subexprs_shared as f64,
+        1.0,
+        1e9,
+    );
+    c.check_band(
+        "redundant TRT constants folded",
+        rstats.netopt_consts_folded as f64,
+        1.0,
+        1e9,
+    );
+
+    crate::write_artifact("netopt", &c);
+    c.finish_report().is_ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +280,29 @@ mod tests {
         drive_trt(&mut sim2);
         let (_, digest2) = measure_trt(&mut sim2, &d, 64);
         assert_eq!(digest, digest2);
+    }
+
+    #[test]
+    fn redundant_design_shrinks_and_stays_equivalent() {
+        let d = trt_redundant_design();
+        let mut on = Sim::new(&d);
+        let mut off = Sim::with_config(
+            &d,
+            ExecMode::Compiled,
+            EngineConfig {
+                netopt: false,
+                ..EngineConfig::default()
+            },
+        );
+        drive_trt(&mut on);
+        drive_trt(&mut off);
+        let (_, a) = measure_trt(&mut on, &d, 64);
+        let (_, b) = measure_trt(&mut off, &d, 64);
+        assert_eq!(a, b, "netopt changed the TRT stream");
+        let s = on.engine_stats().unwrap();
+        assert!(
+            s.netopt_nodes_after < s.netopt_nodes_before,
+            "redundancy not removed: {s:?}"
+        );
     }
 }

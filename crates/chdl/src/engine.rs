@@ -257,6 +257,13 @@ pub struct EngineConfig {
     /// straight-line sweep the dispatch tiers compile for. Sparse
     /// workloads regress badly under it — leave off unless profiled.
     pub streaming: bool,
+    /// Run the netlist-level optimization pipeline (`crate::nir`) before
+    /// lowering: constant folding, common-subexpression sharing and
+    /// dead-gate elimination on the node graph itself, so every
+    /// downstream tier (fusion, dispatch, lanes) sees a smaller stream.
+    /// On by default; `Sim` skips it in interpreter mode so the oracle
+    /// always walks the elaborated tree verbatim.
+    pub netopt: bool,
 }
 
 impl Default for EngineConfig {
@@ -266,6 +273,7 @@ impl Default for EngineConfig {
             parallel: ParallelEval::Auto,
             dispatch: DispatchMode::Auto,
             streaming: false,
+            netopt: true,
         }
     }
 }
@@ -281,6 +289,7 @@ static GLOBAL_PAR: AtomicU8 = AtomicU8::new(PAR_AUTO);
 static GLOBAL_PARTS: AtomicUsize = AtomicUsize::new(2);
 static GLOBAL_DISPATCH: AtomicU8 = AtomicU8::new(DISP_AUTO);
 static GLOBAL_STREAMING: AtomicBool = AtomicBool::new(false);
+static GLOBAL_NETOPT: AtomicBool = AtomicBool::new(true);
 
 impl EngineConfig {
     /// Fusion on, parallel evaluation off, match dispatch — the serial
@@ -292,17 +301,19 @@ impl EngineConfig {
             parallel: ParallelEval::Off,
             dispatch: DispatchMode::Match,
             streaming: false,
+            netopt: true,
         }
     }
 
-    /// Fusion and parallel evaluation both off, match dispatch — the raw
-    /// PR 1 lowering (benchmark baseline).
+    /// Fusion, parallel evaluation and netlist optimization all off, match
+    /// dispatch — the raw PR 1 lowering (benchmark baseline).
     pub fn unfused() -> Self {
         EngineConfig {
             fuse: false,
             parallel: ParallelEval::Off,
             dispatch: DispatchMode::Match,
             streaming: false,
+            netopt: false,
         }
     }
 
@@ -324,6 +335,7 @@ impl EngineConfig {
         };
         GLOBAL_DISPATCH.store(disp, Ordering::Relaxed);
         GLOBAL_STREAMING.store(cfg.streaming, Ordering::Relaxed);
+        GLOBAL_NETOPT.store(cfg.netopt, Ordering::Relaxed);
     }
 
     /// The current process-wide default (see [`EngineConfig::set_global`]).
@@ -343,6 +355,7 @@ impl EngineConfig {
             parallel,
             dispatch,
             streaming: GLOBAL_STREAMING.load(Ordering::Relaxed),
+            netopt: GLOBAL_NETOPT.load(Ordering::Relaxed),
         }
     }
 }
@@ -389,6 +402,20 @@ pub struct EngineStats {
     /// Full final-stream opcode histogram (superops and plain ops alike),
     /// sorted by descending count.
     pub opcodes: Vec<(&'static str, usize)>,
+    /// Live netlist nodes before the pre-lowering netopt pipeline ran
+    /// (0 when netopt was off for this sim).
+    pub netopt_nodes_before: usize,
+    /// Live netlist nodes handed to lowering after the netopt pipeline.
+    pub netopt_nodes_after: usize,
+    /// Rewrites applied by the netopt constant-folding pass (definitions
+    /// folded to constants plus identity-simplified operand edges).
+    pub netopt_consts_folded: usize,
+    /// Operand edges the netopt CSE pass redirected onto shared structure.
+    pub netopt_subexprs_shared: usize,
+    /// Gates the netopt liveness pass eliminated before lowering.
+    pub netopt_dead_gates: usize,
+    /// Fixed-point iterations the netopt pass manager ran (0 = off).
+    pub netopt_iterations: usize,
 }
 
 // ---- shared lowering & scalar execution ----------------------------------
@@ -1221,12 +1248,13 @@ impl CompiledEngine {
         // Observability: `vals[node]` stays current for everything except
         // the dst of a fused-away op. Sources (inputs, constants) appear
         // in `order` too but lower to no op — they carry their own value.
-        eng.computed = vec![true; n];
-        for &idx in order {
-            if lower_op(nodes, idx).is_some() {
-                eng.computed[idx as usize] = false;
-            }
-        }
+        // A node's slot stays current iff it carries its own value
+        // (sources, constants, state) or the final stream produces it.
+        // Op-lowered nodes outside the schedule — fused-away dsts and
+        // netopt-dead cones — are recomputed on demand by the owner.
+        eng.computed = (0..n as u32)
+            .map(|i| lower_op(nodes, i).is_none())
+            .collect();
         for &dst in &eng.op_dst {
             eng.computed[dst as usize] = true;
         }
@@ -2703,6 +2731,12 @@ impl CompiledEngine {
     /// Lowering / fusion statistics for this stream.
     pub(crate) fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Mutable access for the owner to graft pre-lowering accounting (the
+    /// netopt ledger) into the stream statistics.
+    pub(crate) fn stats_mut(&mut self) -> &mut EngineStats {
+        &mut self.stats
     }
 
     /// Whether `vals[node]` is kept current by the engine. Nodes fused or

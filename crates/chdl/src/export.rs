@@ -1,0 +1,395 @@
+//! Dot and structural-Verilog export for netlists.
+//!
+//! Both emitters are **deterministic**: node, memory, write-port and
+//! output declarations follow index order, and the (hash-ordered) name map
+//! is never iterated directly — two exports of the same design are
+//! byte-identical, which CI asserts. [`Nir`] exports skip nodes
+//! [`DeadGateElim`](crate::nir::DeadGateElim) eliminated; the
+//! [`Design`] convenience wrappers export the graph verbatim.
+//!
+//! The Verilog output is synthesizable structural RTL mirroring the
+//! simulator's semantics exactly: registers clear to their init value with
+//! clear-over-enable priority, memories have read-old-data write ports,
+//! and out-of-range memory reads return 0.
+
+use crate::netlist::{node_width, BinOp, Design, Node, UnOp, UNDRIVEN};
+use crate::nir::Nir;
+use std::fmt::Write as _;
+
+impl Design {
+    /// Graphviz Dot rendering of the full node graph (see [`Nir::to_dot`]).
+    pub fn to_dot(&self) -> String {
+        Nir::from_design(self).to_dot()
+    }
+
+    /// Structural Verilog for the full node graph (see
+    /// [`Nir::to_verilog`]).
+    pub fn to_verilog(&self) -> String {
+        Nir::from_design(self).to_verilog()
+    }
+}
+
+/// Make a string safe as a Dot/Verilog identifier fragment.
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if s.is_empty() || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    s
+}
+
+fn bin_dot_label(op: BinOp) -> &'static str {
+    match op {
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Eq => "eq",
+        BinOp::Ne => "ne",
+        BinOp::Lt => "lt",
+        BinOp::Le => "le",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+    }
+}
+
+impl Nir {
+    /// Render the live subgraph as Graphviz Dot: gates as records, state
+    /// as double-bordered boxes, memories as cylinders, `dont_touch`
+    /// nodes highlighted, outputs as bold sinks. Deterministic
+    /// byte-for-byte across runs.
+    pub fn to_dot(&self) -> String {
+        let (d, dead, dont_touch) = self.raw_parts();
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{}\" {{", sanitize(d.name()));
+        s.push_str("  rankdir=LR;\n  node [fontname=\"monospace\"];\n");
+        for (j, m) in d.mems.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  m{j} [label=\"{} ({}x{}b)\" shape=cylinder];",
+                sanitize(&m.name),
+                m.words,
+                m.width
+            );
+        }
+        for (i, node) in d.nodes.iter().enumerate() {
+            if dead[i] {
+                continue;
+            }
+            let w = node_width(node);
+            let (label, shape) = match node {
+                Node::Input { name, .. } => (format!("in {}", sanitize(name)), "invhouse"),
+                Node::Const { value, .. } => (format!("{value:#x}"), "plaintext"),
+                Node::Unop { op, .. } => {
+                    let l = match op {
+                        UnOp::Not => "not",
+                        UnOp::ReduceAnd => "red_and",
+                        UnOp::ReduceOr => "red_or",
+                        UnOp::ReduceXor => "red_xor",
+                    };
+                    (l.to_string(), "ellipse")
+                }
+                Node::Binop { op, .. } => (bin_dot_label(*op).to_string(), "ellipse"),
+                Node::Mux { .. } => ("mux".to_string(), "invtrapezium"),
+                Node::Slice { lo, .. } => (format!("slice@{lo}"), "ellipse"),
+                Node::Concat { .. } => ("cat".to_string(), "ellipse"),
+                Node::Reg { name, .. } => (format!("reg {}", sanitize(name)), "box"),
+                Node::ReadPort { sync, .. } => (
+                    if *sync { "rd_sync" } else { "rd" }.to_string(),
+                    "trapezium",
+                ),
+            };
+            let extra = if dont_touch[i] {
+                " color=red penwidth=2"
+            } else if matches!(node, Node::Reg { .. }) {
+                " peripheries=2"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                s,
+                "  n{i} [label=\"{label}\\n{w}b #{i}\" shape={shape}{extra}];"
+            );
+            let mut refs: Vec<u32> = Vec::new();
+            crate::nir::visit_refs(node, |r| refs.push(r));
+            for r in refs {
+                let _ = writeln!(s, "  n{r} -> n{i};");
+            }
+            if let Node::ReadPort { mem, .. } = node {
+                let _ = writeln!(s, "  m{mem} -> n{i} [style=dashed];");
+            }
+        }
+        for (k, wp) in d.write_ports.iter().enumerate() {
+            for (r, role) in [(wp.addr, "addr"), (wp.data, "data"), (wp.we, "we")] {
+                if r != UNDRIVEN {
+                    let _ = writeln!(
+                        s,
+                        "  n{r} -> m{} [style=dashed label=\"w{k}.{role}\"];",
+                        wp.mem
+                    );
+                }
+            }
+        }
+        for o in &d.outputs {
+            let name = sanitize(&o.name);
+            let _ = writeln!(
+                s,
+                "  out_{name} [label=\"out {name}\" shape=box style=bold];"
+            );
+            let _ = writeln!(s, "  n{} -> out_{name};", o.src);
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Emit the live subgraph as structural Verilog. Internal nets are
+    /// named `n<index>`, ports keep their (sanitized) CHDL names, and the
+    /// behavior matches the simulator: clear-over-enable registers
+    /// clearing to their init value, read-old-data write ports, zero on
+    /// out-of-range reads. Deterministic byte-for-byte across runs.
+    pub fn to_verilog(&self) -> String {
+        let (d, dead, _) = self.raw_parts();
+        let n = d.nodes.len();
+        // Net names: ports keep their sanitized names (uniquified against
+        // the n<idx> namespace), everything else is n<idx>.
+        let mut net = vec![String::new(); n];
+        let mut used: std::collections::HashSet<String> = (0..n).map(|i| format!("n{i}")).collect();
+        used.insert("clk".to_string());
+        let unique = |base: String, used: &mut std::collections::HashSet<String>| -> String {
+            let mut name = base;
+            while !used.insert(name.clone()) {
+                name.push('_');
+            }
+            name
+        };
+        let mut in_ports: Vec<(String, u8, usize)> = Vec::new();
+        for (i, node) in d.nodes.iter().enumerate() {
+            if let Node::Input { name, width } = node {
+                let v = unique(sanitize(name), &mut used);
+                in_ports.push((v.clone(), *width, i));
+                net[i] = v;
+            } else {
+                net[i] = format!("n{i}");
+            }
+        }
+        let mut out_ports: Vec<(String, u8, u32)> = Vec::new();
+        for o in &d.outputs {
+            let w = node_width(&d.nodes[o.src as usize]);
+            out_ports.push((unique(sanitize(&o.name), &mut used), w, o.src));
+        }
+        let has_clock = !d.write_ports.is_empty()
+            || d.nodes.iter().enumerate().any(|(i, nd)| {
+                !dead[i] && matches!(nd, Node::Reg { .. } | Node::ReadPort { sync: true, .. })
+            });
+
+        let mut s = String::new();
+        let _ = writeln!(s, "// Structural Verilog emitted by atlantis-chdl.");
+        let _ = writeln!(s, "// Semantics match the CHDL simulator bit-for-bit.");
+        let mut ports: Vec<String> = Vec::new();
+        if has_clock {
+            ports.push("clk".to_string());
+        }
+        ports.extend(in_ports.iter().map(|(p, _, _)| p.clone()));
+        ports.extend(out_ports.iter().map(|(p, _, _)| p.clone()));
+        let _ = writeln!(s, "module {}({});", sanitize(d.name()), ports.join(", "));
+        if has_clock {
+            s.push_str("  input wire clk;\n");
+        }
+        let range = |w: u8| {
+            if w > 1 {
+                format!("[{}:0] ", w - 1)
+            } else {
+                String::new()
+            }
+        };
+        for (p, w, _) in &in_ports {
+            let _ = writeln!(s, "  input wire {}{p};", range(*w));
+        }
+        for (p, w, _) in &out_ports {
+            let _ = writeln!(s, "  output wire {}{p};", range(*w));
+        }
+        for (j, m) in d.mems.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  reg [{}:0] m{j} [0:{}]; // {}",
+                m.width - 1,
+                m.words - 1,
+                sanitize(&m.name)
+            );
+            let _ = writeln!(s, "  integer mi{j};");
+            s.push_str("  initial begin\n");
+            let _ = writeln!(
+                s,
+                "    for (mi{j} = 0; mi{j} < {}; mi{j} = mi{j} + 1) m{j}[mi{j}] = 0;",
+                m.words
+            );
+            for (a, &v) in m.init.iter().enumerate() {
+                if v != 0 {
+                    let _ = writeln!(s, "    m{j}[{a}] = {}'h{v:x};", m.width);
+                }
+            }
+            s.push_str("  end\n");
+        }
+        // Zero for an undriven reference (cannot be simulated anyway, but
+        // the export should never emit an invalid identifier).
+        let r = |idx: u32, w: u8| -> String {
+            if idx == UNDRIVEN {
+                format!("{{{w}{{1'b0}}}}")
+            } else {
+                net[idx as usize].clone()
+            }
+        };
+        // Declarations + combinational assigns in index order.
+        for (i, node) in d.nodes.iter().enumerate() {
+            if dead[i] {
+                continue;
+            }
+            let w = node_width(node);
+            match node {
+                Node::Input { .. } => {}
+                Node::Const { value, .. } => {
+                    let _ = writeln!(s, "  wire {}n{i} = {w}'h{value:x};", range(w));
+                }
+                Node::Unop { op, a, .. } => {
+                    let e = match op {
+                        UnOp::Not => format!("~{}", r(*a, w)),
+                        UnOp::ReduceAnd => format!("&{}", r(*a, w)),
+                        UnOp::ReduceOr => format!("|{}", r(*a, w)),
+                        UnOp::ReduceXor => format!("^{}", r(*a, w)),
+                    };
+                    let _ = writeln!(s, "  wire {}n{i} = {e};", range(w));
+                }
+                Node::Binop { op, a, b, .. } => {
+                    let sym = match op {
+                        BinOp::And => "&",
+                        BinOp::Or => "|",
+                        BinOp::Xor => "^",
+                        BinOp::Add => "+",
+                        BinOp::Sub => "-",
+                        BinOp::Mul => "*",
+                        BinOp::Eq => "==",
+                        BinOp::Ne => "!=",
+                        BinOp::Lt => "<",
+                        BinOp::Le => "<=",
+                        BinOp::Shl => "<<",
+                        BinOp::Shr => ">>",
+                    };
+                    let _ = writeln!(
+                        s,
+                        "  wire {}n{i} = {} {sym} {};",
+                        range(w),
+                        r(*a, w),
+                        r(*b, w)
+                    );
+                }
+                Node::Mux { sel, t, f, .. } => {
+                    let _ = writeln!(
+                        s,
+                        "  wire {}n{i} = (|{}) ? {} : {};",
+                        range(w),
+                        r(*sel, 1),
+                        r(*t, w),
+                        r(*f, w)
+                    );
+                }
+                Node::Slice { a, lo, width } => {
+                    let _ = writeln!(
+                        s,
+                        "  wire {}n{i} = {}[{}:{lo}];",
+                        range(w),
+                        r(*a, w),
+                        *lo as u32 + *width as u32 - 1
+                    );
+                }
+                Node::Concat { hi, lo, .. } => {
+                    let _ = writeln!(
+                        s,
+                        "  wire {}n{i} = {{{}, {}}};",
+                        range(w),
+                        r(*hi, w),
+                        r(*lo, w)
+                    );
+                }
+                Node::Reg { init, .. } => {
+                    let _ = writeln!(s, "  reg {}n{i} = {w}'h{init:x};", range(w));
+                }
+                Node::ReadPort {
+                    mem, addr, sync, ..
+                } => {
+                    let words = d.mems[*mem as usize].words;
+                    let read = format!(
+                        "({} < {words}) ? m{mem}[{}] : {{{w}{{1'b0}}}}",
+                        r(*addr, w),
+                        r(*addr, w)
+                    );
+                    if *sync {
+                        let _ = writeln!(s, "  reg {}n{i} = {w}'h0;", range(w));
+                        let _ = writeln!(s, "  always @(posedge clk) n{i} <= {read};");
+                    } else {
+                        let _ = writeln!(s, "  wire {}n{i} = {read};", range(w));
+                    }
+                }
+            }
+        }
+        // Register update processes (clear beats enable; clear restores
+        // the init value, matching the simulator).
+        for (i, node) in d.nodes.iter().enumerate() {
+            if dead[i] {
+                continue;
+            }
+            if let Node::Reg {
+                d: dd,
+                en,
+                clr,
+                init,
+                width,
+                ..
+            } = node
+            {
+                let w = *width;
+                let update = format!("n{i} <= {};", r(*dd, w));
+                s.push_str("  always @(posedge clk) begin\n");
+                match (clr, en) {
+                    (Some(c), Some(e)) => {
+                        let _ = writeln!(s, "    if (|{}) n{i} <= {w}'h{init:x};", r(*c, 1));
+                        let _ = writeln!(s, "    else if (|{}) {update}", r(*e, 1));
+                    }
+                    (Some(c), None) => {
+                        let _ = writeln!(s, "    if (|{}) n{i} <= {w}'h{init:x};", r(*c, 1));
+                        let _ = writeln!(s, "    else {update}");
+                    }
+                    (None, Some(e)) => {
+                        let _ = writeln!(s, "    if (|{}) {update}", r(*e, 1));
+                    }
+                    (None, None) => {
+                        let _ = writeln!(s, "    {update}");
+                    }
+                }
+                s.push_str("  end\n");
+            }
+        }
+        // Write ports: read-old-data, out-of-range writes dropped.
+        for wp in &d.write_ports {
+            let words = d.mems[wp.mem as usize].words;
+            let _ = writeln!(
+                s,
+                "  always @(posedge clk) if ((|{}) && ({} < {words})) m{}[{}] <= {};",
+                r(wp.we, 1),
+                r(wp.addr, 8),
+                wp.mem,
+                r(wp.addr, 8),
+                r(wp.data, 8)
+            );
+        }
+        for (p, _, src) in &out_ports {
+            let _ = writeln!(s, "  assign {p} = {};", net[*src as usize]);
+        }
+        s.push_str("endmodule\n");
+        s
+    }
+}

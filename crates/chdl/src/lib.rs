@@ -52,10 +52,12 @@ pub mod bist;
 pub mod comb;
 pub(crate) mod engine;
 pub mod error;
+pub mod export;
 pub mod fsm;
 pub mod lanes;
 pub mod memory;
 pub mod netlist;
+pub mod nir;
 pub mod opt;
 pub mod seq;
 pub mod signal;
@@ -68,6 +70,10 @@ pub use engine::{DispatchMode, EngineConfig, EngineStats, ParallelEval};
 pub use error::ChdlError;
 pub use lanes::LaneGroup;
 pub use netlist::{Design, MemId, NetlistStats, RegSlot};
+pub use nir::{
+    ConstFold, DeadGateElim, NetAnalysis, NetoptLedger, Nir, NirKind, Pass, PassManager,
+    PassRecord, ShareSubexprs,
+};
 pub use signal::Signal;
 pub use sim::{ExecMode, Sim};
 

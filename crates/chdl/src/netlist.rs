@@ -9,7 +9,7 @@
 
 use crate::signal::{bits_for, mask, Signal, MAX_WIDTH};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Unary word operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -180,6 +180,9 @@ pub struct Design {
     scope: Vec<String>,
     pub(crate) node_scopes: Vec<u32>,
     scopes: Vec<String>,
+    /// Nodes the netlist optimizer must preserve verbatim (see
+    /// [`Design::set_dont_touch`]).
+    pub(crate) dont_touch: HashSet<u32>,
 }
 
 impl Design {
@@ -195,6 +198,7 @@ impl Design {
             scope: Vec::new(),
             node_scopes: Vec::new(),
             scopes: vec![String::new()],
+            dont_touch: HashSet::new(),
         }
     }
 
@@ -300,6 +304,29 @@ impl Design {
     /// Look up a named signal (input, output or label).
     pub fn signal(&self, name: &str) -> Option<Signal> {
         self.names.get(name).copied()
+    }
+
+    /// Mark a signal's driving node `dont_touch`: the netlist optimizer
+    /// ([`crate::nir`]) will never fold it to a constant, merge it with a
+    /// structurally identical node, or eliminate it as dead — it survives
+    /// every pass verbatim. Use this for nodes that must stay physically
+    /// present (BIST hooks, trace taps, scrub-visible state).
+    ///
+    /// The mark travels through [`Design::instantiate`] with the child's
+    /// nodes. It does not affect [`Design::structural_bytes`], so adding a
+    /// mark never perturbs bitstream derivation.
+    pub fn set_dont_touch(&mut self, sig: Signal) {
+        assert!(
+            (sig.node as usize) < self.nodes.len(),
+            "dont_touch on unknown node {}",
+            sig.node
+        );
+        self.dont_touch.insert(sig.node);
+    }
+
+    /// True if the signal's driving node carries the `dont_touch` mark.
+    pub fn is_dont_touch(&self, sig: Signal) -> bool {
+        self.dont_touch.contains(&sig.node)
     }
 
     /// A constant driver.
@@ -953,6 +980,13 @@ impl Design {
                 data: r(wp.data, &map),
                 we: r(wp.we, &map),
             });
+        }
+        // dont_touch marks follow the copied nodes (child inputs map onto
+        // parent bindings, which stay under the parent's control).
+        for &n in &child.dont_touch {
+            if !matches!(child.nodes[n as usize], Node::Input { .. }) {
+                self.dont_touch.insert(map[n as usize]);
+            }
         }
         // Re-label the child's named signals under the instance prefix.
         let mut names: Vec<(&String, &Signal)> = child.names.iter().collect();

@@ -83,6 +83,19 @@ impl Design {
         let mut seen: HashMap<NodeKey, u32> = HashMap::new();
         for i in 0..n {
             let node = &self.nodes[i];
+            // A `dont_touch` node keeps its identity: it is never folded
+            // into a constant and never aliased onto another node, so
+            // probes, BIST hooks and scrub logic keep a stable target.
+            // A pinned *constant* still advertises its value (consumers
+            // may fold through it — the node itself survives the rebuild
+            // on the constant path below).
+            let pinned = self.dont_touch.contains(&(i as u32));
+            if pinned {
+                if let Node::Const { value, .. } = node {
+                    constant[i] = Some(*value);
+                }
+                continue;
+            }
             let c = |idx: u32, constant: &[Option<u64>], alias: &[u32]| {
                 constant[resolve(alias, idx) as usize]
             };
@@ -243,6 +256,9 @@ impl Design {
             mark(wp.data, &mut live, &mut stack);
             mark(wp.we, &mut live, &mut stack);
         }
+        for &i in &self.dont_touch {
+            mark(i, &mut live, &mut stack);
+        }
         while let Some(idx) = stack.pop() {
             if constant[idx as usize].is_some() {
                 continue; // will become a constant; operands not needed
@@ -391,6 +407,11 @@ impl Design {
             );
         }
         out.raw_copy_interface(self, |idx| node_map[resolve(&alias, idx) as usize]);
+        // Pinned nodes follow their copies (they are liveness roots, so
+        // the mapping always exists).
+        for &i in &self.dont_touch {
+            out.dont_touch.insert(node_map[resolve(&alias, i) as usize]);
+        }
         (out, report)
     }
 
@@ -593,6 +614,35 @@ mod tests {
         assert_eq!(report.subexprs_shared, 0, "{report:?}");
         assert_eq!(opt.stats().flip_flops, 16);
         assert_equivalent(&d, 10, 9);
+    }
+
+    #[test]
+    fn dont_touch_pins_nodes_through_optimization() {
+        let mut d = Design::new("t");
+        let x = d.input("x", 8);
+        let y = d.input("y", 8);
+        let zero = d.lit(0, 8);
+        let pinned_id = d.add(x, zero); // would alias to x
+        d.set_dont_touch(pinned_id);
+        let dup_a = d.xor(x, y);
+        let dup_b = d.xor(x, y); // would CSE onto dup_a
+        d.set_dont_touch(dup_b);
+        let dead = d.mul(x, y); // unconsumed — would be eliminated
+        d.set_dont_touch(dead);
+        let out = d.add(dup_a, x);
+        d.expose_output("out", out);
+        let (opt, _) = d.optimized();
+        // All three pinned nodes survive as distinct gate nodes, and the
+        // marks follow the copies.
+        assert_eq!(opt.dont_touch.len(), 3, "pins must propagate");
+        let binops = opt
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Binop { .. }))
+            .count();
+        // pinned add, both xors, dead mul, plus the live output add.
+        assert_eq!(binops, 5, "pinned gates must not fold/share/die");
+        assert_equivalent(&d, 10, 10);
     }
 
     #[test]

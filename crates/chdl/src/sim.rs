@@ -54,6 +54,9 @@ pub struct Sim {
     vals: Vec<u64>,
     mems: Vec<Vec<u64>>,
     names: HashMap<String, Signal>,
+    /// Nodes the design marked `dont_touch` (sorted): kept by the netopt
+    /// passes and protected from fusion elision, here and in lane forks.
+    dont_touch: Vec<u32>,
     /// Interpreter-mode "combinational values stale" flag.
     dirty: bool,
     cycle: u64,
@@ -106,15 +109,34 @@ impl Sim {
         mode: ExecMode,
         config: EngineConfig,
     ) -> Result<Self, ChdlError> {
-        let nodes = design.nodes.clone();
         // Every register must have been driven.
-        for node in &nodes {
+        for node in &design.nodes {
             if let Node::Reg { name, d, .. } = node {
                 if *d == UNDRIVEN {
                     return Err(ChdlError::UndrivenRegister { name: name.clone() });
                 }
             }
         }
+
+        // Pre-lowering netlist optimization (compiled mode only — the
+        // interpreter oracle always walks the elaborated tree verbatim).
+        // The rewritten graph keeps the source index space: folded nodes
+        // carry the value they always had and aliased-away duplicates keep
+        // their definitions, so signal handles, probes and `poke` targets
+        // all stay valid; dead nodes are only *excluded from the schedule*
+        // below (and recomputed on demand if probed).
+        let run_netopt = config.netopt && mode == ExecMode::Compiled;
+        let (nodes, write_ports, dead, netopt_ledger) = if run_netopt {
+            let opt = crate::nir::optimize_for_lowering(design);
+            (opt.nodes, opt.write_ports, opt.dead, Some(opt.ledger))
+        } else {
+            (
+                design.nodes.clone(),
+                design.write_ports.clone(),
+                vec![false; design.nodes.len()],
+                None,
+            )
+        };
 
         let n = nodes.len();
         let is_state =
@@ -159,6 +181,11 @@ impl Sim {
                 .collect();
             return Err(ChdlError::CombinationalLoop { nodes: stuck });
         }
+        // Gates the netopt liveness pass eliminated never enter the
+        // evaluation schedule (the loop check above still ran over the
+        // full graph, so raw combinational loops are reported even in
+        // cones netopt would discard).
+        order.retain(|&i| !dead[i as usize]);
 
         let state_nodes: Vec<u32> = (0..n as u32)
             .filter(|&i| is_state(&nodes[i as usize]))
@@ -177,25 +204,42 @@ impl Sim {
         }
 
         // Externally referenced nodes: everything with a name (outputs are
-        // always named too). The fusion pass must keep these observable —
-        // it may neither absorb nor elide them.
+        // always named too) plus `dont_touch` marks. The fusion pass must
+        // keep these observable — it may neither absorb nor elide them.
         let mut protected = vec![false; n];
         for sig in design.names.values() {
             protected[sig.node as usize] = true;
         }
+        let dont_touch: Vec<u32> = {
+            let mut v: Vec<u32> = design.dont_touch.iter().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        for &i in &dont_touch {
+            protected[i as usize] = true;
+        }
 
-        let engine = match mode {
+        let mut engine = match mode {
             ExecMode::Compiled => Some(CompiledEngine::compile(
                 &nodes,
                 &order,
                 &state_nodes,
-                &design.write_ports,
+                &write_ports,
                 mems.len(),
                 &protected,
                 config,
             )),
             ExecMode::Interpreted => None,
         };
+        if let (Some(e), Some(ledger)) = (engine.as_mut(), &netopt_ledger) {
+            let s = e.stats_mut();
+            s.netopt_nodes_before = ledger.nodes_before;
+            s.netopt_nodes_after = ledger.nodes_after;
+            s.netopt_consts_folded = ledger.consts_folded;
+            s.netopt_subexprs_shared = ledger.subexprs_shared;
+            s.netopt_dead_gates = ledger.dead_gates;
+            s.netopt_iterations = ledger.iterations;
+        }
         // Ops the peephole folded away are pre-seeded like elaborated
         // constants; their producing ops no longer exist in the stream.
         if let Some(e) = &engine {
@@ -207,12 +251,13 @@ impl Sim {
 
         Ok(Sim {
             nodes,
-            write_ports: design.write_ports.clone(),
+            write_ports,
             order,
             state_nodes,
             vals,
             mems,
             names: design.names.clone(),
+            dont_touch,
             dirty: true,
             cycle: 0,
             mode,
@@ -576,10 +621,15 @@ impl Sim {
         assert!(lanes > 0, "a lane group needs at least one lane");
         // Same protected set and config as our own engine, so the lane
         // group's stream fuses identically (bit-exact with the scalar
-        // engine by construction).
+        // engine by construction). Netopt already ran when this sim was
+        // built — `self.nodes` / `self.order` / `self.write_ports` are the
+        // optimized graph — so lanes inherit the smaller stream for free.
         let mut protected = vec![false; self.nodes.len()];
         for sig in self.names.values() {
             protected[sig.node as usize] = true;
+        }
+        for &i in &self.dont_touch {
+            protected[i as usize] = true;
         }
         let engine = CompiledEngine::compile(
             &self.nodes,
@@ -1189,7 +1239,17 @@ mod tests {
     #[test]
     fn fusion_fires_and_respects_level_boundaries() {
         let d = fusion_playground();
-        let sim = Sim::new(&d);
+        // Netopt off: this test exercises the engine-level peepholes and
+        // fusion patterns in isolation, which need the raw micro-op stream
+        // (netlist-level folding would starve the const peephole).
+        let sim = Sim::with_config(
+            &d,
+            ExecMode::Compiled,
+            EngineConfig {
+                netopt: false,
+                ..EngineConfig::default()
+            },
+        );
         let stats = sim.engine_stats().unwrap().clone();
         assert!(stats.ops_fused > 0, "no superops formed: {stats:?}");
         assert!(stats.consts_folded > 0, "const peephole idle: {stats:?}");

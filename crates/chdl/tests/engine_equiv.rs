@@ -127,6 +127,16 @@ proptest! {
                 ..EngineConfig::default()
             },
             EngineConfig {
+                netopt: false,                       // raw netlist, fused stream
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                netopt: false,                       // raw netlist, raw stream, threaded
+                fuse: false,
+                dispatch: DispatchMode::Threaded,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
                 streaming: true,                     // pinned full-stream sweeps, match
                 dispatch: DispatchMode::Match,
                 ..EngineConfig::default()

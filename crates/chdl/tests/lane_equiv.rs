@@ -30,10 +30,17 @@ proptest! {
         // can sit below the Auto threshold) while the scalars keep the
         // default dispatch: the per-lane pokes below then exercise the
         // lane-program invalidation path against an independent engine.
+        // Netopt stays off in the group, so the laned raw stream is
+        // checked against netopt-optimized scalars (the optimizer's own
+        // laned path is covered in `netopt_equiv.rs`).
         let mut group = Sim::with_config(
             &design,
             ExecMode::Compiled,
-            EngineConfig { dispatch: DispatchMode::Threaded, ..EngineConfig::default() },
+            EngineConfig {
+                dispatch: DispatchMode::Threaded,
+                netopt: false,
+                ..EngineConfig::default()
+            },
         )
         .fork_lanes(lanes);
         prop_assert_eq!(group.lanes(), lanes);

@@ -31,6 +31,7 @@ fn fit(d: &mut Design, s: Signal, w: u8) -> Signal {
 
 /// Grow a design from recipes. Every generated signal goes into the pool so
 /// later components can reference it; a rolling subset is exposed as outputs.
+#[allow(dead_code)] // each equivalence suite uses its own subset of netgen
 pub fn build_design(recipes: &[Recipe]) -> (Design, Vec<String>) {
     let (d, outputs, _) = build_pool(recipes);
     (d, outputs)
@@ -102,6 +103,84 @@ pub fn build_design_with_chain(recipes: &[Recipe], depth: usize) -> (Design, Vec
     }
     d.expose_output("chain_out", cur);
     outputs.push("chain_out".to_string());
+    (d, outputs)
+}
+
+/// Like [`build_design`], then graft `shapes` deliberately redundant
+/// structures onto the pool: dead cones nothing consumes, duplicated
+/// subexpressions elaborated twice from scratch, constant-only cones,
+/// identity chains (`x+0`, `x*1`, `x&mask`, `mux(s,x,x)`) and
+/// `dont_touch`-pinned nodes (some of them dead). This is the netlist
+/// optimizer's diet: every shape is a target for exactly one pass
+/// (dead-gate elimination, subexpression sharing, constant folding),
+/// while the pinned nodes must survive all of them.
+#[allow(dead_code)] // each equivalence suite uses its own subset of netgen
+pub fn build_design_with_redundancy(recipes: &[Recipe], shapes: usize) -> (Design, Vec<String>) {
+    let (mut d, mut outputs, pool) = build_pool(recipes);
+    for k in 0..shapes {
+        let ra = pool[k % pool.len()];
+        let rb = pool[(k * 7 + 3) % pool.len()];
+        let x = fit(&mut d, ra, IN_WIDTH);
+        let y = fit(&mut d, rb, IN_WIDTH);
+        match k % 5 {
+            0 => {
+                // Dead cone: three chained ops, never consumed.
+                let a = d.mul(x, y);
+                let b = d.sub(a, x);
+                let _dead = d.xor(b, y);
+            }
+            1 => {
+                // The same subtree elaborated twice — CSE bait. Both
+                // copies feed an output so sharing must stay sound.
+                let mut arms = Vec::new();
+                for _ in 0..2 {
+                    let p = d.xor(x, y);
+                    let q = d.and(x, y);
+                    arms.push(d.add(p, q));
+                }
+                let z = d.or(arms[0], arms[1]);
+                let name = format!("dup{k}");
+                d.expose_output(&name, z);
+                outputs.push(name);
+            }
+            2 => {
+                // Constant-only cone feeding live logic: folds to one
+                // literal, then the add's const side becomes an imm.
+                let c1 = d.lit(0x0ff & (k as u64 + 1), IN_WIDTH);
+                let c2 = d.lit(0x321, IN_WIDTH);
+                let c3 = d.mul(c1, c2);
+                let c4 = d.xor(c3, c1);
+                let z = d.add(x, c4);
+                let name = format!("konst{k}");
+                d.expose_output(&name, z);
+                outputs.push(name);
+            }
+            3 => {
+                // Identity chain: every link aliases back to `x`.
+                let zero = d.lit(0, IN_WIDTH);
+                let ones = d.lit(0xFFF, IN_WIDTH);
+                let one = d.lit(1, IN_WIDTH);
+                let i1 = d.add(x, zero);
+                let i2 = d.mul(i1, one);
+                let i3 = d.and(i2, ones);
+                let s = d.reduce_xor(y);
+                let z = d.mux(s, i3, i3); // mux of identical arms
+                let name = format!("ident{k}");
+                d.expose_output(&name, z);
+                outputs.push(name);
+            }
+            _ => {
+                // Pinned nodes: a live probe target and a dead gate that
+                // only `dont_touch` keeps alive.
+                let g = d.and(x, y);
+                let probe = d.not(g);
+                d.set_dont_touch(probe);
+                d.label(format!("pin{k}"), probe);
+                let dead_pin = d.sub(y, x);
+                d.set_dont_touch(dead_pin);
+            }
+        }
+    }
     (d, outputs)
 }
 

@@ -1,0 +1,266 @@
+//! Equivalence harness for the netlist optimizer (`chdl::nir`).
+//!
+//! Randomized netlists — the shared `netgen` generator plus deliberately
+//! redundant shapes (dead cones, duplicated subexpressions, constant
+//! cones, identity chains, `dont_touch` pins) — are co-simulated with the
+//! optimizer **on** against the optimizer **off** and the interpreter
+//! oracle, across the engine configuration matrix (fused/unfused ×
+//! match/threaded × serial/partitioned × lanes). Every configuration must
+//! be bit-exact on every output every cycle, and final memory contents
+//! must agree word for word.
+//!
+//! The standalone pipeline is additionally checked for the structural
+//! guarantees simulation alone cannot see: `dont_touch` nodes survive
+//! every pass, top-level I/O ports keep their names, widths and order,
+//! and the pipeline is idempotent at its fixed point (a second run
+//! applies zero rewrites and re-exports a byte-identical netlist).
+
+mod netgen;
+
+use atlantis_chdl::prelude::*;
+use atlantis_chdl::sim::ExecMode;
+use atlantis_chdl::{DispatchMode, EngineConfig, Nir, NirKind, ParallelEval, PassManager};
+use netgen::{build_design_with_redundancy, XorShift, N_INPUTS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Optimizer-on vs optimizer-off vs interpreter, across the engine
+    /// matrix plus a 2-lane group forked from the optimized sim.
+    #[test]
+    fn netopt_config_matrix_equivalence(
+        recipes in proptest::collection::vec(
+            (any::<u8>(), any::<u16>(), any::<u16>(), any::<u8>()), 8..32),
+        shapes in 4usize..16,
+        seed in any::<u64>(),
+    ) {
+        let (design, outputs) = build_design_with_redundancy(&recipes, shapes);
+        let mem = design.find_memory("m").unwrap();
+
+        let mut oracle = Sim::with_mode(&design, ExecMode::Interpreted);
+        let configs = [
+            EngineConfig::default(),                  // netopt on, fused
+            EngineConfig { netopt: false, ..EngineConfig::default() },
+            EngineConfig { netopt: true, fuse: false, ..EngineConfig::default() },
+            EngineConfig {
+                netopt: true,
+                dispatch: DispatchMode::Threaded,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                netopt: true,
+                parallel: ParallelEval::Force(2),
+                dispatch: DispatchMode::Match,
+                ..EngineConfig::default()
+            },
+            EngineConfig::unfused(),                  // everything off
+        ];
+        let mut sims: Vec<Sim> = configs
+            .iter()
+            .map(|&c| Sim::with_config(&design, ExecMode::Compiled, c))
+            .collect();
+
+        // The optimized stream must actually be smaller: the redundancy
+        // shapes guarantee fold/share/dead targets exist.
+        let on = sims[0].engine_stats().unwrap().clone();
+        prop_assert!(on.netopt_nodes_after < on.netopt_nodes_before, "{on:?}");
+        let off = sims[1].engine_stats().unwrap().clone();
+        prop_assert!(on.ops_lowered < off.ops_lowered,
+            "netopt must lower fewer micro-ops: {} vs {}", on.ops_lowered, off.ops_lowered);
+
+        // A lane group forked from the optimized sim inherits its stream.
+        let lanes = 2usize;
+        let mut group = sims[0].fork_lanes(lanes);
+
+        let mut stim = XorShift(seed);
+        for cycle in 0..200u32 {
+            for i in 0..N_INPUTS {
+                let v = stim.next();
+                oracle.set(&format!("in{i}"), v);
+                for sim in &mut sims {
+                    sim.set(&format!("in{i}"), v);
+                }
+                for lane in 0..lanes {
+                    group.set(lane, &format!("in{i}"), v);
+                }
+            }
+            for name in &outputs {
+                let want = oracle.get(name);
+                for (k, sim) in sims.iter_mut().enumerate() {
+                    prop_assert_eq!(
+                        sim.get(name), want,
+                        "config {} vs oracle: {} cycle {}", k, name, cycle
+                    );
+                }
+                for lane in 0..lanes {
+                    prop_assert_eq!(
+                        group.get(lane, name), want,
+                        "lane {} vs oracle: {} cycle {}", lane, name, cycle
+                    );
+                }
+            }
+            oracle.step();
+            for sim in &mut sims {
+                sim.step();
+            }
+            group.step();
+        }
+
+        // Batch phase: fused dense sweeps over the optimized stream.
+        oracle.run(100);
+        for sim in &mut sims {
+            sim.run_batch(100);
+        }
+        group.run_batch(100);
+        for name in &outputs {
+            let want = oracle.get(name);
+            for (k, sim) in sims.iter_mut().enumerate() {
+                prop_assert_eq!(sim.get(name), want, "post-batch config {}: {}", k, name);
+            }
+            for lane in 0..lanes {
+                prop_assert_eq!(group.get(lane, name), want, "post-batch lane {}: {}", lane, name);
+            }
+        }
+        for sim in &sims {
+            prop_assert_eq!(sim.dump_mem(mem), oracle.dump_mem(mem));
+        }
+        for lane in 0..lanes {
+            prop_assert_eq!(group.dump_mem(lane, mem), oracle.dump_mem(mem));
+        }
+    }
+
+    /// `dont_touch` nodes survive the aggressive standalone pipeline with
+    /// their kind intact — never folded to constants, never eliminated —
+    /// and pinned labels stay probe-able under the netopt-on engine.
+    #[test]
+    fn dont_touch_survives_all_passes(
+        recipes in proptest::collection::vec(
+            (any::<u8>(), any::<u16>(), any::<u16>(), any::<u8>()), 8..24),
+        shapes in 5usize..20,
+        seed in any::<u64>(),
+    ) {
+        let (design, _) = build_design_with_redundancy(&recipes, shapes);
+
+        let mut nir = Nir::from_design(&design);
+        let pinned: Vec<(u32, NirKind)> = (0..nir.len() as u32)
+            .filter(|&i| nir.is_dont_touch(i))
+            .map(|i| (i, nir.kind(i)))
+            .collect();
+        prop_assert!(!pinned.is_empty(), "generator must emit pinned shapes");
+        PassManager::standard().run(&mut nir);
+        for &(i, kind) in &pinned {
+            prop_assert!(!nir.is_dead(i), "pinned node {} was eliminated", i);
+            prop_assert_eq!(nir.kind(i), kind, "pinned node {} was rewritten", i);
+        }
+        // Pins follow the compaction into the exported design.
+        let exported = nir.to_design();
+        let nir2 = Nir::from_design(&exported);
+        let surviving = (0..nir2.len() as u32).filter(|&i| nir2.is_dont_touch(i)).count();
+        prop_assert_eq!(surviving, pinned.len());
+
+        // The pinned probes must read identically with the optimizer on
+        // and off (they are protected from both netopt and fusion).
+        let pins: Vec<String> = (0..shapes)
+            .filter(|k| k % 5 == 4)
+            .map(|k| format!("pin{k}"))
+            .collect();
+        let mut on = Sim::new(&design);
+        let mut off = Sim::with_config(
+            &design,
+            ExecMode::Compiled,
+            EngineConfig { netopt: false, ..EngineConfig::default() },
+        );
+        let mut stim = XorShift(seed);
+        for _ in 0..50 {
+            for i in 0..N_INPUTS {
+                let v = stim.next();
+                on.set(&format!("in{i}"), v);
+                off.set(&format!("in{i}"), v);
+            }
+            for name in &pins {
+                prop_assert_eq!(on.get(name), off.get(name), "probe {}", name);
+            }
+            on.step();
+            off.step();
+        }
+    }
+
+    /// Top-level I/O is sacred: the exported design keeps every input and
+    /// output port with its name, width and position. And the pipeline is
+    /// idempotent: a second run over its own output applies zero rewrites
+    /// and re-exports a byte-identical structure.
+    #[test]
+    fn io_preserved_and_fixed_point_idempotent(
+        recipes in proptest::collection::vec(
+            (any::<u8>(), any::<u16>(), any::<u16>(), any::<u8>()), 8..32),
+        shapes in 0usize..12,
+    ) {
+        let (design, _) = build_design_with_redundancy(&recipes, shapes);
+
+        let mut nir = Nir::from_design(&design);
+        PassManager::standard().run(&mut nir);
+        let optimized = nir.to_design();
+        prop_assert_eq!(optimized.inputs(), design.inputs(), "input ports changed");
+        prop_assert_eq!(optimized.output_ports(), design.output_ports(), "output ports changed");
+
+        // Second run: already at the fixed point.
+        let mut nir2 = Nir::from_design(&optimized);
+        let ledger2 = PassManager::standard().run(&mut nir2);
+        prop_assert_eq!(ledger2.consts_folded, 0, "{:?}", &ledger2);
+        prop_assert_eq!(ledger2.subexprs_shared, 0, "{:?}", &ledger2);
+        prop_assert_eq!(ledger2.dead_gates, 0, "{:?}", &ledger2);
+        prop_assert_eq!(ledger2.nodes_before, ledger2.nodes_after);
+        let re_exported = nir2.to_design();
+        prop_assert_eq!(
+            re_exported.structural_bytes(),
+            optimized.structural_bytes(),
+            "fixed-point re-export must be byte-identical"
+        );
+    }
+}
+
+/// A deliberately dead cone — gates reachable from inputs but feeding no
+/// output, label, write port or pin — is eliminated in full, and the
+/// exported design carries none of it.
+#[test]
+fn dead_cone_is_fully_eliminated() {
+    let mut d = Design::new("deadwood");
+    let x = d.input("x", 16);
+    let y = d.input("y", 16);
+    // Live logic: one adder.
+    let live = d.add(x, y);
+    d.expose_output("sum", live);
+    // Dead cone: five chained gates, never consumed.
+    let d1 = d.mul(x, y);
+    let d2 = d.xor(d1, x);
+    let d3 = d.sub(d2, y);
+    let d4 = d.and(d3, d1);
+    let _d5 = d.or(d4, d2);
+
+    let mut nir = Nir::from_design(&d);
+    let ledger = PassManager::standard().run(&mut nir);
+    assert!(ledger.dead_gates >= 5, "whole cone must die: {ledger:?}");
+
+    // Exactly the two inputs and the one live adder remain.
+    let out = nir.to_design();
+    let nir_out = Nir::from_design(&out);
+    let live_ops = (0..nir_out.len() as u32)
+        .filter(|&i| !matches!(nir_out.kind(i), NirKind::Input | NirKind::Const))
+        .count();
+    assert_eq!(live_ops, 1, "only the live adder survives");
+
+    // The compiled netopt-on sim agrees with the interpreter.
+    let mut sim = Sim::new(&d);
+    let mut oracle = Sim::with_mode(&d, ExecMode::Interpreted);
+    sim.set("x", 1234);
+    sim.set("y", 4321);
+    oracle.set("x", 1234);
+    oracle.set("y", 4321);
+    assert_eq!(sim.get("sum"), oracle.get("sum"));
+    let stats = sim.engine_stats().unwrap();
+    assert!(
+        stats.netopt_dead_gates >= 5,
+        "lowering pipeline must also drop the cone: {stats:?}"
+    );
+}

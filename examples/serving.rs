@@ -26,7 +26,11 @@
 //! CHDL engine default to fused, partitioned evaluation with `N` forced
 //! partitions per logic level (omit `N` for the automatic size-based
 //! policy, which is also the default; DESIGN.md §12). `--no-fusion`
-//! reverts to the raw PR 1 micro-op stream for comparison.
+//! reverts to the raw PR 1 micro-op stream for comparison, and
+//! `--no-netopt` skips the pre-lowering netlist optimizer (constant
+//! folding, subexpression sharing, dead-gate elimination; DESIGN.md §16)
+//! while keeping the selected fusion/dispatch tier — both optimizations
+//! are on by default.
 //! `--dispatch=match|threaded|auto` picks the dispatch tier (DESIGN.md
 //! §14): `match` sweeps the packed stream through one opcode match per
 //! op, `threaded` compiles it to specialized closure chains, and `auto`
@@ -49,6 +53,7 @@
 //!       or: `cargo run --release --example serving -- --lanes 16`
 //!       or: `cargo run --release --example serving -- --partitioned 4`
 //!       or: `cargo run --release --example serving -- --no-fusion`
+//!       or: `cargo run --release --example serving -- --no-netopt`
 //!       or: `cargo run --release --example serving -- --dispatch=threaded`
 //!       or: `cargo run --release --example serving -- --upset-rate 2000`
 //!       or: `cargo run --release --example serving -- --upset-rate 2000 --scrub-interval 100`
@@ -220,6 +225,12 @@ fn main() {
     if args.iter().any(|a| a == "--no-fusion") {
         engine = EngineConfig::unfused();
     }
+    // `--no-netopt` skips the pre-lowering netlist optimizer (constant
+    // folding, subexpression sharing, dead-gate elimination; DESIGN.md
+    // §16) while keeping whatever fusion/dispatch tier is selected.
+    if args.iter().any(|a| a == "--no-netopt") {
+        engine.netopt = false;
+    }
     // The dispatch tier: `--dispatch=match|threaded|auto` (also accepted
     // as `--dispatch <tier>`). `auto` is the default.
     let dispatch_arg = args.iter().position(|a| a == "--dispatch").map_or_else(
@@ -271,7 +282,12 @@ fn main() {
                 DispatchMode::Threaded => "threaded",
                 DispatchMode::Auto => "auto-dispatch",
             };
-            format!("{base}/{tier}")
+            let opt = if engine.netopt {
+                "netopt"
+            } else {
+                "raw-netlist"
+            };
+            format!("{base}/{tier}/{opt}")
         },
         if config.guard.is_active() {
             format!(
